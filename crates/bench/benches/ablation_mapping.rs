@@ -1,0 +1,24 @@
+//! Ablation bench: greedy SWV mapping vs identity/random, on
+//! paper-scale row counts, with a printed quality report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vortex_bench::experiments::ablation;
+
+fn bench(c: &mut Criterion) {
+    let report = ablation::mapping_ablation(784, 10, 0.8, 1);
+    println!(
+        "residual SWV (784 rows, sigma=0.8): greedy = {:.2}, identity = {:.2}, random = {:.2}",
+        report.greedy, report.identity, report.random
+    );
+    c.bench_function("greedy_mapping_784x10", |b| {
+        b.iter(|| black_box(ablation::mapping_ablation(784, 10, 0.8, 1)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Ablation bench: cost of the VAT penalty-bound evaluation, and a
+//! printed tightness report (empirical q95 vs analytic bound).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vortex_bench::experiments::ablation;
+
+fn bench(c: &mut Criterion) {
+    let report = ablation::penalty_bound_tightness(784, 0.6, 5_000, 1);
+    println!(
+        "penalty bound tightness (n=784, sigma=0.6): empirical q95 = {:.4}, bound = {:.4}",
+        report.empirical_q95, report.bound
+    );
+    c.bench_function("penalty_bound_mc_5000", |b| {
+        b.iter(|| black_box(ablation::penalty_bound_tightness(784, 0.6, 5_000, 1)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Ablation bench: self-tuned γ vs fixed γ, with a printed quality
+//! report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vortex_bench::experiments::ablation;
+use vortex_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::bench();
+    let report = ablation::selftune_ablation(&scale, 0.8);
+    println!(
+        "self-tune ablation (sigma=0.8): fixed gamma=0 -> {:.3}, fixed gamma=0.5 -> {:.3}, \
+         tuned (gamma={:.2}) -> {:.3}",
+        report.fixed_zero, report.fixed_half, report.tuned_gamma, report.tuned
+    );
+    c.bench_function("selftune_ablation", |b| {
+        b.iter(|| black_box(ablation::selftune_ablation(black_box(&scale), 0.8)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Ablation bench: iterative vs direct solves of nodal-style systems.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vortex_bench::experiments::ablation;
+use vortex_linalg::Matrix;
+use vortex_xbar::circuit::NodalAnalysis;
+
+fn bench(c: &mut Criterion) {
+    let report = ablation::solver_ablation(400, 1);
+    println!(
+        "solver agreement (n=400): |cg - dense| = {:.2e}, |sor - dense| = {:.2e}, cg iters = {}",
+        report.cg_vs_dense, report.sor_vs_dense, report.cg_iterations
+    );
+    let mut group = c.benchmark_group("nodal_compute_solve");
+    for &rows in &[32usize, 128, 392] {
+        let na = NodalAnalysis::new(rows, 10, 2.5).expect("mesh");
+        let g = Matrix::filled(rows, 10, 5e-5);
+        let x = vec![0.5; rows];
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| black_box(na.compute(black_box(&g), black_box(&x)).expect("solve")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

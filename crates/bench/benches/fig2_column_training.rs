@@ -1,0 +1,22 @@
+//! Criterion bench regenerating Fig. 2 (column training, CLD vs OLD) at
+//! reduced Monte-Carlo depth. Run `experiments fig2` for the paper-scale
+//! table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vortex_bench::experiments::fig2;
+use vortex_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::bench();
+    c.bench_function("fig2_column_training", |b| {
+        b.iter(|| black_box(fig2::run(black_box(&scale))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench regenerating Fig. 7 (AMP effectiveness sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vortex_bench::experiments::fig7;
+use vortex_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::bench();
+    c.bench_function("fig7_amp_effect", |b| {
+        b.iter(|| black_box(fig7::run(black_box(&scale))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench regenerating Fig. 8 (ADC-resolution sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vortex_bench::experiments::fig8;
+use vortex_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::bench();
+    c.bench_function("fig8_adc_resolution", |b| {
+        b.iter(|| black_box(fig8::run(black_box(&scale))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

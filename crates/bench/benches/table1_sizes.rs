@@ -1,0 +1,20 @@
+//! Criterion bench regenerating Table 1 (crossbar-size comparison).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vortex_bench::experiments::table1;
+use vortex_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::bench();
+    c.bench_function("table1_sizes", |b| {
+        b.iter(|| black_box(table1::run(black_box(&scale))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

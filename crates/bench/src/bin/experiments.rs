@@ -1,0 +1,72 @@
+//! Command-line driver regenerating every table and figure of the paper.
+//!
+//! ```text
+//! experiments [fig2|fig3|fig4|fig7|fig8|fig9|table1|all] [--quick|--bench]
+//! ```
+//!
+//! Without a scale flag the paper-scale configuration runs (minutes);
+//! `--quick` shrinks the workloads to seconds, `--bench` further still.
+
+use std::time::Instant;
+
+use vortex_bench::experiments::{extensions, fig1, fig2, fig3, fig4, fig7, fig8, fig9, table1};
+use vortex_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--bench") {
+        Scale::bench()
+    } else if args.iter().any(|a| a == "--quick") {
+        Scale::quick()
+    } else {
+        Scale::paper()
+    };
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let which: Vec<&str> = if which.is_empty() || which.contains(&"all") {
+        vec!["fig1", "fig2", "fig3", "fig4", "fig7", "fig8", "fig9", "table1", "ext"]
+    } else {
+        which
+    };
+
+    for name in which {
+        let start = Instant::now();
+        let output = match name {
+            "fig1" => fig1::run(&scale).render(),
+            "fig2" => fig2::run(&scale).render(),
+            "fig3" => fig3::run(&scale).render(),
+            "fig4" => fig4::run(&scale).render(),
+            "fig7" => {
+                let r = fig7::run(&scale);
+                let mut s = r.render();
+                s.push_str(&format!(
+                    "optimal gamma: before AMP {:.2}, after AMP {:.2}\n",
+                    r.best_gamma_before(),
+                    r.best_gamma_after()
+                ));
+                s
+            }
+            "fig8" => fig8::run(&scale).render(),
+            "fig9" => {
+                let r = fig9::run(&scale);
+                let mut s = r.render();
+                s.push_str(&format!("tuned gamma: {:.2}\n", r.tuned_gamma));
+                s
+            }
+            "table1" => table1::run(&scale).render(),
+            "ext" => extensions::run(&scale).render(),
+            other => {
+                eprintln!("unknown experiment `{other}`");
+                eprintln!(
+                    "usage: experiments [fig1|fig2|fig3|fig4|fig7|fig8|fig9|table1|ext|all] [--quick|--bench]"
+                );
+                std::process::exit(2);
+            }
+        };
+        println!("{output}");
+        println!("[{name} finished in {:.1?}]\n", start.elapsed());
+    }
+}

@@ -1,0 +1,257 @@
+//! Ablation studies for the design choices called out in `DESIGN.md`:
+//!
+//! * how loose is the Chi-square penalty bound of Eq. (7);
+//! * greedy SWV mapping vs cheaper mapping policies;
+//! * iterative (CG/SOR) vs direct (dense LU) nodal solves;
+//! * self-tuned γ vs a fixed γ across variation corners.
+
+use vortex_core::amp::greedy::{greedy_map, RowMapping};
+use vortex_core::amp::{swv, sensitivity};
+use vortex_core::pipeline::{evaluate_hardware, HardwareEnv};
+use vortex_core::rho::RhoConfig;
+use vortex_core::tuning::SelfTuner;
+use vortex_linalg::distributions::standard_normal;
+use vortex_linalg::rng::Xoshiro256PlusPlus;
+use vortex_linalg::sparse::TripletBuilder;
+use vortex_linalg::{iterative, lu, vector, Matrix};
+use vortex_nn::metrics::accuracy_of_weights;
+
+use super::common::Scale;
+
+/// Tightness of the VAT penalty bound: the empirical 95th percentile of
+/// the realized output deviation `|Σ x_q w_q θ_q|` vs the RMS-normalized
+/// bound `ρ_rms·‖x ∘ w‖₂`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PenaltyBoundReport {
+    /// Empirical 95th percentile of the deviation.
+    pub empirical_q95: f64,
+    /// The analytic bound used by VAT.
+    pub bound: f64,
+}
+
+/// Measures the penalty-bound tightness by Monte Carlo.
+///
+/// # Panics
+///
+/// Panics only on invalid internal parameters.
+pub fn penalty_bound_tightness(
+    n: usize,
+    sigma: f64,
+    draws: usize,
+    seed: u64,
+) -> PenaltyBoundReport {
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+    // A representative input/weight pair.
+    let x: Vec<f64> = (0..n).map(|_| rng.range_f64(0.0, 1.0)).collect();
+    let w: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng) * 0.1).collect();
+    let xw = vector::hadamard(&x, &w);
+    let mut deviations: Vec<f64> = Vec::with_capacity(draws);
+    for _ in 0..draws {
+        let dev: f64 = xw
+            .iter()
+            .map(|&v| v * standard_normal(&mut rng) * sigma)
+            .sum();
+        deviations.push(dev.abs());
+    }
+    let empirical_q95 = vortex_linalg::stats::quantile(&deviations, 0.95);
+    let rho_rms = RhoConfig::default().rho_rms(sigma, n).expect("valid rho");
+    PenaltyBoundReport {
+        empirical_q95,
+        bound: rho_rms * vector::norm2(&xw),
+    }
+}
+
+/// Residual summed weighted variation of three mapping policies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MappingAblation {
+    /// Greedy Algorithm 1 (sensitivity-ordered min-SWV).
+    pub greedy: f64,
+    /// Identity (no remapping).
+    pub identity: f64,
+    /// Random permutation.
+    pub random: f64,
+}
+
+/// Compares mapping policies on random weights/multipliers.
+///
+/// # Panics
+///
+/// Panics only on invalid internal parameters.
+pub fn mapping_ablation(m: usize, cols: usize, sigma: f64, seed: u64) -> MappingAblation {
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+    let w = Matrix::from_fn(m, cols, |_, _| standard_normal(&mut rng));
+    let mult = Matrix::from_fn(m, cols, |_, _| (standard_normal(&mut rng) * sigma).exp());
+    let swv_m = swv::swv_matrix(&w, &mult).expect("swv");
+    let xbar_sens = vec![1.0; m];
+    let sens = sensitivity::row_sensitivity(&w, &xbar_sens);
+
+    let total = |mapping: &RowMapping| -> f64 {
+        (0..m)
+            .map(|p| swv_m[(p, mapping.physical_row(p))])
+            .sum::<f64>()
+    };
+    let greedy = total(&greedy_map(&sens, &swv_m).expect("greedy"));
+    let identity = total(&RowMapping::identity(m));
+    let mut perm: Vec<usize> = (0..m).collect();
+    rng.shuffle(&mut perm);
+    let random = total(&RowMapping::from_assignment(perm, m).expect("perm"));
+    MappingAblation {
+        greedy,
+        identity,
+        random,
+    }
+}
+
+/// Agreement between the three solvers on one nodal-style system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverAblation {
+    /// ∞-norm disagreement between CG and dense LU.
+    pub cg_vs_dense: f64,
+    /// ∞-norm disagreement between SOR and dense LU.
+    pub sor_vs_dense: f64,
+    /// CG iterations used.
+    pub cg_iterations: usize,
+}
+
+/// Cross-validates the iterative solvers against dense LU on a mesh-like
+/// SPD system of dimension `n`.
+///
+/// # Panics
+///
+/// Panics if any solver fails (they must not on this well-conditioned
+/// system).
+pub fn solver_ablation(n: usize, seed: u64) -> SolverAblation {
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+    let mut t = TripletBuilder::new(n, n);
+    for i in 0..n {
+        let device = 10f64.powf(rng.range_f64(-6.0, -4.0));
+        t.add(i, i, 0.8 + device);
+        if i > 0 {
+            t.add(i, i - 1, -0.4);
+            t.add(i - 1, i, -0.4);
+        }
+    }
+    let a = t.build();
+    let b: Vec<f64> = (0..n).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+    // SOR on long chains converges slowly; give it a realistic budget.
+    let opts = iterative::SolveOptions {
+        max_iterations: 500_000,
+        tolerance: 1e-9,
+        omega: 1.6,
+    };
+    let cg = iterative::conjugate_gradient(&a, &b, None, &opts).expect("cg");
+    let sor = iterative::sor(&a, &b, None, &opts).expect("sor");
+    let dense = lu::solve(&a.to_dense(), &b).expect("lu");
+    let diff = |x: &[f64], y: &[f64]| {
+        x.iter()
+            .zip(y)
+            .map(|(u, v)| (u - v).abs())
+            .fold(0.0_f64, f64::max)
+    };
+    SolverAblation {
+        cg_vs_dense: diff(&cg.x, &dense),
+        sor_vs_dense: diff(&sor.x, &dense),
+        cg_iterations: cg.iterations,
+    }
+}
+
+/// Hardware test rates of fixed-γ vs self-tuned VAT.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelfTuneAblation {
+    /// Fixed γ = 0 (conventional training).
+    pub fixed_zero: f64,
+    /// Fixed γ = 0.5.
+    pub fixed_half: f64,
+    /// Self-tuned γ.
+    pub tuned: f64,
+    /// The γ the tuner chose.
+    pub tuned_gamma: f64,
+}
+
+/// Runs the self-tuning ablation at the given σ.
+///
+/// # Panics
+///
+/// Panics only on internal configuration errors.
+pub fn selftune_ablation(scale: &Scale, sigma: f64) -> SelfTuneAblation {
+    let (train, test) = scale.dataset(14);
+    let env = HardwareEnv::with_sigma(sigma).expect("env");
+    let mapping = RowMapping::identity(train.num_features());
+    let mut rng = scale.rng(77);
+    let eval = |w: &Matrix, rng: &mut Xoshiro256PlusPlus| {
+        evaluate_hardware(w, &mapping, &env, &test, scale.mc_draws, rng)
+            .expect("eval")
+            .mean_test_rate
+    };
+    let base = scale.vat().with_sigma(sigma);
+    let w0 = base.with_gamma(0.0).train(&train).expect("train");
+    let w5 = base.with_gamma(0.5).train(&train).expect("train");
+    let tuner = SelfTuner {
+        gamma_grid: scale.gamma_grid(),
+        mc_draws: scale.mc_draws.max(3),
+        ..SelfTuner::default()
+    };
+    let tuned = tuner.tune(&base, &train).expect("tune");
+    let _ = accuracy_of_weights(&tuned.weights, &train);
+    SelfTuneAblation {
+        fixed_zero: eval(&w0, &mut rng),
+        fixed_half: eval(&w5, &mut rng),
+        tuned: eval(&tuned.weights, &mut rng),
+        tuned_gamma: tuned.best_gamma,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn penalty_bound_is_an_upper_guard_at_scale() {
+        let r = penalty_bound_tightness(200, 0.6, 3000, 1);
+        // The RMS bound should be of the right order: above the typical
+        // deviation but not 10× above the 95th percentile.
+        assert!(r.bound > 0.0);
+        assert!(
+            r.bound > r.empirical_q95 * 0.3,
+            "bound {} vs q95 {}",
+            r.bound,
+            r.empirical_q95
+        );
+        assert!(
+            r.bound < r.empirical_q95 * 3.0,
+            "bound {} should not be wildly loose vs q95 {}",
+            r.bound,
+            r.empirical_q95
+        );
+    }
+
+    #[test]
+    fn greedy_mapping_beats_identity_and_random() {
+        let r = mapping_ablation(40, 10, 0.8, 2);
+        assert!(r.greedy <= r.identity, "greedy {} identity {}", r.greedy, r.identity);
+        assert!(r.greedy <= r.random, "greedy {} random {}", r.greedy, r.random);
+    }
+
+    #[test]
+    fn solvers_agree() {
+        let r = solver_ablation(80, 3);
+        assert!(r.cg_vs_dense < 1e-6, "cg vs dense {}", r.cg_vs_dense);
+        assert!(r.sor_vs_dense < 1e-5, "sor vs dense {}", r.sor_vs_dense);
+        assert!(r.cg_iterations > 0);
+    }
+
+    #[test]
+    fn selftuned_gamma_is_competitive() {
+        // Quick scale: a bench-scale validation split is too noisy for a
+        // meaningful comparison.
+        let r = selftune_ablation(&Scale::quick(), 0.8);
+        let best_fixed = r.fixed_zero.max(r.fixed_half);
+        assert!(
+            r.tuned >= best_fixed - 0.08,
+            "tuned {} should be near the best fixed {}",
+            r.tuned,
+            best_fixed
+        );
+        assert!((0.0..=1.0).contains(&r.tuned_gamma));
+    }
+}

@@ -1,0 +1,180 @@
+//! Extension experiments beyond the paper: crossbar tiling, pre-test
+//! target compensation, and the scheme-level cost comparison.
+
+use vortex_core::amp::greedy::RowMapping;
+use vortex_core::amp::sensitivity::mean_abs_inputs;
+use vortex_core::pipeline::{evaluate_hardware, HardwareEnv};
+use vortex_core::report::{pct, Table};
+use vortex_core::tiling::TiledEvaluator;
+use vortex_core::vortex::{amp_evaluate, AmpChipOptions};
+use vortex_xbar::cost::SchemeCostModel;
+
+use super::common::Scale;
+
+/// Results of the extension suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtensionsResult {
+    /// Monolithic test rate under heavy IR-drop (uncompensated).
+    pub monolithic_irdrop: f64,
+    /// Tiled test rate under the same conditions.
+    pub tiled_irdrop: f64,
+    /// Tile size used.
+    pub tile_rows: usize,
+    /// AMP-only test rate at σ.
+    pub amp_plain: f64,
+    /// AMP plus per-cell pre-test compensation.
+    pub amp_compensated: f64,
+    /// σ used for the compensation comparison.
+    pub sigma: f64,
+    /// Scheme cost table rendered as text.
+    pub cost_table: String,
+}
+
+impl ExtensionsResult {
+    /// Renders the suite as text tables.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "Extensions beyond the paper",
+            &["experiment", "baseline", "extension"],
+        );
+        t.add_row(&[
+            format!("tiling ({}-row tiles) under heavy IR-drop", self.tile_rows),
+            pct(self.monolithic_irdrop),
+            pct(self.tiled_irdrop),
+        ]);
+        t.add_row(&[
+            format!("pre-test target compensation (sigma = {})", self.sigma),
+            pct(self.amp_plain),
+            pct(self.amp_compensated),
+        ]);
+        let mut out = t.render();
+        out.push('\n');
+        out.push_str(&self.cost_table);
+        out
+    }
+}
+
+/// Runs the extension suite.
+///
+/// # Panics
+///
+/// Panics only on internal configuration errors.
+pub fn run(scale: &Scale) -> ExtensionsResult {
+    let side = if scale.n_train >= 1000 { 28 } else { 14 };
+    let (train, test) = scale.dataset(side);
+    let mean_abs = mean_abs_inputs(&train);
+    let weights = scale.gdt().train(&train).expect("training");
+    let mut rng = scale.rng(99);
+
+    // 1. Tiling vs monolithic under heavy, uncompensated IR-drop.
+    let r_wire = if side == 28 { 2.5 } else { 10.0 };
+    let env_ir = HardwareEnv::ideal().with_ir_drop(r_wire);
+    let mono = evaluate_hardware(
+        &weights,
+        &RowMapping::identity(weights.rows()),
+        &env_ir,
+        &test,
+        scale.mc_draws,
+        &mut rng,
+    )
+    .expect("monolithic")
+    .mean_test_rate;
+    let tile_rows = (weights.rows() / 6).max(16);
+    let tiled = TiledEvaluator::new(tile_rows)
+        .expect("tile size")
+        .evaluate(&weights, &mean_abs, &env_ir, &test, scale.mc_draws, &mut rng)
+        .expect("tiled")
+        .mean_test_rate;
+
+    // 2. Pre-test per-cell compensation at strong variation.
+    let sigma = 0.8;
+    let env_var = HardwareEnv::with_sigma(sigma).expect("env");
+    let plain = amp_evaluate(
+        &weights,
+        &mean_abs,
+        &AmpChipOptions::default(),
+        &env_var,
+        &test,
+        scale.mc_draws,
+        &mut rng,
+    )
+    .expect("plain amp")
+    .mean_test_rate;
+    let compensated = amp_evaluate(
+        &weights,
+        &mean_abs,
+        &AmpChipOptions {
+            pretest_compensation: true,
+            pretest_bits: 8,
+            ..AmpChipOptions::default()
+        },
+        &env_var,
+        &test,
+        scale.mc_draws,
+        &mut rng,
+    )
+    .expect("compensated amp")
+    .mean_test_rate;
+
+    // 3. Scheme cost comparison (closed-form).
+    let cost_model = SchemeCostModel {
+        rows: weights.rows(),
+        cols: weights.cols(),
+        redundant_rows: 100.min(weights.rows() / 4),
+        mean_pulse_width_s: 1e-6,
+        pretest_repeats: 3,
+        samples: train.len(),
+        epochs: scale.epochs,
+    };
+    let old = cost_model.old_cost().expect("old cost");
+    let cld = cost_model.cld_cost().expect("cld cost");
+    let vortex = cost_model.vortex_cost().expect("vortex cost");
+    let mut ct = Table::new(
+        "Scheme overhead (closed-form estimates)",
+        &["scheme", "pulses", "program time", "ADC conversions", "cells"],
+    );
+    for (name, c) in [("OLD", old), ("CLD", cld), ("Vortex", vortex)] {
+        ct.add_row(&[
+            name.to_string(),
+            c.pulse_count.to_string(),
+            format!("{:.2e} s", c.program_time_s),
+            c.adc_conversions.to_string(),
+            c.cells_used.to_string(),
+        ]);
+    }
+
+    ExtensionsResult {
+        monolithic_irdrop: mono,
+        tiled_irdrop: tiled,
+        tile_rows,
+        amp_plain: plain,
+        amp_compensated: compensated,
+        sigma,
+        cost_table: ct.render(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extensions_hold_their_claims() {
+        let r = run(&Scale::bench());
+        assert!(
+            r.tiled_irdrop > r.monolithic_irdrop,
+            "tiling {} must beat monolithic {} under heavy IR-drop",
+            r.tiled_irdrop,
+            r.monolithic_irdrop
+        );
+        assert!(
+            r.amp_compensated >= r.amp_plain - 0.03,
+            "compensation {} should not lose to plain {}",
+            r.amp_compensated,
+            r.amp_plain
+        );
+        let s = r.render();
+        assert!(s.contains("tiling"));
+        assert!(s.contains("Scheme overhead"));
+    }
+}

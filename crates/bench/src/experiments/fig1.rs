@@ -1,0 +1,173 @@
+//! Fig. 1 — device preliminaries (§2.1).
+//!
+//! (a) the analogue switching characteristic: programmed resistance vs
+//! programming voltage at a fixed pulse width, reproducing the paper's
+//! anecdote that moving from 2.9 V to 2.8 V at 0.5 µs changes the landed
+//! resistance by more than 2× while the half-select 1.45 V barely moves
+//! the device; (c) the lognormal spread of resistances after programming
+//! a population of devices to LRS.
+
+use vortex_core::report::{fixed, Table};
+use vortex_device::switching::evolve_state;
+use vortex_device::{DeviceParams, VariationModel};
+use vortex_linalg::rng::Xoshiro256PlusPlus;
+use vortex_linalg::stats::Histogram;
+
+use super::common::Scale;
+
+/// One voltage point of the switching characteristic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig1aPoint {
+    /// Programming voltage magnitude (RESET direction), volts.
+    pub voltage: f64,
+    /// Resistance landed from LRS after the fixed-width pulse, ohms.
+    pub resistance_ohms: f64,
+}
+
+/// Full Fig. 1 result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig1Result {
+    /// (a) switching characteristic at the fixed pulse width.
+    pub characteristic: Vec<Fig1aPoint>,
+    /// Pulse width used for (a), seconds.
+    pub pulse_width_s: f64,
+    /// (c) histogram counts of log10(resistance) for the LRS population.
+    pub lrs_histogram: Vec<usize>,
+    /// (c) bin centers in log10(ohms).
+    pub lrs_bin_centers: Vec<f64>,
+    /// (c) population σ used.
+    pub sigma: f64,
+}
+
+impl Fig1Result {
+    /// Renders both panels as text tables.
+    pub fn render(&self) -> String {
+        let mut a = Table::new(
+            format!(
+                "Fig. 1(a) — resistance vs programming voltage at {:.1} us (RESET from LRS)",
+                self.pulse_width_s * 1e6
+            ),
+            &["voltage (V)", "landed resistance (kohm)"],
+        );
+        for p in &self.characteristic {
+            a.add_row(&[
+                fixed(p.voltage, 2),
+                fixed(p.resistance_ohms / 1e3, 1),
+            ]);
+        }
+        let mut c = Table::new(
+            format!(
+                "Fig. 1(c) — LRS population after programming (lognormal, sigma = {})",
+                self.sigma
+            ),
+            &["log10(R/ohm) bin center", "count"],
+        );
+        for (center, count) in self.lrs_bin_centers.iter().zip(&self.lrs_histogram) {
+            c.add_row(&[fixed(*center, 2), count.to_string()]);
+        }
+        let mut out = a.render();
+        out.push('\n');
+        out.push_str(&c.render());
+        out
+    }
+
+    /// The resistance ratio between two voltages of panel (a).
+    pub fn resistance_ratio(&self, v_hi: f64, v_lo: f64) -> Option<f64> {
+        let find = |v: f64| {
+            self.characteristic
+                .iter()
+                .find(|p| (p.voltage - v).abs() < 1e-9)
+                .map(|p| p.resistance_ohms)
+        };
+        Some(find(v_hi)? / find(v_lo)?)
+    }
+}
+
+/// Runs the experiment.
+pub fn run(scale: &Scale) -> Fig1Result {
+    let device = DeviceParams::default();
+    let width = 0.5e-6; // the paper's 0.5 µs anecdote
+    let voltages = [1.45, 2.0, 2.2, 2.4, 2.6, 2.8, 2.9];
+    let characteristic = voltages
+        .iter()
+        .map(|&v| {
+            let w = evolve_state(&device, 1.0, -v, width);
+            Fig1aPoint {
+                voltage: v,
+                resistance_ohms: device.resistance_from_w(w),
+            }
+        })
+        .collect();
+
+    // (c): program a population to LRS, histogram log10(R).
+    let sigma = 0.4;
+    let variation = VariationModel::parametric(sigma).expect("valid sigma");
+    let mut rng = scale.rng(1);
+    let mut hist = Histogram::new(3.0, 6.0, 24); // 1 kΩ .. 1 MΩ
+    let n = (scale.column_runs * 10).max(1000);
+    for _ in 0..n {
+        let theta = variation.sample_theta(&mut rng);
+        let r = 1.0 / VariationModel::apply(device.g_on(), theta);
+        hist.add(r.log10());
+    }
+    let centers = (0..24).map(|i| hist.bin_center(i)).collect();
+    Fig1Result {
+        characteristic,
+        pulse_width_s: width,
+        lrs_histogram: hist.counts().to_vec(),
+        lrs_bin_centers: centers,
+        sigma,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panel_a_reproduces_the_paper_anecdote() {
+        let r = run(&Scale::bench());
+        // 2.9 V vs 2.8 V at 0.5 µs: >1.5× resistance difference.
+        let ratio = r.resistance_ratio(2.9, 2.8).unwrap();
+        assert!(ratio > 1.5, "2.9/2.8 V ratio {ratio}");
+        // Half-select 1.45 V leaves the device essentially at LRS.
+        let half = r
+            .characteristic
+            .iter()
+            .find(|p| (p.voltage - 1.45).abs() < 1e-9)
+            .unwrap();
+        assert!(
+            (half.resistance_ohms - 10e3).abs() / 10e3 < 0.05,
+            "half-select landed {}",
+            half.resistance_ohms
+        );
+        // Resistance is monotone in programming voltage.
+        for w in r.characteristic.windows(2) {
+            assert!(w[1].resistance_ohms >= w[0].resistance_ohms - 1e-6);
+        }
+    }
+
+    #[test]
+    fn panel_c_is_unimodal_around_lrs() {
+        let r = run(&Scale::bench());
+        let total: usize = r.lrs_histogram.iter().sum();
+        assert!(total >= 1000);
+        // The modal bin should sit near log10(10 kΩ) = 4.
+        let modal = r
+            .lrs_bin_centers
+            .iter()
+            .zip(&r.lrs_histogram)
+            .max_by_key(|(_, &c)| c)
+            .map(|(b, _)| *b)
+            .unwrap();
+        assert!((modal - 4.0).abs() < 0.3, "modal bin at {modal}");
+    }
+
+    #[test]
+    fn render_contains_both_panels() {
+        let r = run(&Scale::bench());
+        let s = r.render();
+        assert!(s.contains("Fig. 1(a)"));
+        assert!(s.contains("Fig. 1(c)"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Fig. 2 — output discrepancy of a 100-memristor column trained by CLD
+//! vs OLD as device variation σ grows (§3.1).
+//!
+//! Paper setup: nominal 10 kΩ / 1 MΩ devices, all inputs at 1 V, target
+//! output 1 mA, 1000-run Monte Carlo per σ. Expected shape: OLD's
+//! discrepancy grows steadily with σ; CLD's stays near zero.
+
+use vortex_core::column::ColumnExperiment;
+use vortex_core::report::{fixed, Table};
+use vortex_device::VariationModel;
+
+use super::common::Scale;
+
+/// One σ point of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig2Point {
+    /// Device-variation σ.
+    pub sigma: f64,
+    /// Mean relative discrepancy of OLD-trained columns.
+    pub old_discrepancy: f64,
+    /// Mean relative discrepancy of CLD-trained columns.
+    pub cld_discrepancy: f64,
+}
+
+/// Full Fig. 2 result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2Result {
+    /// Sweep points, in σ order.
+    pub points: Vec<Fig2Point>,
+}
+
+impl Fig2Result {
+    /// Renders the figure as a text table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "Fig. 2 — column output discrepancy vs sigma (CLD vs OLD)",
+            &["sigma", "OLD mean |dI|/I", "CLD mean |dI|/I"],
+        );
+        for p in &self.points {
+            t.add_row(&[
+                fixed(p.sigma, 2),
+                fixed(p.old_discrepancy, 4),
+                fixed(p.cld_discrepancy, 4),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Runs the experiment.
+///
+/// # Panics
+///
+/// Panics only on internal configuration errors (the defaults are valid).
+pub fn run(scale: &Scale) -> Fig2Result {
+    let experiment = ColumnExperiment::default();
+    let sigmas = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+    let mut rng = scale.rng(2);
+    let mut points = Vec::with_capacity(sigmas.len());
+    for &sigma in &sigmas {
+        let variation = VariationModel::parametric(sigma).expect("valid sigma");
+        let mut old_acc = 0.0;
+        let mut cld_acc = 0.0;
+        for _ in 0..scale.column_runs {
+            old_acc += experiment
+                .old_discrepancy(&variation, &mut rng)
+                .expect("valid column experiment");
+            cld_acc += experiment
+                .cld_discrepancy(&variation, &mut rng)
+                .expect("valid column experiment");
+        }
+        points.push(Fig2Point {
+            sigma,
+            old_discrepancy: old_acc / scale.column_runs as f64,
+            cld_discrepancy: cld_acc / scale.column_runs as f64,
+        });
+    }
+    Fig2Result { points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let r = run(&Scale::bench());
+        assert_eq!(r.points.len(), 9);
+        // OLD grows with σ (compare endpoints).
+        let first = r.points.first().unwrap();
+        let last = r.points.last().unwrap();
+        assert!(
+            last.old_discrepancy > 2.0 * first.old_discrepancy,
+            "OLD must grow: {} → {}",
+            first.old_discrepancy,
+            last.old_discrepancy
+        );
+        // CLD stays small everywhere.
+        for p in &r.points {
+            assert!(p.cld_discrepancy < 0.05, "CLD at σ={}: {}", p.sigma, p.cld_discrepancy);
+            assert!(p.old_discrepancy >= 0.0);
+        }
+        // And OLD is worse than CLD at high σ.
+        assert!(last.old_discrepancy > last.cld_discrepancy);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let r = run(&Scale::bench());
+        let s = r.render();
+        assert!(s.contains("Fig. 2"));
+        assert_eq!(s.lines().count(), 3 + 9);
+    }
+}

@@ -1,0 +1,195 @@
+//! Fig. 3 — IR-drop programming-voltage degradation and its β/D
+//! decomposition (§3.2).
+//!
+//! For the all-LRS worst case the paper decomposes the degradation trend
+//! into a horizontal per-column factor β and a vertical diagonal `D`, and
+//! reports that the skew of `D` passes 2 as the crossbar grows past the
+//! low hundreds of rows; through the sinh switching nonlinearity the
+//! *update-rate* skew grows much faster still (the "Δw₁ⱼ < Δwₙⱼ/1000"
+//! remark).
+
+use vortex_core::report::{fixed, Table};
+use vortex_device::DeviceParams;
+use vortex_linalg::Matrix;
+use vortex_xbar::circuit::NodalAnalysis;
+use vortex_xbar::irdrop::{
+    decompose_beta_d, skewness, update_rate_profile, ProgramVoltageMap,
+};
+
+use super::common::Scale;
+
+/// One crossbar-size point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3Point {
+    /// Number of rows n (columns fixed at 10, as in the paper's NCS).
+    pub rows: usize,
+    /// Worst programming-voltage factor over the array.
+    pub worst_voltage_factor: f64,
+    /// Skew `max(d)/min(d)` of the vertical voltage profile.
+    pub voltage_skew: f64,
+    /// Skew of the switching-domain update-rate profile (column 0).
+    pub update_rate_skew: f64,
+    /// Mean horizontal factor β.
+    pub beta_mean: f64,
+    /// Whether the analytic map was cross-checked against the exact mesh
+    /// solve (small sizes only).
+    pub exact_checked: bool,
+    /// Max |analytic − exact| factor error when checked.
+    pub exact_error: f64,
+}
+
+/// Full Fig. 3 result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3Result {
+    /// Size-sweep points.
+    pub points: Vec<Fig3Point>,
+    /// Wire resistance used.
+    pub r_wire: f64,
+}
+
+impl Fig3Result {
+    /// Renders the figure as a text table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            format!(
+                "Fig. 3 — IR-drop degradation, all-LRS worst case (r_wire = {} ohm)",
+                self.r_wire
+            ),
+            &[
+                "rows",
+                "worst V factor",
+                "voltage skew",
+                "update-rate skew",
+                "beta mean",
+                "exact err",
+            ],
+        );
+        for p in &self.points {
+            t.add_row(&[
+                p.rows.to_string(),
+                fixed(p.worst_voltage_factor, 3),
+                fixed(p.voltage_skew, 3),
+                if p.update_rate_skew.is_finite() {
+                    fixed(p.update_rate_skew, 1)
+                } else {
+                    "inf".to_string()
+                },
+                fixed(p.beta_mean, 3),
+                if p.exact_checked {
+                    fixed(p.exact_error, 3)
+                } else {
+                    "-".to_string()
+                },
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Runs the experiment with the paper's r_wire = 2.5 Ω.
+pub fn run(scale: &Scale) -> Fig3Result {
+    run_with_wire(scale, 2.5)
+}
+
+/// Runs the experiment with an explicit wire resistance.
+///
+/// # Panics
+///
+/// Panics only on internal model errors (inputs are fixed valid values).
+pub fn run_with_wire(scale: &Scale, r_wire: f64) -> Fig3Result {
+    let device = DeviceParams::default();
+    let cols = 10;
+    let sizes: &[usize] = if scale.n_train >= 1000 {
+        &[16, 32, 64, 128, 256, 512, 784]
+    } else {
+        &[16, 32, 64, 128]
+    };
+    let mut points = Vec::with_capacity(sizes.len());
+    for &rows in sizes {
+        let g = Matrix::filled(rows, cols, device.g_on()); // all LRS
+        let map =
+            ProgramVoltageMap::analytic(&g, r_wire, device.v_program()).expect("valid params");
+        let (beta, d) = decompose_beta_d(&map);
+        let rate_profile = update_rate_profile(&map, &device, 0);
+        let (exact_checked, exact_error) = if rows <= 32 {
+            let na = NodalAnalysis::new(rows, cols, r_wire).expect("valid mesh");
+            let exact = ProgramVoltageMap::from_exact(&na, &g, device.v_program())
+                .expect("mesh solve");
+            let mut err = 0.0_f64;
+            for i in 0..rows {
+                for j in 0..cols {
+                    err = err.max((map.factor(i, j) - exact.factor(i, j)).abs());
+                }
+            }
+            (true, err)
+        } else {
+            (false, 0.0)
+        };
+        points.push(Fig3Point {
+            rows,
+            worst_voltage_factor: map.worst_factor(),
+            voltage_skew: skewness(&d),
+            update_rate_skew: skewness(&rate_profile),
+            beta_mean: beta.iter().sum::<f64>() / beta.len() as f64,
+            exact_checked,
+            exact_error,
+        });
+    }
+    Fig3Result { points, r_wire }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skew_grows_with_size() {
+        let r = run(&Scale::bench());
+        assert!(r.points.len() >= 4);
+        let first = r.points.first().unwrap();
+        let last = r.points.last().unwrap();
+        assert!(last.voltage_skew > first.voltage_skew);
+        assert!(last.worst_voltage_factor < first.worst_voltage_factor);
+        // Update-rate skew dominates voltage skew everywhere.
+        for p in &r.points {
+            assert!(
+                p.update_rate_skew >= p.voltage_skew - 1e-9,
+                "rows {}: rate skew {} < voltage skew {}",
+                p.rows,
+                p.update_rate_skew,
+                p.voltage_skew
+            );
+        }
+    }
+
+    #[test]
+    fn analytic_matches_exact_on_small_meshes() {
+        let r = run(&Scale::bench());
+        for p in r.points.iter().filter(|p| p.exact_checked) {
+            assert!(
+                p.exact_error < 0.12,
+                "rows {}: analytic vs exact error {}",
+                p.rows,
+                p.exact_error
+            );
+        }
+    }
+
+    #[test]
+    fn update_rate_skew_crosses_two_by_the_low_hundreds() {
+        // The paper's d₁₁/dₙₙ > 2 claim for n > 128 (all-LRS worst case).
+        let r = run(&Scale::bench());
+        let at_128 = r.points.iter().find(|p| p.rows == 128).unwrap();
+        assert!(
+            at_128.update_rate_skew > 2.0,
+            "update-rate skew at 128 rows: {}",
+            at_128.update_rate_skew
+        );
+    }
+
+    #[test]
+    fn render_works() {
+        let r = run(&Scale::bench());
+        assert!(r.render().contains("Fig. 3"));
+    }
+}

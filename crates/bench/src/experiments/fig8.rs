@@ -1,0 +1,147 @@
+//! Fig. 8 — ADC resolution vs test rate (§5.2).
+//!
+//! The pre-test ADC bounds how accurately AMP can estimate each device's
+//! variation, and therefore how well its mapping works. Sweeping 4–10
+//! bits at several σ: low resolution (4/5-bit) visibly limits the test
+//! rate; the curves saturate around 6 bits.
+
+use vortex_core::amp::sensitivity::mean_abs_inputs;
+use vortex_core::pipeline::HardwareEnv;
+use vortex_core::report::{pct, Table};
+use vortex_core::vortex::{amp_evaluate, AmpChipOptions};
+
+use super::common::Scale;
+
+/// One (bits, σ) measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig8Point {
+    /// Pre-test ADC resolution in bits.
+    pub bits: u32,
+    /// Device-variation σ.
+    pub sigma: f64,
+    /// Mean hardware test rate (VAT weights + AMP mapping).
+    pub test_rate: f64,
+}
+
+/// Full Fig. 8 result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8Result {
+    /// Points, grouped by σ then bits.
+    pub points: Vec<Fig8Point>,
+    /// σ values swept.
+    pub sigmas: Vec<f64>,
+    /// Bit range swept.
+    pub bits: Vec<u32>,
+}
+
+impl Fig8Result {
+    /// The test rate at a given (bits, σ), if measured.
+    pub fn at(&self, bits: u32, sigma: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.bits == bits && (p.sigma - sigma).abs() < 1e-12)
+            .map(|p| p.test_rate)
+    }
+
+    /// Renders the figure as a text table (one row per bit count).
+    pub fn render(&self) -> String {
+        let headers: Vec<String> = std::iter::once("ADC bits".to_string())
+            .chain(self.sigmas.iter().map(|s| format!("sigma={s}")))
+            .collect();
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut t = Table::new("Fig. 8 — pre-test ADC resolution vs test rate", &header_refs);
+        for &bits in &self.bits {
+            let mut row = vec![bits.to_string()];
+            for &sigma in &self.sigmas {
+                row.push(self.at(bits, sigma).map_or("-".into(), pct));
+            }
+            t.add_row(&row);
+        }
+        t.render()
+    }
+}
+
+/// Runs the experiment (γ fixed at 0.2 — the paper's post-AMP optimum —
+/// no redundancy, as §5.2 specifies).
+///
+/// # Panics
+///
+/// Panics only on internal configuration errors.
+pub fn run(scale: &Scale) -> Fig8Result {
+    let side = if scale.n_train >= 1000 { 28 } else { 14 };
+    let (train, test) = scale.dataset(side);
+    let mean_abs = mean_abs_inputs(&train);
+    let sigmas = vec![0.4, 0.6, 0.8];
+    let bits: Vec<u32> = (4..=10).collect();
+    let mut rng = scale.rng(8);
+    let mut points = Vec::new();
+    for &sigma in &sigmas {
+        let trainer = scale.vat().with_sigma(sigma).with_gamma(0.2);
+        let w = trainer.train(&train).expect("valid trainer");
+        let env = HardwareEnv::with_sigma(sigma).expect("valid sigma");
+        for &b in &bits {
+            let opts = AmpChipOptions {
+                pretest_bits: b,
+                ..AmpChipOptions::default()
+            };
+            let eval = amp_evaluate(
+                &w,
+                &mean_abs,
+                &opts,
+                &env,
+                &test,
+                scale.mc_draws,
+                &mut rng,
+            )
+            .expect("AMP evaluation");
+            points.push(Fig8Point {
+                bits: b,
+                sigma,
+                test_rate: eval.mean_test_rate,
+            });
+        }
+    }
+    Fig8Result {
+        points,
+        sigmas,
+        bits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturation_around_six_bits() {
+        let r = run(&Scale::bench());
+        for &sigma in &r.sigmas {
+            let at6 = r.at(6, sigma).unwrap();
+            let at10 = r.at(10, sigma).unwrap();
+            // Going past 6 bits buys little.
+            assert!(
+                at10 - at6 < 0.15,
+                "σ={sigma}: 6-bit {at6} vs 10-bit {at10} — should be near saturation"
+            );
+        }
+    }
+
+    #[test]
+    fn larger_sigma_lower_rate_at_fixed_bits() {
+        let r = run(&Scale::bench());
+        let low = r.at(8, 0.4).unwrap();
+        let high = r.at(8, 0.8).unwrap();
+        assert!(
+            high <= low + 0.1,
+            "σ=0.8 ({high}) should not beat σ=0.4 ({low}) by much"
+        );
+    }
+
+    #[test]
+    fn render_works() {
+        let r = run(&Scale::bench());
+        let s = r.render();
+        assert!(s.contains("Fig. 8"));
+        assert!(s.contains("sigma=0.6"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Table 1 — Vortex vs CLD at different crossbar sizes (§5.4).
+//!
+//! The benchmark is under-sampled from 28×28 to 14×14 and 7×7 (784 / 196
+//! / 49 crossbar rows). With wire resistance 2.5 Ω:
+//!
+//! * CLD **with** IR-drop collapses on the large crossbar (skewed update
+//!   rates leave most rows untrainable) and recovers as the array
+//!   shrinks;
+//! * Vortex **with** IR-drop stays near the CLD-without-IR-drop ceiling on
+//!   the large crossbar (open-loop pulse pre-calculation compensates
+//!   IR-drop) and loses only on the small, feature-starved benchmark;
+//! * CLD **without** IR-drop tracks the intrinsic difficulty of the
+//!   under-sampled images.
+
+use vortex_core::cld::CldTrainer;
+use vortex_core::pipeline::HardwareEnv;
+use vortex_core::report::{pct, Table};
+use vortex_core::tuning::SelfTuner;
+use vortex_core::vortex::{VortexConfig, VortexPipeline};
+use vortex_nn::metrics::Rates;
+
+use super::common::Scale;
+
+/// One crossbar-size column of the table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1Column {
+    /// Number of crossbar rows (784 / 196 / 49).
+    pub rows: usize,
+    /// CLD with IR-drop.
+    pub cld_with_irdrop: Rates,
+    /// Vortex with IR-drop.
+    pub vortex_with_irdrop: Rates,
+    /// CLD without IR-drop.
+    pub cld_without_irdrop: Rates,
+}
+
+/// Full Table 1 result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Result {
+    /// One entry per crossbar size, largest first.
+    pub columns: Vec<Table1Column>,
+    /// Wire resistance used for the IR-drop rows.
+    pub r_wire: f64,
+    /// Device-variation σ.
+    pub sigma: f64,
+}
+
+impl Table1Result {
+    /// Renders the table in the paper's layout.
+    pub fn render(&self) -> String {
+        let headers: Vec<String> = std::iter::once("scheme".to_string())
+            .chain(self.columns.iter().map(|c| format!("{} rows", c.rows)))
+            .collect();
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut t = Table::new(
+            format!(
+                "Table 1 — Vortex vs CLD at different sizes (r_wire = {} ohm, sigma = {})",
+                self.r_wire, self.sigma
+            ),
+            &header_refs,
+        );
+        let row = |label: &str, f: &dyn Fn(&Table1Column) -> f64| {
+            let mut cells = vec![label.to_string()];
+            cells.extend(self.columns.iter().map(|c| pct(f(c))));
+            cells
+        };
+        t.add_row(&row("test: CLD w/ IR-drop", &|c| c.cld_with_irdrop.test_rate));
+        t.add_row(&row("test: Vortex w/ IR-drop", &|c| {
+            c.vortex_with_irdrop.test_rate
+        }));
+        t.add_row(&row("test: CLD w/o IR-drop", &|c| {
+            c.cld_without_irdrop.test_rate
+        }));
+        t.add_row(&row("train: CLD w/ IR-drop", &|c| {
+            c.cld_with_irdrop.training_rate
+        }));
+        t.add_row(&row("train: Vortex w/ IR-drop", &|c| {
+            c.vortex_with_irdrop.training_rate
+        }));
+        t.add_row(&row("train: CLD w/o IR-drop", &|c| {
+            c.cld_without_irdrop.training_rate
+        }));
+        t.render()
+    }
+}
+
+/// Runs the experiment with the paper's r_wire = 2.5 Ω and σ = 0.6.
+pub fn run(scale: &Scale) -> Table1Result {
+    run_with(scale, 2.5, 0.6)
+}
+
+/// Runs the experiment with explicit wire resistance and σ.
+///
+/// # Panics
+///
+/// Panics only on internal configuration errors.
+pub fn run_with(scale: &Scale, r_wire: f64, sigma: f64) -> Table1Result {
+    let sides: &[usize] = if scale.n_train >= 1000 {
+        &[28, 14, 7]
+    } else {
+        &[14, 7]
+    };
+    let redundant = if scale.n_train >= 1000 { 100 } else { 20 };
+    let mut columns = Vec::with_capacity(sides.len());
+    for &side in sides {
+        let (train, test) = scale.dataset(side);
+        let mut rng = scale.rng(100 + side as u64);
+
+        let env_var = HardwareEnv::with_sigma(sigma).expect("valid sigma");
+        let env_irdrop = env_var.with_ir_drop(r_wire);
+        // Vortex compensates programming IR-drop (an OLD-family strength).
+        let mut env_vortex = env_irdrop;
+        env_vortex.compensate_program_irdrop = true;
+
+        let cld = CldTrainer {
+            epochs: scale.epochs.max(12),
+            mc_draws: scale.mc_draws,
+            ..CldTrainer::default()
+        };
+        // The paper's Table 1 assumes the pessimistic all-LRS loading for
+        // the IR-drop profile (§3.2's worst case) — that is what collapses
+        // CLD on the 784-row crossbar.
+        let cld_with = CldTrainer {
+            model_irdrop: true,
+            worst_case_irdrop_profile: true,
+            ..cld
+        };
+        let cld_with_irdrop = cld_with
+            .run(&train, &test, &env_irdrop, &mut rng)
+            .expect("CLD w/ IR-drop")
+            .rates;
+        let cld_without_irdrop = cld
+            .run(&train, &test, &env_var, &mut rng)
+            .expect("CLD w/o IR-drop")
+            .rates;
+
+        let vortex_cfg = VortexConfig {
+            vat: scale.vat(),
+            tuner: SelfTuner {
+                gamma_grid: scale.gamma_grid(),
+                mc_draws: scale.mc_draws.max(3),
+                ..SelfTuner::default()
+            },
+            redundant_rows: redundant,
+            mc_draws: scale.mc_draws,
+            ..VortexConfig::default()
+        };
+        let vortex_with_irdrop = VortexPipeline::new(vortex_cfg)
+            .run(&train, &test, &env_vortex, &mut rng)
+            .expect("Vortex w/ IR-drop")
+            .rates;
+
+        columns.push(Table1Column {
+            rows: side * side,
+            cld_with_irdrop,
+            vortex_with_irdrop,
+            cld_without_irdrop,
+        });
+    }
+    Table1Result {
+        columns,
+        r_wire,
+        sigma,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ir_drop_does_not_help_cld() {
+        let r = run_with(&Scale::bench(), 10.0, 0.6);
+        for c in &r.columns {
+            assert!(
+                c.cld_with_irdrop.test_rate <= c.cld_without_irdrop.test_rate + 0.08,
+                "{} rows: w/ {} vs w/o {}",
+                c.rows,
+                c.cld_with_irdrop.test_rate,
+                c.cld_without_irdrop.test_rate
+            );
+        }
+    }
+
+    #[test]
+    fn render_works() {
+        let r = run_with(&Scale::bench(), 2.5, 0.6);
+        let s = r.render();
+        assert!(s.contains("Table 1"));
+        assert!(s.contains("Vortex w/ IR-drop"));
+        assert!(s.contains("196 rows"));
+    }
+}

@@ -1,0 +1,25 @@
+//! Experiment harness regenerating every table and figure of the Vortex
+//! paper (DAC 2015).
+//!
+//! Each module under [`experiments`] implements one figure/table as a
+//! pure function from an [`experiments::common::Scale`] to a structured
+//! result with a text renderer. The `experiments` binary drives them from
+//! the command line; the Criterion benches time reduced-scale versions;
+//! the workspace integration tests assert the qualitative shapes.
+//!
+//! | Paper artifact | Module |
+//! |---|---|
+//! | Fig. 1 (device preliminaries) | [`experiments::fig1`] |
+//! | Fig. 2 (column training vs σ) | [`experiments::fig2`] |
+//! | Fig. 3 (IR-drop decomposition) | [`experiments::fig3`] |
+//! | Fig. 4 (γ tradeoff) | [`experiments::fig4`] |
+//! | Fig. 7 (AMP effectiveness) | [`experiments::fig7`] |
+//! | Fig. 8 (ADC resolution) | [`experiments::fig8`] |
+//! | Fig. 9 (design redundancy) | [`experiments::fig9`] |
+//! | Table 1 (crossbar sizes) | [`experiments::table1`] |
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::common::Scale;

@@ -1,0 +1,56 @@
+//! End-to-end test of the `experiments` command-line harness: the binary
+//! must run each artifact at `--bench` scale and print a well-formed
+//! table.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn fig2_at_bench_scale_prints_a_table() {
+    let (stdout, _, ok) = run(&["fig2", "--bench"]);
+    assert!(ok);
+    assert!(stdout.contains("Fig. 2"));
+    assert!(stdout.contains("sigma"));
+    assert!(stdout.contains("fig2 finished"));
+    // Nine σ rows between header and footer.
+    let rows = stdout
+        .lines()
+        .filter(|l| l.trim_start().starts_with("0."))
+        .count();
+    assert_eq!(rows, 9);
+}
+
+#[test]
+fn fig3_at_bench_scale_prints_a_table() {
+    let (stdout, _, ok) = run(&["fig3", "--bench"]);
+    assert!(ok);
+    assert!(stdout.contains("Fig. 3"));
+    assert!(stdout.contains("update-rate skew"));
+}
+
+#[test]
+fn unknown_experiment_fails_with_usage() {
+    let (_, stderr, ok) = run(&["figX", "--bench"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+    assert!(stderr.contains("figX"));
+}
+
+#[test]
+fn multiple_experiments_in_one_invocation() {
+    let (stdout, _, ok) = run(&["fig2", "fig3", "--bench"]);
+    assert!(ok);
+    assert!(stdout.contains("Fig. 2"));
+    assert!(stdout.contains("Fig. 3"));
+}

@@ -1,0 +1,287 @@
+//! The greedy mapping algorithm — Algorithm 1 of the paper.
+//!
+//! Weight rows are visited in order of decreasing variation sensitivity;
+//! each takes the still-unassigned physical row with the smallest SWV
+//! against it. With `M > m` physical rows (redundancy), the `M − m` worst
+//! rows are simply never used.
+
+use serde::{Deserialize, Serialize};
+use vortex_linalg::Matrix;
+
+use crate::{CoreError, Result};
+
+/// A logical-row → physical-row assignment.
+///
+/// `assignment[p]` is the physical crossbar row that carries logical
+/// weight row `p`. Physical rows not assigned to any weight row stay at
+/// HRS and receive zero input.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RowMapping {
+    assignment: Vec<usize>,
+    physical_rows: usize,
+}
+
+impl RowMapping {
+    /// The identity mapping on `n` rows (no redundancy, no remapping).
+    pub fn identity(n: usize) -> Self {
+        Self {
+            assignment: (0..n).collect(),
+            physical_rows: n,
+        }
+    }
+
+    /// Identity assignment of `n` logical rows into the first `n` of
+    /// `physical_rows` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `physical_rows < n`.
+    pub fn identity_into(n: usize, physical_rows: usize) -> Self {
+        assert!(physical_rows >= n, "need at least {n} physical rows");
+        Self {
+            assignment: (0..n).collect(),
+            physical_rows,
+        }
+    }
+
+    /// Builds a mapping from an explicit assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if the assignment is not
+    /// injective or exceeds `physical_rows`.
+    pub fn from_assignment(assignment: Vec<usize>, physical_rows: usize) -> Result<Self> {
+        let mut seen = vec![false; physical_rows];
+        for &q in &assignment {
+            if q >= physical_rows {
+                return Err(CoreError::InvalidParameter {
+                    name: "assignment",
+                    requirement: "all physical rows must be in range",
+                });
+            }
+            if seen[q] {
+                return Err(CoreError::InvalidParameter {
+                    name: "assignment",
+                    requirement: "physical rows must be assigned at most once",
+                });
+            }
+            seen[q] = true;
+        }
+        Ok(Self {
+            assignment,
+            physical_rows,
+        })
+    }
+
+    /// Number of logical (weight) rows.
+    pub fn logical_rows(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of physical (crossbar) rows.
+    pub fn physical_rows(&self) -> usize {
+        self.physical_rows
+    }
+
+    /// Redundant rows (`physical − logical`).
+    pub fn redundant_rows(&self) -> usize {
+        self.physical_rows - self.assignment.len()
+    }
+
+    /// The physical row carrying logical row `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn physical_row(&self, p: usize) -> usize {
+        self.assignment[p]
+    }
+
+    /// The full assignment slice.
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Expands a logical `m × c` matrix into the physical `M × c` layout;
+    /// unassigned physical rows are filled with `fill`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical.rows() != logical_rows()`.
+    pub fn apply_to_rows(&self, logical: &Matrix, fill: f64) -> Matrix {
+        assert_eq!(
+            logical.rows(),
+            self.logical_rows(),
+            "apply_to_rows: row mismatch"
+        );
+        let mut out = Matrix::filled(self.physical_rows, logical.cols(), fill);
+        for (p, &q) in self.assignment.iter().enumerate() {
+            out.row_mut(q).copy_from_slice(logical.row(p));
+        }
+        out
+    }
+
+    /// Routes a logical input vector onto the physical rows (unassigned
+    /// rows receive zero drive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != logical_rows()`.
+    pub fn route_input(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.logical_rows(), "route_input: length mismatch");
+        let mut out = vec![0.0; self.physical_rows];
+        for (p, &q) in self.assignment.iter().enumerate() {
+            out[q] = x[p];
+        }
+        out
+    }
+}
+
+/// Algorithm 1: greedy sensitivity-ordered minimum-SWV assignment.
+///
+/// * `sensitivity[p]` — damage potential of logical row `p` (Eq. (11)).
+/// * `swv[(p, q)]` — cost of putting logical row `p` on physical row `q`
+///   (Eq. (12)); shape `m × M` with `M ≥ m`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] if dimensions disagree or
+/// there are fewer physical than logical rows.
+pub fn greedy_map(sensitivity: &[f64], swv: &Matrix) -> Result<RowMapping> {
+    let m = swv.rows();
+    let big_m = swv.cols();
+    if sensitivity.len() != m {
+        return Err(CoreError::InvalidParameter {
+            name: "sensitivity",
+            requirement: "length must match the SWV row count",
+        });
+    }
+    if big_m < m {
+        return Err(CoreError::InvalidParameter {
+            name: "swv",
+            requirement: "needs at least as many physical as logical rows",
+        });
+    }
+    // Visit logical rows by decreasing sensitivity (ties by index for
+    // determinism).
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| {
+        sensitivity[b]
+            .partial_cmp(&sensitivity[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+
+    let mut taken = vec![false; big_m];
+    let mut assignment = vec![usize::MAX; m];
+    for &p in &order {
+        let mut best_q = usize::MAX;
+        let mut best_cost = f64::INFINITY;
+        for q in 0..big_m {
+            if taken[q] {
+                continue;
+            }
+            let cost = swv[(p, q)];
+            if cost < best_cost {
+                best_cost = cost;
+                best_q = q;
+            }
+        }
+        debug_assert!(best_q != usize::MAX);
+        taken[best_q] = true;
+        assignment[p] = best_q;
+    }
+    RowMapping::from_assignment(assignment, big_m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_mapping_basics() {
+        let m = RowMapping::identity(4);
+        assert_eq!(m.logical_rows(), 4);
+        assert_eq!(m.physical_rows(), 4);
+        assert_eq!(m.redundant_rows(), 0);
+        assert_eq!(m.physical_row(2), 2);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(m.route_input(&x), x.to_vec());
+    }
+
+    #[test]
+    fn from_assignment_validates() {
+        assert!(RowMapping::from_assignment(vec![0, 0], 3).is_err());
+        assert!(RowMapping::from_assignment(vec![0, 5], 3).is_err());
+        assert!(RowMapping::from_assignment(vec![2, 0], 3).is_ok());
+    }
+
+    #[test]
+    fn apply_to_rows_permutes_and_fills() {
+        let mapping = RowMapping::from_assignment(vec![2, 0], 3).unwrap();
+        let logical = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0]]);
+        let physical = mapping.apply_to_rows(&logical, -9.0);
+        assert_eq!(physical.row(2), &[1.0, 1.0]); // logical 0 → physical 2
+        assert_eq!(physical.row(0), &[2.0, 2.0]); // logical 1 → physical 0
+        assert_eq!(physical.row(1), &[-9.0, -9.0]); // unused
+    }
+
+    #[test]
+    fn route_input_is_consistent_with_apply() {
+        // The permutation invariance: x_logical·W_logical =
+        // x_physical·W_physical.
+        let mapping = RowMapping::from_assignment(vec![3, 1, 0], 4).unwrap();
+        let w = Matrix::from_fn(3, 2, |i, j| (i * 2 + j) as f64 + 1.0);
+        let x = [0.5, -1.0, 2.0];
+        let y_logical = w.vecmat(&x);
+        let w_phys = mapping.apply_to_rows(&w, 0.0);
+        let x_phys = mapping.route_input(&x);
+        let y_physical = w_phys.vecmat(&x_phys);
+        for (a, b) in y_logical.iter().zip(&y_physical) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn greedy_assigns_best_row_to_most_sensitive() {
+        // Logical row 1 is most sensitive; physical row 2 is cleanest.
+        let sensitivity = [1.0, 10.0];
+        let swv = Matrix::from_rows(&[
+            vec![0.5, 0.4, 0.3], // costs for logical 0
+            vec![0.9, 0.8, 0.1], // costs for logical 1
+        ]);
+        let mapping = greedy_map(&sensitivity, &swv).unwrap();
+        assert_eq!(mapping.physical_row(1), 2); // sensitive row got the best
+        assert_eq!(mapping.physical_row(0), 1); // next best remaining
+        assert_eq!(mapping.redundant_rows(), 1); // row 0 unused
+    }
+
+    #[test]
+    fn greedy_requires_enough_physical_rows() {
+        let swv = Matrix::zeros(3, 2);
+        assert!(greedy_map(&[1.0, 2.0, 3.0], &swv).is_err());
+        let swv = Matrix::zeros(2, 2);
+        assert!(greedy_map(&[1.0], &swv).is_err());
+    }
+
+    #[test]
+    fn greedy_is_deterministic_under_ties() {
+        let swv = Matrix::filled(3, 3, 1.0);
+        let a = greedy_map(&[1.0, 1.0, 1.0], &swv).unwrap();
+        let b = greedy_map(&[1.0, 1.0, 1.0], &swv).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn greedy_avoids_defective_rows_given_redundancy() {
+        // Physical row 1 is catastrophically bad (e.g. stuck cell): with
+        // one redundant row it must remain unused.
+        let sensitivity = [1.0, 2.0];
+        let swv = Matrix::from_rows(&[
+            vec![0.2, 100.0, 0.3],
+            vec![0.1, 100.0, 0.2],
+        ]);
+        let mapping = greedy_map(&sensitivity, &swv).unwrap();
+        assert!(!mapping.assignment().contains(&1), "defective row used");
+    }
+}

@@ -1,0 +1,174 @@
+//! Adaptive Mapping (AMP) — §4.2 of the paper.
+//!
+//! AMP is a hardware-side mitigation: after fabrication, pre-test every
+//! device ([`vortex_xbar::pretest`]), rank weight rows by how much damage
+//! their devices' variation can do ([`sensitivity`], Eq. (11)), then
+//! greedily assign the most damage-prone weight rows to the physical rows
+//! whose measured variation hurts them least ([`swv`], Eq. (12);
+//! [`greedy`], Algorithm 1). Redundant rows and stuck-at defects are
+//! handled by the same machinery ([`redundancy`]).
+
+pub mod greedy;
+pub mod redundancy;
+pub mod sensitivity;
+pub mod swv;
+
+use vortex_linalg::Matrix;
+
+use crate::{CoreError, Result};
+use greedy::{greedy_map, RowMapping};
+
+/// The output of AMP planning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AmpPlan {
+    /// Weight-row → physical-row assignment.
+    pub mapping: RowMapping,
+    /// Residual effective variation (weighted log-std of the multipliers
+    /// actually assigned to the weights) — the σ the VAT/AMP integration
+    /// (§4.3) re-tunes against.
+    pub effective_sigma: f64,
+}
+
+/// Plans an adaptive mapping for a differential pair.
+///
+/// * `weights` — the trained logical weight matrix (`m × c`).
+/// * `mult_pos` / `mult_neg` — pre-tested conductance multipliers
+///   (`e^θ̂`) of the positive and negative crossbars (`M × c`, `M ≥ m`).
+/// * `mean_abs_input` — per-row mean |input| used by the sensitivity
+///   ranking.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] on shape mismatches or
+/// insufficient physical rows.
+pub fn plan(
+    weights: &Matrix,
+    mult_pos: &Matrix,
+    mult_neg: &Matrix,
+    mean_abs_input: &[f64],
+) -> Result<AmpPlan> {
+    if mult_pos.shape() != mult_neg.shape() {
+        return Err(CoreError::InvalidParameter {
+            name: "multipliers",
+            requirement: "positive and negative maps must have equal shapes",
+        });
+    }
+    if mult_pos.cols() != weights.cols() {
+        return Err(CoreError::InvalidParameter {
+            name: "multipliers",
+            requirement: "column count must match the weight matrix",
+        });
+    }
+    if mean_abs_input.len() != weights.rows() {
+        return Err(CoreError::InvalidParameter {
+            name: "mean_abs_input",
+            requirement: "length must match the weight-matrix row count",
+        });
+    }
+    let sens = sensitivity::row_sensitivity(weights, mean_abs_input);
+    let swv = swv::swv_matrix_pair(weights, mult_pos, mult_neg)?;
+    let mapping = greedy_map(&sens, &swv)?;
+    let effective_sigma = effective_sigma(weights, mult_pos, mult_neg, &mapping);
+    Ok(AmpPlan {
+        mapping,
+        effective_sigma,
+    })
+}
+
+/// Weighted residual variation after mapping: the |w|-weighted RMS of the
+/// assigned cells' log-multipliers.
+pub fn effective_sigma(
+    weights: &Matrix,
+    mult_pos: &Matrix,
+    mult_neg: &Matrix,
+    mapping: &RowMapping,
+) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for p in 0..weights.rows() {
+        let q = mapping.physical_row(p);
+        for j in 0..weights.cols() {
+            let w = weights[(p, j)];
+            let mult = if w >= 0.0 {
+                mult_pos[(q, j)]
+            } else {
+                mult_neg[(q, j)]
+            };
+            let theta = mult.max(1e-12).ln();
+            let weight = w.abs();
+            num += weight * theta * theta;
+            den += weight;
+        }
+    }
+    if den > 0.0 {
+        (num / den).sqrt()
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vortex_linalg::rng::Xoshiro256PlusPlus;
+
+    fn multipliers(rows: usize, cols: usize, sigma: f64, seed: u64) -> Matrix {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        Matrix::from_fn(rows, cols, |_, _| {
+            (vortex_linalg::distributions::standard_normal(&mut rng) * sigma).exp()
+        })
+    }
+
+    #[test]
+    fn plan_shapes_and_validity() {
+        let w = Matrix::from_fn(6, 3, |i, j| (i as f64 - 2.5) * 0.2 + j as f64 * 0.1);
+        let mp = multipliers(8, 3, 0.5, 1);
+        let mn = multipliers(8, 3, 0.5, 2);
+        let x_bar = vec![0.5; 6];
+        let plan = plan(&w, &mp, &mn, &x_bar).unwrap();
+        assert_eq!(plan.mapping.logical_rows(), 6);
+        assert_eq!(plan.mapping.physical_rows(), 8);
+        assert!(plan.effective_sigma >= 0.0);
+    }
+
+    #[test]
+    fn plan_validates_shapes() {
+        let w = Matrix::zeros(6, 3);
+        let mp = multipliers(8, 3, 0.5, 1);
+        let mn = multipliers(7, 3, 0.5, 2);
+        assert!(plan(&w, &mp, &mn, &[0.5; 6]).is_err());
+        let mn = multipliers(8, 4, 0.5, 2);
+        assert!(plan(&w, &mp, &mn, &[0.5; 6]).is_err());
+        let mn = multipliers(8, 3, 0.5, 2);
+        assert!(plan(&w, &mp, &mn, &[0.5; 5]).is_err());
+    }
+
+    #[test]
+    fn mapping_reduces_effective_sigma_vs_identity() {
+        // With redundancy, the greedy mapping should leave less weighted
+        // variation on the weights than the identity mapping.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(33);
+        let w = Matrix::from_fn(10, 4, |_, _| {
+            vortex_linalg::distributions::standard_normal(&mut rng)
+        });
+        let mp = multipliers(16, 4, 0.8, 4);
+        let mn = multipliers(16, 4, 0.8, 5);
+        let x_bar = vec![0.5; 10];
+        let planned = plan(&w, &mp, &mn, &x_bar).unwrap();
+        let identity_sigma = effective_sigma(&w, &mp, &mn, &RowMapping::identity_into(10, 16));
+        assert!(
+            planned.effective_sigma < identity_sigma,
+            "planned {} identity {}",
+            planned.effective_sigma,
+            identity_sigma
+        );
+    }
+
+    #[test]
+    fn effective_sigma_zero_for_unit_multipliers() {
+        let w = Matrix::filled(4, 2, 1.0);
+        let ones = Matrix::filled(4, 2, 1.0);
+        let s = effective_sigma(&w, &ones, &ones, &RowMapping::identity(4));
+        assert!(s.abs() < 1e-9);
+    }
+}

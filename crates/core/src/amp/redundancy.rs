@@ -1,0 +1,115 @@
+//! Redundant-row and defect handling for AMP — §4.2.2 / §5.3 of the
+//! paper.
+//!
+//! With `p` extra physical rows, the greedy mapping can leave the worst
+//! `p` rows unused entirely. Defective (stuck-at) cells are detected by
+//! pre-testing as extreme multiplier estimates and can be excluded
+//! explicitly by inflating their rows' SWV.
+
+use vortex_linalg::Matrix;
+
+use crate::{CoreError, Result};
+
+/// Inflates the SWV of the given physical rows to infinity so the greedy
+/// mapper will avoid them whenever redundancy allows.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] if any row index is out of
+/// range.
+pub fn exclude_physical_rows(swv: &Matrix, rows: &[usize]) -> Result<Matrix> {
+    let mut out = swv.clone();
+    for &q in rows {
+        if q >= swv.cols() {
+            return Err(CoreError::InvalidParameter {
+                name: "rows",
+                requirement: "physical row indices must be in range",
+            });
+        }
+        for p in 0..swv.rows() {
+            out[(p, q)] = f64::INFINITY;
+        }
+    }
+    Ok(out)
+}
+
+/// Physical rows whose estimated multipliers look defective: any cell's
+/// `|ln(multiplier)|` beyond `theta_threshold` marks the row.
+///
+/// Pre-testing maps a stuck-at-HRS cell to a very small multiplier and a
+/// stuck-at-LRS cell to a very large one, so both failure modes land here
+/// (§4.2.2: "defective cells can be detected as memristors with large
+/// variations").
+pub fn defective_rows(multipliers: &Matrix, theta_threshold: f64) -> Vec<usize> {
+    (0..multipliers.rows())
+        .filter(|&q| {
+            (0..multipliers.cols())
+                .any(|j| multipliers[(q, j)].max(1e-300).ln().abs() > theta_threshold)
+        })
+        .collect()
+}
+
+/// Combined helper: physical rows flagged defective in *either* crossbar
+/// of a differential pair.
+pub fn defective_rows_pair(
+    mult_pos: &Matrix,
+    mult_neg: &Matrix,
+    theta_threshold: f64,
+) -> Vec<usize> {
+    let mut rows = defective_rows(mult_pos, theta_threshold);
+    for q in defective_rows(mult_neg, theta_threshold) {
+        if !rows.contains(&q) {
+            rows.push(q);
+        }
+    }
+    rows.sort_unstable();
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amp::greedy::greedy_map;
+
+    #[test]
+    fn exclusion_inflates_columns() {
+        let swv = Matrix::filled(2, 3, 1.0);
+        let out = exclude_physical_rows(&swv, &[1]).unwrap();
+        assert_eq!(out[(0, 0)], 1.0);
+        assert!(out[(0, 1)].is_infinite());
+        assert!(out[(1, 1)].is_infinite());
+        assert!(exclude_physical_rows(&swv, &[7]).is_err());
+    }
+
+    #[test]
+    fn excluded_rows_are_avoided_by_greedy() {
+        let swv = Matrix::filled(2, 3, 1.0);
+        let out = exclude_physical_rows(&swv, &[0]).unwrap();
+        let mapping = greedy_map(&[1.0, 1.0], &out).unwrap();
+        assert!(!mapping.assignment().contains(&0));
+    }
+
+    #[test]
+    fn defective_rows_detects_extremes() {
+        // Row 1 has a stuck-LRS-looking cell (multiplier 20 → θ̂ ≈ 3);
+        // row 2 has a stuck-HRS-looking cell (multiplier 0.01 → θ̂ ≈ −4.6).
+        let m = Matrix::from_rows(&[
+            vec![1.1, 0.9],
+            vec![20.0, 1.0],
+            vec![1.0, 0.01],
+            vec![0.8, 1.2],
+        ]);
+        let rows = defective_rows(&m, 2.0);
+        assert_eq!(rows, vec![1, 2]);
+        // Stricter threshold catches nothing.
+        assert!(defective_rows(&m, 5.0).is_empty());
+    }
+
+    #[test]
+    fn pair_union_is_sorted_and_deduplicated() {
+        let a = Matrix::from_rows(&[vec![10.0], vec![1.0], vec![1.0]]);
+        let b = Matrix::from_rows(&[vec![10.0], vec![1.0], vec![0.01]]);
+        let rows = defective_rows_pair(&a, &b, 2.0);
+        assert_eq!(rows, vec![0, 2]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Summed Weighted Variation (SWV) — Eq. (12) of the paper.
+//!
+//! `SWV_pq = Σ_j |w_pj · (1 − e^{θ_qj})|` measures the output error
+//! incurred by mapping logical weight row `p` onto physical crossbar row
+//! `q`, given the pre-tested per-device multipliers `e^{θ̂}`.
+
+use vortex_linalg::Matrix;
+
+use crate::{CoreError, Result};
+
+/// SWV of one (weight row, physical row) pairing for a single crossbar.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn swv_row(weight_row: &[f64], multiplier_row: &[f64]) -> f64 {
+    assert_eq!(
+        weight_row.len(),
+        multiplier_row.len(),
+        "swv: length mismatch"
+    );
+    weight_row
+        .iter()
+        .zip(multiplier_row)
+        .map(|(&w, &m)| (w * (1.0 - m)).abs())
+        .sum()
+}
+
+/// SWV of one pairing for a differential pair: the positive part of the
+/// weight row lands on the positive crossbar's devices, the negative part
+/// on the negative crossbar's.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn swv_row_pair(weight_row: &[f64], mult_pos_row: &[f64], mult_neg_row: &[f64]) -> f64 {
+    assert_eq!(weight_row.len(), mult_pos_row.len(), "swv: length mismatch");
+    assert_eq!(weight_row.len(), mult_neg_row.len(), "swv: length mismatch");
+    weight_row
+        .iter()
+        .zip(mult_pos_row.iter().zip(mult_neg_row))
+        .map(|(&w, (&mp, &mn))| {
+            if w >= 0.0 {
+                (w * (1.0 - mp)).abs()
+            } else {
+                (w * (1.0 - mn)).abs()
+            }
+        })
+        .sum()
+}
+
+/// Full SWV matrix (`logical m × physical M`) for a single crossbar.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] if column counts disagree.
+pub fn swv_matrix(weights: &Matrix, multipliers: &Matrix) -> Result<Matrix> {
+    if weights.cols() != multipliers.cols() {
+        return Err(CoreError::InvalidParameter {
+            name: "multipliers",
+            requirement: "column count must match the weight matrix",
+        });
+    }
+    Ok(Matrix::from_fn(
+        weights.rows(),
+        multipliers.rows(),
+        |p, q| swv_row(weights.row(p), multipliers.row(q)),
+    ))
+}
+
+/// Full SWV matrix for a differential pair.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] if shapes disagree.
+pub fn swv_matrix_pair(
+    weights: &Matrix,
+    mult_pos: &Matrix,
+    mult_neg: &Matrix,
+) -> Result<Matrix> {
+    if weights.cols() != mult_pos.cols() || mult_pos.shape() != mult_neg.shape() {
+        return Err(CoreError::InvalidParameter {
+            name: "multipliers",
+            requirement: "shapes must agree with the weight matrix",
+        });
+    }
+    Ok(Matrix::from_fn(weights.rows(), mult_pos.rows(), |p, q| {
+        swv_row_pair(weights.row(p), mult_pos.row(q), mult_neg.row(q))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swv_zero_for_perfect_devices() {
+        assert_eq!(swv_row(&[1.0, -2.0, 0.5], &[1.0, 1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn swv_known_value() {
+        // |2·(1−1.5)| + |−1·(1−0.5)| = 1.0 + 0.5.
+        let v = swv_row(&[2.0, -1.0], &[1.5, 0.5]);
+        assert!((v - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swv_scales_with_weight_magnitude() {
+        let m = [1.3, 0.8];
+        assert!(swv_row(&[2.0, 2.0], &m) > swv_row(&[0.2, 0.2], &m));
+    }
+
+    #[test]
+    fn pair_swv_picks_signed_device() {
+        // Positive weight uses the positive crossbar's multiplier.
+        let v = swv_row_pair(&[1.0], &[2.0], &[1.0]);
+        assert!((v - 1.0).abs() < 1e-12); // |1·(1−2)| = 1
+        // Negative weight uses the negative crossbar's multiplier.
+        let v = swv_row_pair(&[-1.0], &[2.0], &[1.0]);
+        assert_eq!(v, 0.0); // |−1·(1−1)| = 0
+    }
+
+    #[test]
+    fn matrix_forms_match_row_forms() {
+        let w = Matrix::from_rows(&[vec![1.0, -1.0], vec![0.5, 2.0]]);
+        let mult = Matrix::from_rows(&[vec![1.2, 0.9], vec![0.7, 1.1], vec![1.0, 1.0]]);
+        let m = swv_matrix(&w, &mult).unwrap();
+        assert_eq!(m.shape(), (2, 3));
+        for p in 0..2 {
+            for q in 0..3 {
+                assert!((m[(p, q)] - swv_row(w.row(p), mult.row(q))).abs() < 1e-12);
+            }
+        }
+        // Perfect physical row scores zero for every weight row.
+        assert_eq!(m[(0, 2)], 0.0);
+        assert_eq!(m[(1, 2)], 0.0);
+    }
+
+    #[test]
+    fn shape_validation() {
+        let w = Matrix::zeros(2, 3);
+        let m = Matrix::zeros(4, 2);
+        assert!(swv_matrix(&w, &m).is_err());
+        let mp = Matrix::zeros(4, 3);
+        let mn = Matrix::zeros(5, 3);
+        assert!(swv_matrix_pair(&w, &mp, &mn).is_err());
+    }
+}

@@ -1,0 +1,276 @@
+//! The single-column current-matching experiment of Fig. 2 / §3.1.
+//!
+//! A column of `n` memristors is trained so that with every input wire at
+//! 1 V the column outputs a target current (1 mA for the paper's 100
+//! devices at nominal 10 kΩ … 1 MΩ). OLD pre-calculates one conductance
+//! target per device and programs blind; CLD senses the output current and
+//! iterates. The reported statistic is the relative discrepancy
+//! `|I − I_target| / I_target` over Monte-Carlo variation draws.
+
+use serde::{Deserialize, Serialize};
+use vortex_linalg::rng::Xoshiro256PlusPlus;
+use vortex_device::{DeviceParams, VariationModel};
+use vortex_xbar::sensing::Adc;
+
+use crate::{CoreError, Result};
+
+/// Configuration of the column experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ColumnExperiment {
+    /// Number of memristors in the column (100 in the paper).
+    pub n: usize,
+    /// Input voltage on every wire (1 V in the paper).
+    pub v_in: f64,
+    /// Target output current in amperes (1 mA in the paper).
+    pub i_target: f64,
+    /// Device corner.
+    pub device: DeviceParams,
+    /// CLD iteration budget.
+    pub max_iterations: usize,
+    /// CLD sensing ADC (None = ideal sensing).
+    pub sense_bits: Option<u32>,
+}
+
+impl Default for ColumnExperiment {
+    fn default() -> Self {
+        Self {
+            n: 100,
+            v_in: 1.0,
+            i_target: 1e-3,
+            device: DeviceParams::default(),
+            max_iterations: 100,
+            sense_bits: Some(8),
+        }
+    }
+}
+
+impl ColumnExperiment {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for degenerate settings.
+    pub fn validate(&self) -> Result<()> {
+        if self.n == 0 || self.max_iterations == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "n/max_iterations",
+                requirement: "must be positive",
+            });
+        }
+        if !(self.v_in > 0.0 && self.i_target > 0.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "v_in/i_target",
+                requirement: "must be positive",
+            });
+        }
+        // The per-device conductance must be representable.
+        let g_each = self.i_target / (self.v_in * self.n as f64);
+        if g_each < self.device.g_off() || g_each > self.device.g_on() {
+            return Err(CoreError::InvalidParameter {
+                name: "i_target",
+                requirement: "per-device conductance must lie within the device window",
+            });
+        }
+        Ok(())
+    }
+
+    /// Relative output discrepancy of one OLD-trained column.
+    ///
+    /// OLD splits the target current uniformly: each device is programmed
+    /// (blind) to `g = I/(V·n)` and realizes `g·e^θ`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors.
+    pub fn old_discrepancy(
+        &self,
+        variation: &VariationModel,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> Result<f64> {
+        self.validate()?;
+        let g_each = self.i_target / (self.v_in * self.n as f64);
+        let mut current = 0.0;
+        for _ in 0..self.n {
+            let theta = variation.sample_theta(rng);
+            let eps = variation.sample_switching(rng);
+            current += self.v_in * VariationModel::apply(g_each, theta + eps);
+        }
+        Ok((current - self.i_target).abs() / self.i_target)
+    }
+
+    /// Relative output discrepancy of one CLD-trained column.
+    ///
+    /// CLD iterates: sense the (quantized) output current, spread the
+    /// error over the devices as conductance corrections, apply each
+    /// correction through the device's own `e^θ` (the closed loop senses
+    /// the *outcome*, so the iteration converges regardless), stop when
+    /// the sensed output matches the target or the budget runs out.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors.
+    pub fn cld_discrepancy(
+        &self,
+        variation: &VariationModel,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> Result<f64> {
+        self.validate()?;
+        let g_each = self.i_target / (self.v_in * self.n as f64);
+        let adc = match self.sense_bits {
+            Some(bits) => Some(
+                Adc::new(bits, 2.0 * self.i_target).map_err(CoreError::Xbar)?,
+            ),
+            None => None,
+        };
+        // Fabrication: per-device multiplicative realization.
+        let multipliers: Vec<f64> = (0..self.n)
+            .map(|_| variation.sample_theta(rng).exp())
+            .collect();
+        // Start from a blind OLD-style programming.
+        let mut g_nominal = vec![g_each; self.n];
+        let realized =
+            |g_nom: &[f64]| -> f64 {
+                g_nom
+                    .iter()
+                    .zip(&multipliers)
+                    .map(|(&g, &m)| {
+                        self.v_in * (g * m).clamp(self.device.g_off(), self.device.g_on())
+                    })
+                    .sum()
+            };
+        for _ in 0..self.max_iterations {
+            let current = realized(&g_nominal);
+            let sensed = match &adc {
+                Some(adc) => adc.quantize(current),
+                None => current,
+            };
+            let err = self.i_target - sensed;
+            if err.abs() < 1e-12 {
+                break;
+            }
+            // Spread the correction uniformly over the devices (in
+            // *intended* conductance; each device realizes its own e^θ).
+            let dg = err / (self.v_in * self.n as f64);
+            for g in &mut g_nominal {
+                *g = (*g + dg).max(0.0);
+            }
+        }
+        let final_current = realized(&g_nominal);
+        Ok((final_current - self.i_target).abs() / self.i_target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::seed_from_u64(2015)
+    }
+
+    #[test]
+    fn validation() {
+        let c = ColumnExperiment {
+            n: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ColumnExperiment {
+            i_target: -1.0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        // 1 A from 100 devices at ≤ 100 µS each is impossible.
+        let c = ColumnExperiment {
+            i_target: 1.0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        assert!(ColumnExperiment::default().validate().is_ok());
+    }
+
+    #[test]
+    fn no_variation_means_no_discrepancy() {
+        let c = ColumnExperiment::default();
+        let v = VariationModel::none();
+        let mut r = rng();
+        assert!(c.old_discrepancy(&v, &mut r).unwrap() < 1e-9);
+        assert!(c.cld_discrepancy(&v, &mut r).unwrap() < 0.02);
+    }
+
+    #[test]
+    fn old_discrepancy_grows_with_sigma() {
+        let c = ColumnExperiment::default();
+        let mut r = rng();
+        let mean_disc = |sigma: f64, r: &mut Xoshiro256PlusPlus| {
+            let v = VariationModel::parametric(sigma).unwrap();
+            (0..200)
+                .map(|_| c.old_discrepancy(&v, r).unwrap())
+                .sum::<f64>()
+                / 200.0
+        };
+        let d_small = mean_disc(0.2, &mut r);
+        let d_large = mean_disc(0.8, &mut r);
+        assert!(
+            d_large > 2.0 * d_small,
+            "σ=0.8 ({d_large}) should far exceed σ=0.2 ({d_small})"
+        );
+    }
+
+    #[test]
+    fn cld_stays_flat_in_sigma() {
+        // Fig. 2: CLD's discrepancy is essentially σ-independent.
+        let c = ColumnExperiment::default();
+        let mut r = rng();
+        let mean_disc = |sigma: f64, r: &mut Xoshiro256PlusPlus| {
+            let v = VariationModel::parametric(sigma).unwrap();
+            (0..100)
+                .map(|_| c.cld_discrepancy(&v, r).unwrap())
+                .sum::<f64>()
+                / 100.0
+        };
+        let d_small = mean_disc(0.2, &mut r);
+        let d_large = mean_disc(0.8, &mut r);
+        assert!(d_large < d_small + 0.02, "CLD: σ=0.2 {d_small} σ=0.8 {d_large}");
+        assert!(d_large < 0.05, "CLD discrepancy must stay small: {d_large}");
+    }
+
+    #[test]
+    fn cld_beats_old_under_variation() {
+        let c = ColumnExperiment::default();
+        let v = VariationModel::parametric(0.6).unwrap();
+        let mut r = rng();
+        let old: f64 = (0..100)
+            .map(|_| c.old_discrepancy(&v, &mut r).unwrap())
+            .sum::<f64>()
+            / 100.0;
+        let cld: f64 = (0..100)
+            .map(|_| c.cld_discrepancy(&v, &mut r).unwrap())
+            .sum::<f64>()
+            / 100.0;
+        assert!(cld < old, "CLD {cld} must beat OLD {old}");
+    }
+
+    #[test]
+    fn coarser_sensing_limits_cld_floor() {
+        let v = VariationModel::parametric(0.4).unwrap();
+        let fine = ColumnExperiment {
+            sense_bits: Some(12),
+            ..Default::default()
+        };
+        let coarse = ColumnExperiment {
+            sense_bits: Some(3),
+            ..Default::default()
+        };
+        let mut r = rng();
+        let mean = |c: &ColumnExperiment, r: &mut Xoshiro256PlusPlus| {
+            (0..100)
+                .map(|_| c.cld_discrepancy(&v, r).unwrap())
+                .sum::<f64>()
+                / 100.0
+        };
+        let f = mean(&fine, &mut r);
+        let co = mean(&coarse, &mut r);
+        assert!(f <= co + 1e-6, "finer sensing should do no worse: {f} vs {co}");
+    }
+}

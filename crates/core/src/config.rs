@@ -1,0 +1,144 @@
+//! Serializable experiment configuration shared by the experiment harness
+//! and benches.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CoreError, Result};
+
+/// Top-level knobs of a paper experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Image side (28, 14 or 7 in the paper).
+    pub image_side: usize,
+    /// Training samples (4000 in the paper).
+    pub n_train: usize,
+    /// Test samples (2000 in the paper).
+    pub n_test: usize,
+    /// Device-variation σ.
+    pub sigma: f64,
+    /// Wire resistance (2.5 Ω in Table 1; 0 disables IR-drop).
+    pub r_wire: f64,
+    /// Redundant rows for AMP.
+    pub redundant_rows: usize,
+    /// Pre-test ADC bits.
+    pub adc_bits: u32,
+    /// Monte-Carlo fabrication draws.
+    pub mc_draws: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            image_side: 28,
+            n_train: 4000,
+            n_test: 2000,
+            sigma: 0.6,
+            r_wire: 0.0,
+            redundant_rows: 100,
+            adc_bits: 6,
+            mc_draws: 5,
+            seed: 2015,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A reduced configuration for quick runs and CI.
+    pub fn quick() -> Self {
+        Self {
+            image_side: 14,
+            n_train: 400,
+            n_test: 200,
+            mc_draws: 2,
+            ..Self::default()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] on degenerate values.
+    pub fn validate(&self) -> Result<()> {
+        if self.image_side == 0 || 28 % self.image_side != 0 && self.image_side != 28 {
+            // Only sides that divide into the 28-pixel benchmark cleanly.
+            if ![7, 14, 28].contains(&self.image_side) {
+                return Err(CoreError::InvalidParameter {
+                    name: "image_side",
+                    requirement: "must be one of 7, 14, 28",
+                });
+            }
+        }
+        if self.n_train == 0 || self.n_test == 0 || self.mc_draws == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "n_train/n_test/mc_draws",
+                requirement: "must all be positive",
+            });
+        }
+        if !(self.sigma.is_finite() && self.sigma >= 0.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "sigma",
+                requirement: "must be finite and non-negative",
+            });
+        }
+        if !(self.r_wire.is_finite() && self.r_wire >= 0.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "r_wire",
+                requirement: "must be finite and non-negative",
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of crossbar rows (pixels) this configuration uses.
+    pub fn rows(&self) -> usize {
+        self.image_side * self.image_side
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = ExperimentConfig::default();
+        assert_eq!(c.rows(), 784);
+        assert_eq!(c.n_train, 4000);
+        assert_eq!(c.n_test, 2000);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation() {
+        let c = ExperimentConfig {
+            image_side: 9,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ExperimentConfig {
+            n_train: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ExperimentConfig {
+            sigma: -1.0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        assert!(ExperimentConfig::quick().validate().is_ok());
+    }
+
+    #[test]
+    fn rows_for_undersampled_benchmarks() {
+        let mut c = ExperimentConfig {
+            image_side: 14,
+            ..Default::default()
+        };
+        assert_eq!(c.rows(), 196);
+        c.image_side = 7;
+        assert_eq!(c.rows(), 49);
+    }
+}

@@ -1,0 +1,180 @@
+//! The OLD baseline: Open-Loop off-Device training — §2.2.3 of the paper.
+//!
+//! OLD trains the network entirely in software (conventional GDT),
+//! pre-calculates every programming pulse from the nominal switching
+//! model, and programs the crossbar once, blind. Device variation is
+//! invisible to the pre-calculation, so every programmed weight lands off
+//! target by its device's `e^θ` — the failure mode Vortex exists to fix.
+
+use serde::{Deserialize, Serialize};
+use vortex_linalg::rng::Xoshiro256PlusPlus;
+use vortex_linalg::Matrix;
+use vortex_nn::dataset::Dataset;
+use vortex_nn::gdt::GdtTrainer;
+use vortex_nn::metrics::{accuracy_of_weights, Rates};
+
+use crate::amp::greedy::RowMapping;
+use crate::pipeline::{evaluate_hardware, HardwareEnv};
+use crate::Result;
+
+/// Outcome of a full train-program-test pipeline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineOutcome {
+    /// Training rate (software fit) and mean hardware test rate.
+    pub rates: Rates,
+    /// The trained (ideal, pre-programming) weights.
+    pub weights: Matrix,
+    /// Per-Monte-Carlo-draw test rates.
+    pub per_draw: Vec<f64>,
+}
+
+/// The OLD pipeline configuration.
+///
+/// # Example
+///
+/// ```
+/// use vortex_core::old::OldPipeline;
+/// use vortex_core::pipeline::HardwareEnv;
+/// use vortex_linalg::rng::Xoshiro256PlusPlus;
+/// use vortex_nn::dataset::{DatasetConfig, SynthDigits};
+/// use vortex_nn::split::stratified_split;
+///
+/// # fn main() -> Result<(), vortex_core::CoreError> {
+/// let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+/// let data = SynthDigits::generate(&DatasetConfig::tiny(), 4)?;
+/// let split = stratified_split(&data, 150, 80, &mut rng)?;
+/// // Blind open-loop programming on hostile (σ = 1.0) devices.
+/// let out = OldPipeline::fast()
+///     .run(&split.train, &split.test, &HardwareEnv::with_sigma(1.0)?, &mut rng)?;
+/// assert!(out.rates.training_rate > out.rates.test_rate); // variation costs
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OldPipeline {
+    /// The software trainer.
+    pub trainer: GdtTrainer,
+    /// Monte-Carlo fabrication draws for the test-rate estimate.
+    pub mc_draws: usize,
+}
+
+impl Default for OldPipeline {
+    fn default() -> Self {
+        Self {
+            trainer: GdtTrainer::default(),
+            mc_draws: 5,
+        }
+    }
+}
+
+impl OldPipeline {
+    /// A faster configuration for tests.
+    pub fn fast() -> Self {
+        Self {
+            trainer: GdtTrainer {
+                epochs: 10,
+                ..Default::default()
+            },
+            mc_draws: 3,
+        }
+    }
+
+    /// Runs OLD end to end: software training → open-loop programming →
+    /// hardware test.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training and hardware-evaluation errors.
+    pub fn run(
+        &self,
+        train: &Dataset,
+        test: &Dataset,
+        env: &HardwareEnv,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> Result<PipelineOutcome> {
+        let weights = self.trainer.train(train)?;
+        let training_rate = accuracy_of_weights(&weights, train);
+        let mapping = RowMapping::identity(weights.rows());
+        let eval = evaluate_hardware(&weights, &mapping, env, test, self.mc_draws, rng)?;
+        Ok(PipelineOutcome {
+            rates: Rates {
+                training_rate,
+                test_rate: eval.mean_test_rate,
+            },
+            weights,
+            per_draw: eval.per_draw,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vortex_nn::dataset::{DatasetConfig, SynthDigits};
+    use vortex_nn::split::stratified_split;
+
+    fn rng() -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::seed_from_u64(77)
+    }
+
+    fn setup() -> (Dataset, Dataset) {
+        let d = SynthDigits::generate(&DatasetConfig::tiny(), 13).unwrap();
+        let s = stratified_split(&d, 200, 100, &mut rng()).unwrap();
+        (s.train, s.test)
+    }
+
+    #[test]
+    fn old_on_ideal_hardware_generalizes() {
+        let (train, test) = setup();
+        let out = OldPipeline::fast()
+            .run(&train, &test, &HardwareEnv::ideal(), &mut rng())
+            .unwrap();
+        assert!(out.rates.training_rate > 0.6);
+        assert!(out.rates.test_rate > 0.4);
+        assert_eq!(out.per_draw.len(), 3);
+    }
+
+    #[test]
+    fn old_degrades_with_variation() {
+        let (train, test) = setup();
+        let p = OldPipeline::fast();
+        let clean = p
+            .run(&train, &test, &HardwareEnv::ideal(), &mut rng())
+            .unwrap();
+        let noisy = p
+            .run(
+                &train,
+                &test,
+                &HardwareEnv::with_sigma(1.2).unwrap(),
+                &mut rng(),
+            )
+            .unwrap();
+        assert!(
+            noisy.rates.test_rate < clean.rates.test_rate,
+            "σ=1.2: {} vs clean {}",
+            noisy.rates.test_rate,
+            clean.rates.test_rate
+        );
+    }
+
+    #[test]
+    fn old_training_rate_is_variation_independent() {
+        // OLD trains in software: the training rate cannot depend on the
+        // hardware environment.
+        let (train, test) = setup();
+        let p = OldPipeline::fast();
+        let a = p
+            .run(&train, &test, &HardwareEnv::ideal(), &mut rng())
+            .unwrap();
+        let b = p
+            .run(
+                &train,
+                &test,
+                &HardwareEnv::with_sigma(0.8).unwrap(),
+                &mut rng(),
+            )
+            .unwrap();
+        assert_eq!(a.rates.training_rate, b.rates.training_rate);
+        assert_eq!(a.weights, b.weights);
+    }
+}

@@ -1,0 +1,467 @@
+//! Shared hardware-evaluation harness: fabricate → map → program → read →
+//! score.
+//!
+//! Every training scheme in this crate (OLD, CLD, Vortex) is ultimately
+//! judged the same way the paper judges them: program the trained weights
+//! into a (simulated) crossbar pair and measure the fraction of *test*
+//! samples the hardware classifies correctly, averaged over Monte-Carlo
+//! fabrication draws.
+
+use serde::{Deserialize, Serialize};
+use vortex_device::defects::DefectModel;
+use vortex_device::{DeviceParams, VariationModel};
+use vortex_linalg::rng::Xoshiro256PlusPlus;
+use vortex_linalg::Matrix;
+use vortex_nn::classifier::accuracy_with;
+use vortex_nn::dataset::Dataset;
+use vortex_xbar::crossbar::CrossbarConfig;
+use vortex_xbar::irdrop::ProgramVoltageMap;
+use vortex_xbar::pair::{DifferentialPair, ReadCircuit, WeightMapping};
+use vortex_xbar::program::{program_with_protocol, ProgramOptions};
+use vortex_xbar::sensing::Adc;
+
+use crate::amp::greedy::RowMapping;
+use crate::{CoreError, Result};
+
+/// Read-path circuit fidelity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReadFidelity {
+    /// Perfect wires.
+    Ideal,
+    /// Rank-1 calibrated attenuation (one mesh solve per fabrication).
+    FastIrDrop,
+    /// Full nodal solve per sample (small arrays only).
+    ExactIrDrop,
+}
+
+/// The physical substrate an experiment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HardwareEnv {
+    /// Nominal device corner.
+    pub device: DeviceParams,
+    /// Device variation model (σ of the paper's sweeps).
+    pub variation: VariationModel,
+    /// Fabrication defects.
+    pub defects: DefectModel,
+    /// Wire resistance per segment (Ω); 0 disables IR-drop entirely.
+    pub r_wire: f64,
+    /// Readout ADC resolution in bits (`None` = ideal sensing).
+    pub adc_bits: Option<u32>,
+    /// Input DAC resolution in bits (`None` = ideal drivers). The paper's
+    /// setup drives rows with digital voltages (§2.1), so finite input
+    /// resolution is part of the substrate.
+    pub dac_bits: Option<u32>,
+    /// Read-path fidelity.
+    pub read_fidelity: ReadFidelity,
+    /// Whether programming pulses suffer IR-drop degradation.
+    pub program_irdrop: bool,
+    /// Whether the open-loop programmer compensates its pulse widths with
+    /// the analytic IR-drop estimate (Liu et al., ICCAD'14 — reference
+    /// [10] of the paper).
+    pub compensate_program_irdrop: bool,
+    /// Largest weight magnitude the conductance mapping must represent.
+    pub w_max: f64,
+}
+
+impl HardwareEnv {
+    /// An ideal substrate: no variation, no defects, no IR-drop, ideal
+    /// sensing.
+    pub fn ideal() -> Self {
+        Self {
+            device: DeviceParams::default(),
+            variation: VariationModel::none(),
+            defects: DefectModel::none(),
+            r_wire: 0.0,
+            adc_bits: None,
+            dac_bits: None,
+            read_fidelity: ReadFidelity::Ideal,
+            program_irdrop: false,
+            compensate_program_irdrop: false,
+            w_max: 2.0,
+        }
+    }
+
+    /// An environment with lognormal parametric variation σ and otherwise
+    /// ideal periphery — the setting of Fig. 4 / Fig. 9.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for a negative σ.
+    pub fn with_sigma(sigma: f64) -> Result<Self> {
+        Ok(Self {
+            variation: VariationModel::parametric(sigma)?,
+            ..Self::ideal()
+        })
+    }
+
+    /// Enables IR-drop with the given wire resistance on both the
+    /// programming and read paths (fast models).
+    pub fn with_ir_drop(mut self, r_wire: f64) -> Self {
+        self.r_wire = r_wire;
+        self.read_fidelity = if r_wire > 0.0 {
+            ReadFidelity::FastIrDrop
+        } else {
+            ReadFidelity::Ideal
+        };
+        self.program_irdrop = r_wire > 0.0;
+        self
+    }
+
+    /// The crossbar configuration for an `rows × cols` array on this
+    /// substrate.
+    pub fn crossbar_config(&self, rows: usize, cols: usize) -> CrossbarConfig {
+        CrossbarConfig {
+            rows,
+            cols,
+            device: self.device,
+            r_wire: self.r_wire,
+            variation: self.variation,
+            defects: self.defects,
+        }
+    }
+
+    /// The readout ADC for an array with `rows` driven rows, if sensing is
+    /// quantized. Full scale is sized to the worst-case column current
+    /// (every device at LRS, every input at full drive).
+    ///
+    /// # Errors
+    ///
+    /// Propagates ADC construction errors.
+    pub fn read_adc(&self, rows: usize) -> Result<Option<Adc>> {
+        match self.adc_bits {
+            None => Ok(None),
+            Some(bits) => {
+                let full_scale = rows as f64 * self.device.g_on();
+                Ok(Some(Adc::new(bits, full_scale).map_err(CoreError::Xbar)?))
+            }
+        }
+    }
+
+    /// The input driver DAC (unit reference voltage — pixel inputs live in
+    /// `[0, 1]`), if input quantization is modeled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DAC construction errors.
+    pub fn input_dac(&self) -> Result<Option<vortex_xbar::sensing::Dac>> {
+        match self.dac_bits {
+            None => Ok(None),
+            Some(bits) => Ok(Some(
+                vortex_xbar::sensing::Dac::new(bits, 1.0).map_err(CoreError::Xbar)?,
+            )),
+        }
+    }
+}
+
+/// Outcome of one hardware evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HardwareEvaluation {
+    /// Mean test rate over the Monte-Carlo draws.
+    pub mean_test_rate: f64,
+    /// Per-draw test rates.
+    pub per_draw: Vec<f64>,
+}
+
+/// Programs `weights` into a freshly fabricated crossbar pair under
+/// `mapping` and measures classification accuracy on `test`, repeated for
+/// `mc_draws` independent fabrications.
+///
+/// # Errors
+///
+/// Propagates fabrication, programming and readout errors.
+pub fn evaluate_hardware(
+    weights: &Matrix,
+    mapping: &RowMapping,
+    env: &HardwareEnv,
+    test: &Dataset,
+    mc_draws: usize,
+    rng: &mut Xoshiro256PlusPlus,
+) -> Result<HardwareEvaluation> {
+    if mc_draws == 0 {
+        return Err(CoreError::InvalidParameter {
+            name: "mc_draws",
+            requirement: "must be positive",
+        });
+    }
+    if weights.rows() != mapping.logical_rows() {
+        return Err(CoreError::InvalidParameter {
+            name: "mapping",
+            requirement: "logical row count must match the weight matrix",
+        });
+    }
+    let mut per_draw = Vec::with_capacity(mc_draws);
+    for _ in 0..mc_draws {
+        let mut draw_rng = rng.split();
+        let pair = program_pair(weights, mapping, env, &mut draw_rng)?;
+        per_draw.push(score_pair(&pair, mapping, env, test)?);
+    }
+    let mean_test_rate =
+        per_draw.iter().sum::<f64>() / per_draw.len() as f64;
+    Ok(HardwareEvaluation {
+        mean_test_rate,
+        per_draw,
+    })
+}
+
+/// Fabricates a pair on `env` and open-loop programs `weights` through
+/// `mapping` (the physical array has `mapping.physical_rows()` rows).
+///
+/// # Errors
+///
+/// Propagates fabrication and programming errors.
+pub fn program_pair(
+    weights: &Matrix,
+    mapping: &RowMapping,
+    env: &HardwareEnv,
+    rng: &mut Xoshiro256PlusPlus,
+) -> Result<DifferentialPair> {
+    let cols = weights.cols();
+    let physical_rows = mapping.physical_rows();
+    let config = env.crossbar_config(physical_rows, cols);
+    let wm = WeightMapping::new(&env.device, env.w_max).map_err(CoreError::Xbar)?;
+    let mut pair = DifferentialPair::fabricate(config, wm, rng).map_err(CoreError::Xbar)?;
+
+    let physical_weights = mapping.apply_to_rows(weights, 0.0);
+    let (targets_pos, targets_neg) = pair.mapping().weights_to_targets(&physical_weights);
+
+    let (actual_pos, actual_neg, estimate_pos, estimate_neg) = if env.program_irdrop
+        && env.r_wire > 0.0
+    {
+        let v = env.device.v_program();
+        let ap = ProgramVoltageMap::analytic(&targets_pos, env.r_wire, v)
+            .map_err(CoreError::Xbar)?;
+        let an = ProgramVoltageMap::analytic(&targets_neg, env.r_wire, v)
+            .map_err(CoreError::Xbar)?;
+        let (ep, en) = if env.compensate_program_irdrop {
+            (Some(ap.clone()), Some(an.clone()))
+        } else {
+            (None, None)
+        };
+        (Some(ap), Some(an), ep, en)
+    } else {
+        (None, None, None, None)
+    };
+
+    let opts_pos = ProgramOptions {
+        compensation: estimate_pos,
+        half_select_disturb: false,
+    };
+    let opts_neg = ProgramOptions {
+        compensation: estimate_neg,
+        half_select_disturb: false,
+    };
+    program_with_protocol(
+        pair.pos_mut(),
+        &targets_pos,
+        actual_pos.as_ref(),
+        &opts_pos,
+        rng,
+    )
+    .map_err(CoreError::Xbar)?;
+    program_with_protocol(
+        pair.neg_mut(),
+        &targets_neg,
+        actual_neg.as_ref(),
+        &opts_neg,
+        rng,
+    )
+    .map_err(CoreError::Xbar)?;
+    Ok(pair)
+}
+
+/// Scores a programmed pair on `test` under the environment's read path.
+///
+/// # Errors
+///
+/// Propagates readout errors.
+pub fn score_pair(
+    pair: &DifferentialPair,
+    mapping: &RowMapping,
+    env: &HardwareEnv,
+    test: &Dataset,
+) -> Result<f64> {
+    let adc = env.read_adc(pair.rows())?;
+    let circuit = match env.read_fidelity {
+        ReadFidelity::Ideal => ReadCircuit::Ideal,
+        ReadFidelity::FastIrDrop => {
+            let reference = mapping.route_input(&test.mean_input());
+            ReadCircuit::fast_for(pair, &reference).map_err(CoreError::Xbar)?
+        }
+        ReadFidelity::ExactIrDrop => ReadCircuit::exact_for(pair).map_err(CoreError::Xbar)?,
+    };
+    let dac = env.input_dac()?;
+    let mut failed = false;
+    let acc = accuracy_with(test, |x| {
+        let mut routed = mapping.route_input(x);
+        if let Some(dac) = &dac {
+            routed = dac.convert_vec(&routed);
+        }
+        match pair.read(&routed, &circuit, adc.as_ref()) {
+            Ok(y) => y,
+            Err(_) => {
+                failed = true;
+                vec![0.0; pair.cols()]
+            }
+        }
+    });
+    if failed {
+        return Err(CoreError::InvalidParameter {
+            name: "readout",
+            requirement: "hardware read failed during scoring",
+        });
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amp::greedy::RowMapping;
+    use vortex_nn::dataset::{DatasetConfig, SynthDigits};
+    use vortex_nn::gdt::GdtTrainer;
+    use vortex_nn::metrics::accuracy_of_weights;
+
+    fn rng() -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::seed_from_u64(123)
+    }
+
+    fn small_setup() -> (Dataset, Matrix) {
+        let data = SynthDigits::generate(&DatasetConfig::tiny(), 7).unwrap();
+        let w = GdtTrainer {
+            epochs: 10,
+            ..Default::default()
+        }
+        .train(&data)
+        .unwrap();
+        (data, w)
+    }
+
+    #[test]
+    fn ideal_hardware_matches_software_accuracy() {
+        let (data, w) = small_setup();
+        let env = HardwareEnv::ideal();
+        let mapping = RowMapping::identity(w.rows());
+        let eval = evaluate_hardware(&w, &mapping, &env, &data, 1, &mut rng()).unwrap();
+        let software = accuracy_of_weights(&w, &data);
+        assert!(
+            (eval.mean_test_rate - software).abs() < 0.05,
+            "hardware {} vs software {}",
+            eval.mean_test_rate,
+            software
+        );
+    }
+
+    #[test]
+    fn variation_degrades_test_rate() {
+        let (data, w) = small_setup();
+        let mapping = RowMapping::identity(w.rows());
+        let ideal = evaluate_hardware(
+            &w,
+            &mapping,
+            &HardwareEnv::ideal(),
+            &data,
+            1,
+            &mut rng(),
+        )
+        .unwrap();
+        let noisy = evaluate_hardware(
+            &w,
+            &mapping,
+            &HardwareEnv::with_sigma(1.2).unwrap(),
+            &data,
+            3,
+            &mut rng(),
+        )
+        .unwrap();
+        assert!(
+            noisy.mean_test_rate < ideal.mean_test_rate,
+            "σ=1.2 {} vs ideal {}",
+            noisy.mean_test_rate,
+            ideal.mean_test_rate
+        );
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_per_seed() {
+        let (data, w) = small_setup();
+        let env = HardwareEnv::with_sigma(0.6).unwrap();
+        let mapping = RowMapping::identity(w.rows());
+        let a = evaluate_hardware(&w, &mapping, &env, &data, 2, &mut rng()).unwrap();
+        let b = evaluate_hardware(&w, &mapping, &env, &data, 2, &mut rng()).unwrap();
+        assert_eq!(a.per_draw, b.per_draw);
+    }
+
+    #[test]
+    fn mc_draws_validated() {
+        let (data, w) = small_setup();
+        let env = HardwareEnv::ideal();
+        let mapping = RowMapping::identity(w.rows());
+        assert!(evaluate_hardware(&w, &mapping, &env, &data, 0, &mut rng()).is_err());
+        let bad_mapping = RowMapping::identity(w.rows() + 1);
+        assert!(evaluate_hardware(&w, &bad_mapping, &env, &data, 1, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn coarse_adc_hurts() {
+        let (data, w) = small_setup();
+        let mapping = RowMapping::identity(w.rows());
+        let mut env = HardwareEnv::ideal();
+        env.adc_bits = Some(2);
+        let coarse = evaluate_hardware(&w, &mapping, &env, &data, 1, &mut rng()).unwrap();
+        env.adc_bits = None;
+        let clean = evaluate_hardware(&w, &mapping, &env, &data, 1, &mut rng()).unwrap();
+        assert!(
+            coarse.mean_test_rate <= clean.mean_test_rate + 1e-9,
+            "2-bit {} vs ideal {}",
+            coarse.mean_test_rate,
+            clean.mean_test_rate
+        );
+    }
+
+    #[test]
+    fn coarse_input_dac_degrades_gracefully() {
+        let (data, w) = small_setup();
+        let mapping = RowMapping::identity(w.rows());
+        let mut env = HardwareEnv::ideal();
+        env.dac_bits = Some(1); // binary input drivers
+        let coarse = evaluate_hardware(&w, &mapping, &env, &data, 1, &mut rng()).unwrap();
+        env.dac_bits = Some(8);
+        let fine = evaluate_hardware(&w, &mapping, &env, &data, 1, &mut rng()).unwrap();
+        env.dac_bits = None;
+        let ideal = evaluate_hardware(&w, &mapping, &env, &data, 1, &mut rng()).unwrap();
+        assert!(fine.mean_test_rate >= coarse.mean_test_rate - 0.05);
+        assert!((fine.mean_test_rate - ideal.mean_test_rate).abs() < 0.05);
+        // Even 1-bit inputs keep the classifier well above chance.
+        assert!(coarse.mean_test_rate > 0.3, "1-bit inputs: {}", coarse.mean_test_rate);
+    }
+
+    #[test]
+    fn fast_ir_drop_read_path_works() {
+        // Read-path IR-drop alone (no programming degradation): smooth
+        // attenuation mostly preserves argmax.
+        let (data, w) = small_setup();
+        let mapping = RowMapping::identity(w.rows());
+        let mut env = HardwareEnv::ideal();
+        env.r_wire = 5.0;
+        env.read_fidelity = ReadFidelity::FastIrDrop;
+        let eval = evaluate_hardware(&w, &mapping, &env, &data, 1, &mut rng()).unwrap();
+        assert!(eval.mean_test_rate > 0.5, "test rate {}", eval.mean_test_rate);
+    }
+
+    #[test]
+    fn uncompensated_program_ir_drop_is_destructive_and_compensation_recovers() {
+        let (data, w) = small_setup();
+        let mapping = RowMapping::identity(w.rows());
+        let uncomp = HardwareEnv::ideal().with_ir_drop(5.0);
+        let mut comp = uncomp;
+        comp.compensate_program_irdrop = true;
+        let bad = evaluate_hardware(&w, &mapping, &uncomp, &data, 1, &mut rng()).unwrap();
+        let good = evaluate_hardware(&w, &mapping, &comp, &data, 1, &mut rng()).unwrap();
+        assert!(
+            good.mean_test_rate > bad.mean_test_rate,
+            "compensation {} must beat uncompensated {}",
+            good.mean_test_rate,
+            bad.mean_test_rate
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Plain-text table rendering for the experiment harness.
+//!
+//! The experiments binary prints every figure/table of the paper as an
+//! aligned text table; this module is the tiny formatter behind that.
+
+/// A fixed-column text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new<S: Into<String>>(title: S, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header.
+    pub fn add_row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "table row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience: appends a row from display values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header.
+    pub fn add_display_row(&mut self, cells: &[&dyn std::fmt::Display]) {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.add_row(&cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:>w$}", w = *w));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a rate as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats a float with the given number of decimals.
+pub fn fixed(x: f64, decimals: usize) -> String {
+    format!("{x:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.add_row(&["a".to_string(), "1.0".to_string()]);
+        t.add_row(&["longer".to_string(), "2".to_string()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("name"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header + separator + 2 rows + title.
+        assert_eq!(lines.len(), 5);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.add_row(&["only one".to_string()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.8491), "84.9%");
+        assert_eq!(fixed(1.23456, 2), "1.23");
+    }
+
+    #[test]
+    fn display_row() {
+        let mut t = Table::new("d", &["a", "b"]);
+        t.add_display_row(&[&1.5_f64, &"x"]);
+        assert!(t.render().contains("1.5"));
+    }
+}

@@ -1,0 +1,206 @@
+//! Retention analysis: how long does a programmed classifier stay
+//! accurate?
+//!
+//! Extension beyond the paper: after programming, every device's
+//! conductance relaxes by its own random power law
+//! ([`vortex_device::drift::RetentionModel`]). Because the drift is just
+//! one more multiplicative per-device disturbance, VAT's variation guard
+//! band also buys *retention time* — the variation-aware classifier stays
+//! above a given accuracy floor longer than the conventional one.
+
+use vortex_device::drift::RetentionModel;
+use vortex_linalg::rng::Xoshiro256PlusPlus;
+use vortex_linalg::Matrix;
+use vortex_nn::dataset::Dataset;
+use vortex_nn::metrics::accuracy_of_weights;
+
+use crate::{CoreError, Result};
+
+/// Applies one sampled drift realization to a weight matrix:
+/// `w'_ij = w_ij · decay_ij(t)` (weight-domain abstraction of both
+/// crossbars drifting; the shared baseline conductance cancels in the
+/// differential pair, leaving the multiplicative factor on the weight).
+pub fn apply_retention(
+    w: &Matrix,
+    model: &RetentionModel,
+    t_s: f64,
+    rng: &mut Xoshiro256PlusPlus,
+) -> Matrix {
+    let decay = model.sample_decay_matrix(w.rows(), w.cols(), t_s, rng);
+    w.hadamard(&decay)
+}
+
+/// One point of a retention curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetentionPoint {
+    /// Time after programming, seconds.
+    pub t_s: f64,
+    /// Mean test rate over the Monte-Carlo drift draws.
+    pub test_rate: f64,
+}
+
+/// Measures a software-evaluated retention curve: test rate of the
+/// drifted weights at each requested time, averaged over `mc_draws`
+/// drift realizations.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] if `mc_draws == 0` or `times`
+/// is empty.
+pub fn retention_curve(
+    weights: &Matrix,
+    model: &RetentionModel,
+    times_s: &[f64],
+    test: &Dataset,
+    mc_draws: usize,
+    rng: &mut Xoshiro256PlusPlus,
+) -> Result<Vec<RetentionPoint>> {
+    if mc_draws == 0 {
+        return Err(CoreError::InvalidParameter {
+            name: "mc_draws",
+            requirement: "must be positive",
+        });
+    }
+    if times_s.is_empty() {
+        return Err(CoreError::InvalidParameter {
+            name: "times_s",
+            requirement: "must be non-empty",
+        });
+    }
+    let mut curve = Vec::with_capacity(times_s.len());
+    for &t in times_s {
+        let mut acc = 0.0;
+        for _ in 0..mc_draws {
+            let drifted = apply_retention(weights, model, t, rng);
+            acc += accuracy_of_weights(&drifted, test);
+        }
+        curve.push(RetentionPoint {
+            t_s: t,
+            test_rate: acc / mc_draws as f64,
+        });
+    }
+    Ok(curve)
+}
+
+/// The first time in `times_s` at which the mean test rate falls below
+/// `floor` (`None` if it never does) — a "retention lifetime" estimate.
+pub fn lifetime_at_floor(curve: &[RetentionPoint], floor: f64) -> Option<f64> {
+    curve
+        .iter()
+        .find(|p| p.test_rate < floor)
+        .map(|p| p.t_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vat::VatTrainer;
+    use vortex_nn::dataset::{DatasetConfig, SynthDigits};
+    use vortex_nn::split::stratified_split;
+
+    fn rng() -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::seed_from_u64(909)
+    }
+
+    fn setup() -> (Dataset, Dataset) {
+        let d = SynthDigits::generate(&DatasetConfig::tiny(), 44).unwrap();
+        let s = stratified_split(&d, 200, 100, &mut rng()).unwrap();
+        (s.train, s.test)
+    }
+
+    fn model() -> RetentionModel {
+        RetentionModel::new(0.05, 0.05, 1.0).unwrap()
+    }
+
+    #[test]
+    fn curve_decays_over_time() {
+        let (train, test) = setup();
+        let w = VatTrainer {
+            epochs: 10,
+            gamma: 0.0,
+            ..Default::default()
+        }
+        .train(&train)
+        .unwrap();
+        let times = [0.0, 1e3, 1e6, 1e9];
+        let curve = retention_curve(&w, &model(), &times, &test, 4, &mut rng()).unwrap();
+        assert_eq!(curve.len(), 4);
+        let first = curve.first().unwrap().test_rate;
+        let last = curve.last().unwrap().test_rate;
+        assert!(
+            last <= first + 0.02,
+            "accuracy must not grow with drift: {first} → {last}"
+        );
+    }
+
+    #[test]
+    fn zero_time_is_lossless() {
+        let (train, test) = setup();
+        let w = VatTrainer {
+            epochs: 8,
+            ..Default::default()
+        }
+        .train(&train)
+        .unwrap();
+        let clean = accuracy_of_weights(&w, &test);
+        let curve = retention_curve(&w, &model(), &[0.0], &test, 1, &mut rng()).unwrap();
+        assert!((curve[0].test_rate - clean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vat_extends_retention_lifetime() {
+        // The guard band against multiplicative disturbances also guards
+        // against drift dispersion.
+        let (train, test) = setup();
+        let strong_drift = RetentionModel::new(0.08, 0.12, 1.0).unwrap();
+        let plain = VatTrainer {
+            epochs: 10,
+            gamma: 0.0,
+            sigma: 0.8,
+            ..Default::default()
+        }
+        .train(&train)
+        .unwrap();
+        let vat = VatTrainer {
+            epochs: 10,
+            gamma: 0.4,
+            sigma: 0.8,
+            ..Default::default()
+        }
+        .train(&train)
+        .unwrap();
+        let times = [1e6, 1e8, 1e10];
+        let mut r = rng();
+        let plain_curve =
+            retention_curve(&plain, &strong_drift, &times, &test, 6, &mut r).unwrap();
+        let vat_curve = retention_curve(&vat, &strong_drift, &times, &test, 6, &mut r).unwrap();
+        let mean = |c: &[RetentionPoint]| {
+            c.iter().map(|p| p.test_rate).sum::<f64>() / c.len() as f64
+        };
+        assert!(
+            mean(&vat_curve) >= mean(&plain_curve) - 0.02,
+            "VAT {} should hold up at least as well as plain {} under drift",
+            mean(&vat_curve),
+            mean(&plain_curve)
+        );
+    }
+
+    #[test]
+    fn lifetime_helper() {
+        let curve = vec![
+            RetentionPoint { t_s: 1.0, test_rate: 0.9 },
+            RetentionPoint { t_s: 10.0, test_rate: 0.8 },
+            RetentionPoint { t_s: 100.0, test_rate: 0.6 },
+        ];
+        assert_eq!(lifetime_at_floor(&curve, 0.7), Some(100.0));
+        assert_eq!(lifetime_at_floor(&curve, 0.5), None);
+    }
+
+    #[test]
+    fn validation() {
+        let (_, test) = setup();
+        let w = Matrix::zeros(196, 10);
+        assert!(retention_curve(&w, &model(), &[], &test, 1, &mut rng()).is_err());
+        assert!(retention_curve(&w, &model(), &[1.0], &test, 0, &mut rng()).is_err());
+    }
+}

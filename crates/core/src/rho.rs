@@ -1,0 +1,138 @@
+//! The Chi-square confidence radius ρ of the VAT penalty bound.
+//!
+//! Eq. (7) of the paper bounds the variation penalty by
+//! `‖θ‖₂ · ‖V⁽ⁱ⁾‖₂`. With `θ_q ~ N(0, σ²)` i.i.d. over the `n` crossbar
+//! rows, `‖θ‖₂² / σ² ~ χ²(n)`, so at confidence level `c`
+//! `‖θ‖₂ ≤ ρ = σ·sqrt(χ²_c(n))`.
+
+use serde::{Deserialize, Serialize};
+use vortex_linalg::chi2::chi2_quantile;
+
+use crate::{CoreError, Result};
+
+/// Configuration of the penalty-bound confidence radius.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RhoConfig {
+    /// Confidence level of the Chi-square bound (the probability that the
+    /// realized `‖θ‖₂` stays within ρ).
+    pub confidence: f64,
+}
+
+impl Default for RhoConfig {
+    fn default() -> Self {
+        Self { confidence: 0.95 }
+    }
+}
+
+impl RhoConfig {
+    /// Computes `ρ = σ·sqrt(χ²_c(n))` for `n` devices with log-std `σ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if the confidence is not in
+    /// `(0, 1)`, `n == 0`, or `sigma < 0`.
+    pub fn rho(&self, sigma: f64, n: usize) -> Result<f64> {
+        if !(self.confidence > 0.0 && self.confidence < 1.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "confidence",
+                requirement: "must lie strictly between 0 and 1",
+            });
+        }
+        if n == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "n",
+                requirement: "must be positive",
+            });
+        }
+        if !(sigma.is_finite() && sigma >= 0.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "sigma",
+                requirement: "must be finite and non-negative",
+            });
+        }
+        if sigma == 0.0 {
+            return Ok(0.0);
+        }
+        let q = chi2_quantile(self.confidence, n)?;
+        Ok(sigma * q.sqrt())
+    }
+
+    /// The per-device RMS-normalized radius `ρ/√n = σ·sqrt(χ²_c(n)/n)`.
+    ///
+    /// The raw Cauchy–Schwarz bound of Eq. (7) treats the whole θ vector
+    /// as adversarially aligned with `x ∘ w`; plugging it in verbatim
+    /// makes the `γ = 1` end of the paper's sweep wildly infeasible (the
+    /// penalty would exceed the achievable margin by an order of
+    /// magnitude, which contradicts the ~65 % training rate the paper
+    /// still reports there). Normalizing by `√n` keeps the Chi-square
+    /// confidence machinery while making `γ ∈ [0, 1]` scan from "no
+    /// penalty" to "about one standard deviation of the output
+    /// perturbation" — the calibration under which the paper's interior
+    /// optimum γ appears. `sqrt(χ²_c(n)/n) → 1` from above as `n` grows.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::rho`].
+    pub fn rho_rms(&self, sigma: f64, n: usize) -> Result<f64> {
+        Ok(self.rho(sigma, n)? / (n as f64).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vortex_linalg::distributions::Normal;
+    use vortex_linalg::rng::Xoshiro256PlusPlus;
+    use vortex_linalg::vector;
+
+    #[test]
+    fn zero_sigma_gives_zero_rho() {
+        assert_eq!(RhoConfig::default().rho(0.0, 784).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rho_grows_with_sigma_and_n() {
+        let cfg = RhoConfig::default();
+        let a = cfg.rho(0.3, 100).unwrap();
+        let b = cfg.rho(0.6, 100).unwrap();
+        let c = cfg.rho(0.6, 784).unwrap();
+        assert!((b - 2.0 * a).abs() < 1e-9, "rho linear in sigma");
+        assert!(c > b, "rho grows with n");
+    }
+
+    #[test]
+    fn rho_covers_the_stated_fraction_of_draws() {
+        // Empirically: P(‖θ‖₂ ≤ ρ) ≈ confidence.
+        let cfg = RhoConfig { confidence: 0.95 };
+        let sigma = 0.6;
+        let n = 100;
+        let rho = cfg.rho(sigma, n).unwrap();
+        let normal = Normal::new(0.0, sigma).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(77);
+        let trials = 20_000;
+        let inside = (0..trials)
+            .filter(|_| {
+                let theta = normal.sample_vec(&mut rng, n);
+                vector::norm2(&theta) <= rho
+            })
+            .count();
+        let frac = inside as f64 / trials as f64;
+        assert!((frac - 0.95).abs() < 0.01, "coverage {frac}");
+    }
+
+    #[test]
+    fn validation() {
+        let cfg = RhoConfig { confidence: 1.5 };
+        assert!(cfg.rho(0.6, 100).is_err());
+        let cfg = RhoConfig::default();
+        assert!(cfg.rho(0.6, 0).is_err());
+        assert!(cfg.rho(-0.1, 10).is_err());
+    }
+
+    #[test]
+    fn paper_scale_values() {
+        // For n = 784, sqrt(χ²₀.₉₅) ≈ 29.9; ρ at σ = 0.6 ≈ 17.9.
+        let rho = RhoConfig::default().rho(0.6, 784).unwrap();
+        assert!((rho - 17.9).abs() < 0.5, "rho = {rho}");
+    }
+}

@@ -1,0 +1,279 @@
+//! The γ self-tuning loop — §4.1.3 and Fig. 5 of the paper.
+//!
+//! Training samples are split into a large group (actual training) and a
+//! small group (validation). For each candidate γ the network is trained
+//! on the large group, device variation is *injected into the trained
+//! weights* (Monte-Carlo draws of `W ∘ e^θ`), and the accuracy on the
+//! validation group is measured. The γ with the best with-variation
+//! validation accuracy wins and is used for the final training pass on all
+//! samples.
+
+use serde::{Deserialize, Serialize};
+use vortex_linalg::rng::Xoshiro256PlusPlus;
+use vortex_linalg::Matrix;
+use vortex_nn::dataset::Dataset;
+use vortex_nn::metrics::accuracy_of_weights;
+use vortex_nn::split::tuning_split;
+
+use crate::vat::{inject_variation, VatTrainer};
+use crate::{CoreError, Result};
+
+/// One row of the tuning curve (the data behind Fig. 4 / Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GammaPoint {
+    /// Penalty scale γ.
+    pub gamma: f64,
+    /// Fraction of (large-group) training samples fitted.
+    pub training_rate: f64,
+    /// Mean validation accuracy with injected variation.
+    pub validation_with_variation: f64,
+    /// Validation accuracy of the clean (un-injected) weights.
+    pub validation_without_variation: f64,
+}
+
+/// Outcome of a self-tuning scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuningOutcome {
+    /// The winning γ.
+    pub best_gamma: f64,
+    /// The full scan curve.
+    pub curve: Vec<GammaPoint>,
+    /// Weights from the final training pass (all training samples, best
+    /// γ).
+    pub weights: Matrix,
+}
+
+/// Self-tuner configuration.
+///
+/// # Example
+///
+/// ```
+/// use vortex_core::tuning::SelfTuner;
+/// use vortex_core::vat::VatTrainer;
+/// use vortex_nn::dataset::{DatasetConfig, SynthDigits};
+///
+/// # fn main() -> Result<(), vortex_core::CoreError> {
+/// let data = SynthDigits::generate(&DatasetConfig::tiny(), 2)?;
+/// let base = VatTrainer { epochs: 4, sigma: 0.6, ..Default::default() };
+/// let outcome = SelfTuner::coarse().tune(&base, &data)?;
+/// assert!((0.0..=1.0).contains(&outcome.best_gamma));
+/// assert_eq!(outcome.curve.len(), 4); // one point per grid value
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelfTuner {
+    /// Candidate γ values to scan (e.g. `0.0, 0.1, …, 1.0`).
+    pub gamma_grid: Vec<f64>,
+    /// Fraction of training samples held out for validation.
+    pub validation_fraction: f64,
+    /// Monte-Carlo variation draws per validation measurement.
+    pub mc_draws: usize,
+    /// RNG seed for the split and the injections.
+    pub seed: u64,
+}
+
+impl Default for SelfTuner {
+    fn default() -> Self {
+        Self {
+            gamma_grid: (0..=10).map(|k| k as f64 / 10.0).collect(),
+            validation_fraction: 0.2,
+            mc_draws: 10,
+            seed: 0x7E57,
+        }
+    }
+}
+
+impl SelfTuner {
+    /// A coarse, fast grid for tests.
+    pub fn coarse() -> Self {
+        Self {
+            gamma_grid: vec![0.0, 0.2, 0.5, 1.0],
+            mc_draws: 4,
+            ..Default::default()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for an empty grid,
+    /// out-of-range γ values, or zero draws.
+    pub fn validate(&self) -> Result<()> {
+        if self.gamma_grid.is_empty() {
+            return Err(CoreError::InvalidParameter {
+                name: "gamma_grid",
+                requirement: "must be non-empty",
+            });
+        }
+        if self
+            .gamma_grid
+            .iter()
+            .any(|g| !(0.0..=1.0).contains(g) || !g.is_finite())
+        {
+            return Err(CoreError::InvalidParameter {
+                name: "gamma_grid",
+                requirement: "all values must lie in [0, 1]",
+            });
+        }
+        if self.mc_draws == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "mc_draws",
+                requirement: "must be positive",
+            });
+        }
+        if !(self.validation_fraction > 0.0 && self.validation_fraction < 1.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "validation_fraction",
+                requirement: "must lie strictly between 0 and 1",
+            });
+        }
+        Ok(())
+    }
+
+    /// Runs the scan and the final training pass.
+    ///
+    /// `base` provides every VAT parameter except γ (which the scan
+    /// overrides). The injected variation uses `base.sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, split and training errors.
+    pub fn tune(&self, base: &VatTrainer, train: &Dataset) -> Result<TuningOutcome> {
+        self.validate()?;
+        base.validate()?;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(self.seed);
+        let split = tuning_split(train, self.validation_fraction, &mut rng)?;
+
+        let mut curve = Vec::with_capacity(self.gamma_grid.len());
+        let mut best = (f64::MIN, self.gamma_grid[0]);
+        for &gamma in &self.gamma_grid {
+            let trainer = base.with_gamma(gamma);
+            let w = trainer.train(&split.train)?;
+            let training_rate = accuracy_of_weights(&w, &split.train);
+            let clean = accuracy_of_weights(&w, &split.test);
+            let mut acc = 0.0;
+            for _ in 0..self.mc_draws {
+                let wv = inject_variation(&w, base.sigma, &mut rng);
+                acc += accuracy_of_weights(&wv, &split.test);
+            }
+            let with_var = acc / self.mc_draws as f64;
+            curve.push(GammaPoint {
+                gamma,
+                training_rate,
+                validation_with_variation: with_var,
+                validation_without_variation: clean,
+            });
+            if with_var > best.0 {
+                best = (with_var, gamma);
+            }
+        }
+        // Final pass on every training sample with the winning γ.
+        let weights = base.with_gamma(best.1).train(train)?;
+        Ok(TuningOutcome {
+            best_gamma: best.1,
+            curve,
+            weights,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vortex_nn::dataset::{DatasetConfig, SynthDigits};
+
+    fn data() -> Dataset {
+        SynthDigits::generate(&DatasetConfig::tiny(), 91).unwrap()
+    }
+
+    fn base(sigma: f64) -> VatTrainer {
+        VatTrainer {
+            epochs: 8,
+            sigma,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_config() {
+        let mut t = SelfTuner::coarse();
+        t.gamma_grid.clear();
+        assert!(t.validate().is_err());
+        t = SelfTuner::coarse();
+        t.gamma_grid.push(1.5);
+        assert!(t.validate().is_err());
+        t = SelfTuner::coarse();
+        t.mc_draws = 0;
+        assert!(t.validate().is_err());
+        t = SelfTuner::coarse();
+        t.validation_fraction = 0.0;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn tune_produces_full_curve_and_best_gamma() {
+        let d = data();
+        let tuner = SelfTuner::coarse();
+        let out = tuner.tune(&base(0.6), &d).unwrap();
+        assert_eq!(out.curve.len(), 4);
+        assert!(tuner.gamma_grid.contains(&out.best_gamma));
+        // The winner maximizes the with-variation validation accuracy.
+        let best_point = out
+            .curve
+            .iter()
+            .find(|p| p.gamma == out.best_gamma)
+            .unwrap();
+        for p in &out.curve {
+            assert!(p.validation_with_variation <= best_point.validation_with_variation + 1e-12);
+        }
+        assert_eq!(out.weights.rows(), d.num_features());
+    }
+
+    #[test]
+    fn tuning_is_deterministic() {
+        let d = data();
+        let tuner = SelfTuner::coarse();
+        let a = tuner.tune(&base(0.6), &d).unwrap();
+        let b = tuner.tune(&base(0.6), &d).unwrap();
+        assert_eq!(a.best_gamma, b.best_gamma);
+        assert_eq!(a.weights, b.weights);
+    }
+
+    #[test]
+    fn training_rate_trend_is_non_increasing_overall() {
+        // Fig. 4: the training rate falls as γ grows. Allow small local
+        // noise, require the endpoint drop.
+        let d = data();
+        let tuner = SelfTuner {
+            gamma_grid: vec![0.0, 0.5, 1.0],
+            ..SelfTuner::coarse()
+        };
+        let out = tuner.tune(&base(0.8), &d).unwrap();
+        let first = out.curve.first().unwrap().training_rate;
+        let last = out.curve.last().unwrap().training_rate;
+        assert!(
+            last <= first + 0.02,
+            "training rate should not grow with γ: {first} → {last}"
+        );
+    }
+
+    #[test]
+    fn zero_sigma_prefers_gamma_zero_region() {
+        // With no variation to tolerate, the penalty can only hurt, so the
+        // winning γ should be at (or near) zero.
+        let d = data();
+        let tuner = SelfTuner {
+            gamma_grid: vec![0.0, 0.6, 1.0],
+            mc_draws: 2,
+            ..SelfTuner::coarse()
+        };
+        let out = tuner.tune(&base(0.0), &d).unwrap();
+        assert!(
+            out.best_gamma < 0.7,
+            "σ=0 should not choose a large γ: {}",
+            out.best_gamma
+        );
+    }
+}

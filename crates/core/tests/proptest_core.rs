@@ -1,0 +1,127 @@
+//! Property-based tests for the Vortex core algorithms.
+
+use proptest::prelude::*;
+use vortex_core::amp::greedy::{greedy_map, RowMapping};
+use vortex_core::amp::swv;
+use vortex_core::rho::RhoConfig;
+use vortex_core::vat::inject_variation;
+use vortex_linalg::rng::Xoshiro256PlusPlus;
+use vortex_linalg::Matrix;
+
+fn matrix(rows: usize, cols: usize, lo: f64, hi: f64) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(lo..hi, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn row_mapping_preserves_outputs(w in matrix(5, 3, -2.0, 2.0),
+                                     x in proptest::collection::vec(0.0..1.0f64, 5),
+                                     seed in proptest::num::u64::ANY) {
+        // Any injective mapping with zero-filled unused rows preserves
+        // xᵀ·W exactly — the correctness core of AMP.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let physical = 5 + rng.next_below(4);
+        let chosen = rng.sample_indices(physical, 5);
+        let mapping = RowMapping::from_assignment(chosen, physical).unwrap();
+        let y_logical = w.vecmat(&x);
+        let y_phys = mapping
+            .apply_to_rows(&w, 0.0)
+            .vecmat(&mapping.route_input(&x));
+        for (a, b) in y_logical.iter().zip(&y_phys) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn greedy_mapping_is_injective_and_complete(sens in proptest::collection::vec(0.0..10.0f64, 6),
+                                                swv_vals in proptest::collection::vec(0.0..5.0f64, 6 * 9)) {
+        let swv_m = Matrix::from_vec(6, 9, swv_vals).unwrap();
+        let mapping = greedy_map(&sens, &swv_m).unwrap();
+        prop_assert_eq!(mapping.logical_rows(), 6);
+        prop_assert_eq!(mapping.physical_rows(), 9);
+        let mut seen = [false; 9];
+        for p in 0..6 {
+            let q = mapping.physical_row(p);
+            prop_assert!(q < 9);
+            prop_assert!(!seen[q], "physical row {q} used twice");
+            seen[q] = true;
+        }
+    }
+
+    #[test]
+    fn greedy_most_sensitive_row_gets_its_best_available(sens in proptest::collection::vec(0.1..10.0f64, 5),
+                                                          swv_vals in proptest::collection::vec(0.0..5.0f64, 5 * 7)) {
+        // The first-visited (most sensitive) row always receives its
+        // globally cheapest physical row.
+        let swv_m = Matrix::from_vec(5, 7, swv_vals).unwrap();
+        let mapping = greedy_map(&sens, &swv_m).unwrap();
+        let most = (0..5)
+            .max_by(|&a, &b| sens[a].partial_cmp(&sens[b]).unwrap()
+                .then(b.cmp(&a)))
+            .unwrap();
+        let assigned_cost = swv_m[(most, mapping.physical_row(most))];
+        let best_cost = (0..7)
+            .map(|q| swv_m[(most, q)])
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((assigned_cost - best_cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swv_is_nonnegative_and_zero_iff_perfect(w in matrix(3, 4, -2.0, 2.0)) {
+        let perfect = Matrix::filled(5, 4, 1.0);
+        let m = swv::swv_matrix(&w, &perfect).unwrap();
+        for p in 0..3 {
+            for q in 0..5 {
+                prop_assert!(m[(p, q)].abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn swv_scales_linearly_with_weights(w in matrix(2, 3, -2.0, 2.0),
+                                        mult in matrix(2, 3, 0.2, 3.0),
+                                        k in 0.1..5.0f64) {
+        let base = swv::swv_matrix(&w, &mult).unwrap();
+        let scaled = swv::swv_matrix(&w.scaled(k), &mult).unwrap();
+        for p in 0..2 {
+            for q in 0..2 {
+                prop_assert!((scaled[(p, q)] - k * base[(p, q)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rho_is_monotone_in_confidence(sigma in 0.01..1.5f64, n in 1usize..500,
+                                     c1 in 0.05..0.9f64, dc in 0.01..0.09f64) {
+        let lo = RhoConfig { confidence: c1 }.rho(sigma, n).unwrap();
+        let hi = RhoConfig { confidence: c1 + dc }.rho(sigma, n).unwrap();
+        prop_assert!(hi >= lo);
+    }
+
+    #[test]
+    fn inject_variation_preserves_zero_and_sign(w in matrix(4, 3, -1.0, 1.0),
+                                                sigma in 0.0..1.0f64,
+                                                seed in proptest::num::u64::ANY) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let wv = inject_variation(&w, sigma, &mut rng);
+        for (a, b) in w.as_slice().iter().zip(wv.as_slice()) {
+            if *a == 0.0 {
+                prop_assert_eq!(*b, 0.0);
+            } else {
+                prop_assert_eq!(a.signum(), b.signum());
+                prop_assert!(*b != 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_mapping_routing_is_identity(x in proptest::collection::vec(-3.0..3.0f64, 1..20)) {
+        let mapping = RowMapping::identity(x.len());
+        prop_assert_eq!(mapping.route_input(&x), x.clone());
+        let w = Matrix::from_vec(x.len(), 1, x.clone()).unwrap();
+        prop_assert_eq!(mapping.apply_to_rows(&w, 9.9), w);
+    }
+}

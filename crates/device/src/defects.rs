@@ -1,0 +1,215 @@
+//! Stuck-at fabrication defects.
+//!
+//! §4.2.2 of the paper: "Defective cell is another reliability issue …
+//! causing the device resistance stuck at HRS or LRS. Such defective cells
+//! can be detected as memristors with large variations and replaced by
+//! following the similar AMP process."
+
+use serde::{Deserialize, Serialize};
+use vortex_linalg::rng::Xoshiro256PlusPlus;
+
+use crate::{DeviceError, Result};
+
+/// The two stuck-at failure modes of a crossbar cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DefectKind {
+    /// Device is stuck at the low-resistance state regardless of
+    /// programming.
+    StuckLrs,
+    /// Device is stuck at the high-resistance state regardless of
+    /// programming.
+    StuckHrs,
+}
+
+/// Bernoulli defect-injection model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DefectModel {
+    p_stuck_lrs: f64,
+    p_stuck_hrs: f64,
+}
+
+impl DefectModel {
+    /// Creates a defect model with the given per-cell probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] if either probability is
+    /// outside `[0, 1]` or they sum to more than 1.
+    pub fn new(p_stuck_lrs: f64, p_stuck_hrs: f64) -> Result<Self> {
+        let valid = |p: f64| (0.0..=1.0).contains(&p);
+        if !valid(p_stuck_lrs) || !valid(p_stuck_hrs) || p_stuck_lrs + p_stuck_hrs > 1.0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "defect probabilities",
+                requirement: "each in [0,1] and summing to at most 1",
+            });
+        }
+        Ok(Self {
+            p_stuck_lrs,
+            p_stuck_hrs,
+        })
+    }
+
+    /// The defect-free model.
+    pub fn none() -> Self {
+        Self {
+            p_stuck_lrs: 0.0,
+            p_stuck_hrs: 0.0,
+        }
+    }
+
+    /// Probability of a cell being stuck at LRS.
+    pub fn p_stuck_lrs(&self) -> f64 {
+        self.p_stuck_lrs
+    }
+
+    /// Probability of a cell being stuck at HRS.
+    pub fn p_stuck_hrs(&self) -> f64 {
+        self.p_stuck_hrs
+    }
+
+    /// Total defect probability per cell.
+    pub fn p_total(&self) -> f64 {
+        self.p_stuck_lrs + self.p_stuck_hrs
+    }
+
+    /// Samples the defect state of a single cell.
+    pub fn sample_cell(&self, rng: &mut Xoshiro256PlusPlus) -> Option<DefectKind> {
+        if self.p_total() == 0.0 {
+            return None;
+        }
+        let u = rng.next_f64();
+        if u < self.p_stuck_lrs {
+            Some(DefectKind::StuckLrs)
+        } else if u < self.p_stuck_lrs + self.p_stuck_hrs {
+            Some(DefectKind::StuckHrs)
+        } else {
+            None
+        }
+    }
+
+    /// Samples a full `rows × cols` defect map.
+    pub fn sample_map(
+        &self,
+        rows: usize,
+        cols: usize,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> DefectMap {
+        let cells = (0..rows * cols).map(|_| self.sample_cell(rng)).collect();
+        DefectMap { rows, cols, cells }
+    }
+}
+
+/// A per-cell defect assignment for a crossbar.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DefectMap {
+    rows: usize,
+    cols: usize,
+    cells: Vec<Option<DefectKind>>,
+}
+
+impl DefectMap {
+    /// A defect-free map.
+    pub fn clean(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            cells: vec![None; rows * cols],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The defect state of cell `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> Option<DefectKind> {
+        assert!(i < self.rows && j < self.cols, "defect map index oob");
+        self.cells[i * self.cols + j]
+    }
+
+    /// Marks cell `(i, j)` with a defect (or clears it with `None`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn set(&mut self, i: usize, j: usize, defect: Option<DefectKind>) {
+        assert!(i < self.rows && j < self.cols, "defect map index oob");
+        self.cells[i * self.cols + j] = defect;
+    }
+
+    /// Total number of defective cells.
+    pub fn defect_count(&self) -> usize {
+        self.cells.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Rows containing at least one defective cell.
+    pub fn defective_rows(&self) -> Vec<usize> {
+        (0..self.rows)
+            .filter(|&i| (0..self.cols).any(|j| self.get(i, j).is_some()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(DefectModel::new(-0.1, 0.0).is_err());
+        assert!(DefectModel::new(0.0, 1.5).is_err());
+        assert!(DefectModel::new(0.6, 0.6).is_err());
+        assert!(DefectModel::new(0.01, 0.01).is_ok());
+    }
+
+    #[test]
+    fn none_model_produces_clean_map() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let map = DefectModel::none().sample_map(10, 10, &mut rng);
+        assert_eq!(map.defect_count(), 0);
+        assert!(map.defective_rows().is_empty());
+    }
+
+    #[test]
+    fn defect_rates_match_probabilities() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let model = DefectModel::new(0.05, 0.10).unwrap();
+        let map = model.sample_map(300, 300, &mut rng);
+        let n = 300 * 300;
+        let lrs = (0..300)
+            .flat_map(|i| (0..300).map(move |j| (i, j)))
+            .filter(|&(i, j)| map.get(i, j) == Some(DefectKind::StuckLrs))
+            .count();
+        let hrs = map.defect_count() - lrs;
+        assert!((lrs as f64 / n as f64 - 0.05).abs() < 0.01);
+        assert!((hrs as f64 / n as f64 - 0.10).abs() < 0.01);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut map = DefectMap::clean(3, 3);
+        map.set(1, 2, Some(DefectKind::StuckHrs));
+        assert_eq!(map.get(1, 2), Some(DefectKind::StuckHrs));
+        assert_eq!(map.get(0, 0), None);
+        assert_eq!(map.defective_rows(), vec![1]);
+        map.set(1, 2, None);
+        assert_eq!(map.defect_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "oob")]
+    fn out_of_bounds_get_panics() {
+        let map = DefectMap::clean(2, 2);
+        let _ = map.get(2, 0);
+    }
+}

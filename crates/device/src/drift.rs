@@ -1,0 +1,156 @@
+//! Retention drift: conductance relaxation over time.
+//!
+//! Filamentary resistive devices lose conductance after programming,
+//! classically modeled as a power law `g(t) = g₀·(1 + t/τ)^{−ν}` with a
+//! device-to-device spread in the drift exponent ν. The paper does not
+//! evaluate retention, but its variation machinery applies unchanged: a
+//! per-device random ν is just one more multiplicative disturbance, so
+//! VAT's guard band should buy retention time — an extension this module
+//! enables (see `vortex-core::retention`).
+
+use serde::{Deserialize, Serialize};
+use vortex_linalg::distributions::Normal;
+use vortex_linalg::rng::Xoshiro256PlusPlus;
+use vortex_linalg::Matrix;
+
+use crate::{DeviceError, Result};
+
+/// Power-law retention model with lognormal-ish exponent spread.
+///
+/// # Example
+///
+/// ```
+/// use vortex_device::drift::RetentionModel;
+///
+/// # fn main() -> Result<(), vortex_device::DeviceError> {
+/// let model = RetentionModel::new(0.05, 0.02, 1.0)?;
+/// let after_a_year = model.decay_factor(0.05, 3.15e7);
+/// assert!(after_a_year < 1.0 && after_a_year > 0.1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetentionModel {
+    /// Mean drift exponent ν (typical TaOx/HfOx values: 0.01–0.1).
+    pub nu_mean: f64,
+    /// Device-to-device standard deviation of ν (negative samples clamp
+    /// to 0 — some devices simply do not drift).
+    pub nu_sigma: f64,
+    /// Reference time constant τ in seconds.
+    pub tau_s: f64,
+}
+
+impl RetentionModel {
+    /// Creates a retention model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] for negative/non-finite
+    /// parameters or a non-positive τ.
+    pub fn new(nu_mean: f64, nu_sigma: f64, tau_s: f64) -> Result<Self> {
+        if !(nu_mean.is_finite() && nu_mean >= 0.0) {
+            return Err(DeviceError::InvalidParameter {
+                name: "nu_mean",
+                requirement: "must be finite and non-negative",
+            });
+        }
+        if !(nu_sigma.is_finite() && nu_sigma >= 0.0) {
+            return Err(DeviceError::InvalidParameter {
+                name: "nu_sigma",
+                requirement: "must be finite and non-negative",
+            });
+        }
+        if !(tau_s.is_finite() && tau_s > 0.0) {
+            return Err(DeviceError::InvalidParameter {
+                name: "tau_s",
+                requirement: "must be finite and positive",
+            });
+        }
+        Ok(Self {
+            nu_mean,
+            nu_sigma,
+            tau_s,
+        })
+    }
+
+    /// Samples one device's drift exponent (clamped at 0).
+    pub fn sample_nu(&self, rng: &mut Xoshiro256PlusPlus) -> f64 {
+        (self.nu_mean + Normal::standard().sample(rng) * self.nu_sigma).max(0.0)
+    }
+
+    /// The decay factor of a device with exponent `nu` after `t_s`
+    /// seconds: `(1 + t/τ)^{−ν}` (1 at `t = 0`, monotone decreasing).
+    pub fn decay_factor(&self, nu: f64, t_s: f64) -> f64 {
+        (1.0 + t_s.max(0.0) / self.tau_s).powf(-nu.max(0.0))
+    }
+
+    /// Samples a full per-device decay-factor matrix at time `t_s`.
+    pub fn sample_decay_matrix(
+        &self,
+        rows: usize,
+        cols: usize,
+        t_s: f64,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> Matrix {
+        Matrix::from_fn(rows, cols, |_, _| {
+            self.decay_factor(self.sample_nu(rng), t_s)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vortex_linalg::stats;
+
+    fn model() -> RetentionModel {
+        RetentionModel::new(0.05, 0.02, 1.0).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(RetentionModel::new(-0.1, 0.0, 1.0).is_err());
+        assert!(RetentionModel::new(0.05, -0.1, 1.0).is_err());
+        assert!(RetentionModel::new(0.05, 0.02, 0.0).is_err());
+    }
+
+    #[test]
+    fn no_decay_at_time_zero() {
+        let m = model();
+        assert_eq!(m.decay_factor(0.08, 0.0), 1.0);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let d = m.sample_decay_matrix(5, 5, 0.0, &mut rng);
+        assert!(d.as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn decay_is_monotone_in_time_and_nu() {
+        let m = model();
+        let f1 = m.decay_factor(0.05, 1e3);
+        let f2 = m.decay_factor(0.05, 1e6);
+        assert!(f2 < f1 && f1 < 1.0);
+        assert!(m.decay_factor(0.1, 1e3) < m.decay_factor(0.02, 1e3));
+        // ν = 0 devices never drift.
+        assert_eq!(m.decay_factor(0.0, 1e9), 1.0);
+    }
+
+    #[test]
+    fn spread_grows_with_time() {
+        let m = model();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let early = m.sample_decay_matrix(50, 50, 1e2, &mut rng);
+        let late = m.sample_decay_matrix(50, 50, 1e7, &mut rng);
+        assert!(
+            stats::std_dev(late.as_slice()) > stats::std_dev(early.as_slice()),
+            "drift dispersion must grow with time"
+        );
+    }
+
+    #[test]
+    fn factors_in_unit_interval() {
+        let m = model();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let d = m.sample_decay_matrix(30, 30, 1e5, &mut rng);
+        assert!(d.as_slice().iter().all(|&v| v > 0.0 && v <= 1.0));
+    }
+}

@@ -1,0 +1,101 @@
+//! Behavioural memristor device models for the Vortex reproduction.
+//!
+//! This crate is the device-level substrate of the simulator:
+//!
+//! * [`params::DeviceParams`] — nominal device corner (10 kΩ LRS / 1 MΩ HRS
+//!   as in the paper) plus the switching-dynamics constants.
+//! * [`switching`] — the nonlinear voltage-dependent switching model
+//!   (sinh-type rate with a threshold, after Yu et al., APL 2011 — the
+//!   paper's Fig. 1(a)), with closed-form pulse integration.
+//! * [`pulse`] — programming-pulse representation and the open-loop pulse
+//!   *pre-calculation* (model inversion) used by OLD and Vortex.
+//! * [`memristor::Memristor`] — a stateful device combining the nominal
+//!   model with its parametric-variation realization.
+//! * [`variation`] — lognormal parametric variation and Gaussian switching
+//!   variation (Lee et al., VLSIT 2012 — the paper's variation model).
+//! * [`defects`] — stuck-at-HRS / stuck-at-LRS fabrication defects.
+//!
+//! # Example
+//!
+//! ```
+//! use vortex_device::params::DeviceParams;
+//! use vortex_device::pulse::precalculate_pulse;
+//!
+//! # fn main() -> Result<(), vortex_device::DeviceError> {
+//! let params = DeviceParams::default(); // 10 kΩ .. 1 MΩ
+//! // Pre-calculate the pulse that takes a fresh (HRS) device to 50 kΩ.
+//! let pulse = precalculate_pulse(&params, params.r_off(), 50e3)?;
+//! assert!(pulse.width_s() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod defects;
+pub mod memristor;
+pub mod params;
+pub mod drift;
+pub mod pulse;
+pub mod switching;
+pub mod variation;
+
+pub use memristor::Memristor;
+pub use params::DeviceParams;
+pub use pulse::Pulse;
+pub use variation::VariationModel;
+
+/// Errors produced by the device models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The violated requirement.
+        requirement: &'static str,
+    },
+    /// A requested target state cannot be reached from the initial state
+    /// with the configured programming voltage.
+    TargetUnreachable {
+        /// Initial resistance in ohms.
+        from_ohms: f64,
+        /// Requested resistance in ohms.
+        to_ohms: f64,
+    },
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::InvalidParameter { name, requirement } => {
+                write!(f, "invalid device parameter `{name}`: {requirement}")
+            }
+            DeviceError::TargetUnreachable { from_ohms, to_ohms } => write!(
+                f,
+                "target resistance {to_ohms:.3e} ohm unreachable from {from_ohms:.3e} ohm"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, DeviceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync_and_display() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeviceError>();
+        let e = DeviceError::TargetUnreachable {
+            from_ohms: 1e4,
+            to_ohms: 1e6,
+        };
+        assert!(e.to_string().contains("unreachable"));
+    }
+}

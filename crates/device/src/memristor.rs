@@ -1,0 +1,247 @@
+//! A stateful memristor instance.
+//!
+//! [`Memristor`] combines the nominal switching model with the device's own
+//! parametric-variation realization `θ` and optional stuck-at defect. The
+//! crossbar crate holds a grid of these.
+
+use serde::{Deserialize, Serialize};
+
+use crate::defects::DefectKind;
+use crate::params::DeviceParams;
+use crate::pulse::Pulse;
+use crate::switching;
+
+/// One physical memristor: nominal model + variation + defect state.
+///
+/// The parametric deviation `θ` is a property of the *device* (fixed at
+/// fabrication); it multiplies the realized conductance as `g·e^θ`.
+/// Programming moves the internal state `w` according to the *nominal*
+/// dynamics — an open-loop programmer that pre-calculates pulses from the
+/// nominal model therefore lands at `e^θ` times its intended conductance,
+/// which is exactly the paper's variation mechanism.
+///
+/// # Example
+///
+/// ```
+/// use vortex_device::{DeviceParams, Memristor};
+/// use vortex_device::pulse::precalculate_pulse;
+///
+/// # fn main() -> Result<(), vortex_device::DeviceError> {
+/// let params = DeviceParams::default();
+/// let mut dev = Memristor::fresh(params); // starts at HRS, θ = 0
+/// let pulse = precalculate_pulse(&params, dev.resistance(), 50e3)?;
+/// dev.apply_pulse(&pulse);
+/// assert!((dev.resistance() - 50e3).abs() / 50e3 < 1e-2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Memristor {
+    params: DeviceParams,
+    /// Internal state variable in `[0, 1]` (0 = HRS, 1 = LRS).
+    w: f64,
+    /// Parametric log-domain deviation of this device.
+    theta: f64,
+    /// Stuck-at defect, if any.
+    defect: Option<DefectKind>,
+}
+
+impl Memristor {
+    /// A fresh, variation-free device at HRS.
+    pub fn fresh(params: DeviceParams) -> Self {
+        Self {
+            params,
+            w: 0.0,
+            theta: 0.0,
+            defect: None,
+        }
+    }
+
+    /// A device with the given parametric deviation, at HRS.
+    pub fn with_theta(params: DeviceParams, theta: f64) -> Self {
+        Self {
+            params,
+            w: 0.0,
+            theta,
+            defect: None,
+        }
+    }
+
+    /// Marks the device with a stuck-at defect (builder style).
+    pub fn with_defect(mut self, defect: Option<DefectKind>) -> Self {
+        self.defect = defect;
+        self
+    }
+
+    /// The nominal parameter set.
+    pub fn params(&self) -> &DeviceParams {
+        &self.params
+    }
+
+    /// Internal state `w ∈ [0, 1]`.
+    pub fn state(&self) -> f64 {
+        self.w
+    }
+
+    /// This device's parametric deviation θ.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// The stuck-at defect, if any.
+    pub fn defect(&self) -> Option<DefectKind> {
+        self.defect
+    }
+
+    /// Realized conductance, including variation and defects.
+    pub fn conductance(&self) -> f64 {
+        match self.defect {
+            Some(DefectKind::StuckLrs) => self.params.g_on(),
+            Some(DefectKind::StuckHrs) => self.params.g_off(),
+            None => self.params.conductance_from_w(self.w) * self.theta.exp(),
+        }
+    }
+
+    /// Realized resistance, including variation and defects.
+    pub fn resistance(&self) -> f64 {
+        1.0 / self.conductance()
+    }
+
+    /// Applies a programming pulse, moving the internal state by the
+    /// nominal dynamics. Stuck devices ignore pulses.
+    pub fn apply_pulse(&mut self, pulse: &Pulse) {
+        if self.defect.is_some() || pulse.is_none() {
+            return;
+        }
+        self.w = switching::evolve_state(&self.params, self.w, pulse.voltage(), pulse.width_s());
+    }
+
+    /// Applies a pulse with an additional cycle-to-cycle (switching
+    /// variation) jitter `ε`: the achieved state *movement* is scaled by
+    /// `e^ε`.
+    pub fn apply_pulse_with_jitter(&mut self, pulse: &Pulse, epsilon: f64) {
+        if self.defect.is_some() || pulse.is_none() {
+            return;
+        }
+        let w0 = self.w;
+        let w_nominal =
+            switching::evolve_state(&self.params, w0, pulse.voltage(), pulse.width_s());
+        let moved = (w_nominal - w0) * epsilon.exp();
+        self.w = (w0 + moved).clamp(0.0, 1.0);
+    }
+
+    /// Directly forces the internal state (test/bench helper emulating an
+    /// ideal close-loop step). Clamped to `[0, 1]`; stuck devices ignore
+    /// it.
+    pub fn force_state(&mut self, w: f64) {
+        if self.defect.is_none() {
+            self.w = w.clamp(0.0, 1.0);
+        }
+    }
+
+    /// Resets the device to HRS (e.g. before pre-testing). Stuck devices
+    /// ignore it.
+    pub fn reset_to_hrs(&mut self) {
+        self.force_state(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pulse::precalculate_pulse;
+
+    fn params() -> DeviceParams {
+        DeviceParams::default()
+    }
+
+    #[test]
+    fn fresh_device_is_hrs() {
+        let d = Memristor::fresh(params());
+        assert!((d.resistance() - 1e6).abs() < 1.0);
+        assert_eq!(d.state(), 0.0);
+        assert_eq!(d.theta(), 0.0);
+    }
+
+    #[test]
+    fn theta_shifts_conductance_multiplicatively() {
+        let p = params();
+        let mut a = Memristor::with_theta(p, 0.0);
+        let mut b = Memristor::with_theta(p, 0.5);
+        a.force_state(1.0);
+        b.force_state(1.0);
+        assert!((b.conductance() / a.conductance() - 0.5_f64.exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn open_loop_programming_misses_by_e_theta() {
+        // The paper's core OLD failure mode, at device level.
+        let p = params();
+        let theta = 0.4;
+        let mut d = Memristor::with_theta(p, theta);
+        let target = 50e3;
+        // Pre-calculation uses nominal model and the *nominal* resistance
+        // trajectory (it can't see theta).
+        let pulse = precalculate_pulse(&p, p.r_off(), target).unwrap();
+        d.apply_pulse(&pulse);
+        // Nominal state landed on target, realized conductance off by e^θ.
+        let intended_g = 1.0 / target;
+        let realized = d.conductance();
+        assert!(
+            (realized / intended_g - theta.exp()).abs() < 1e-2,
+            "realized/intended = {}",
+            realized / intended_g
+        );
+    }
+
+    #[test]
+    fn stuck_devices_ignore_pulses() {
+        let p = params();
+        let mut lrs = Memristor::fresh(p).with_defect(Some(DefectKind::StuckLrs));
+        let mut hrs = Memristor::fresh(p).with_defect(Some(DefectKind::StuckHrs));
+        let pulse = precalculate_pulse(&p, 1e6, 20e3).unwrap();
+        lrs.apply_pulse(&pulse);
+        hrs.apply_pulse(&pulse);
+        assert_eq!(lrs.conductance(), p.g_on());
+        assert_eq!(hrs.conductance(), p.g_off());
+        lrs.force_state(0.5);
+        assert_eq!(lrs.conductance(), p.g_on());
+    }
+
+    #[test]
+    fn jitter_scales_movement() {
+        let p = params();
+        let pulse = precalculate_pulse(&p, 1e6, 100e3).unwrap();
+        let mut nominal = Memristor::fresh(p);
+        let mut fast = Memristor::fresh(p);
+        let mut slow = Memristor::fresh(p);
+        nominal.apply_pulse(&pulse);
+        fast.apply_pulse_with_jitter(&pulse, 0.3);
+        slow.apply_pulse_with_jitter(&pulse, -0.3);
+        assert!(fast.state() > nominal.state());
+        assert!(slow.state() < nominal.state());
+        // ε = 0 must match the plain pulse exactly.
+        let mut zero = Memristor::fresh(p);
+        zero.apply_pulse_with_jitter(&pulse, 0.0);
+        assert_eq!(zero.state(), nominal.state());
+    }
+
+    #[test]
+    fn reset_to_hrs() {
+        let p = params();
+        let mut d = Memristor::fresh(p);
+        d.force_state(0.9);
+        d.reset_to_hrs();
+        assert_eq!(d.state(), 0.0);
+    }
+
+    #[test]
+    fn force_state_clamps() {
+        let p = params();
+        let mut d = Memristor::fresh(p);
+        d.force_state(7.0);
+        assert_eq!(d.state(), 1.0);
+        d.force_state(-7.0);
+        assert_eq!(d.state(), 0.0);
+    }
+}

@@ -1,0 +1,298 @@
+//! Nonlinear switching dynamics.
+//!
+//! The model is a threshold-sinh rate equation with soft boundaries
+//! (a first-order window), chosen so that:
+//!
+//! * switching is *strongly* nonlinear in voltage — a half-selected device
+//!   (V/2) moves ~3 orders of magnitude more slowly than a full-selected
+//!   one, reproducing Fig. 1(a) of the paper;
+//! * the pulse response integrates in closed form, so the OLD pulse
+//!   *pre-calculation* (§2.2.3) is an exact model inversion rather than a
+//!   numeric search (a numeric fallback is still provided for validation).
+//!
+//! SET (positive voltage, towards LRS):
+//! `dw/dt =  k_set  · f(V) · (1 − w)`  ⇒  `w(t) = 1 − (1 − w₀)·e^{−k·f·t}`
+//!
+//! RESET (negative voltage, towards HRS):
+//! `dw/dt = −k_reset · f(|V|) · w`     ⇒  `w(t) = w₀·e^{−k·f·t}`
+//!
+//! with drive `f(V) = sinh(|V|/v_char) − sinh(v_th/v_char)` for
+//! `|V| > v_th`, else 0.
+
+use crate::params::DeviceParams;
+
+/// Voltage drive term `f(V)`: zero below threshold, sinh-steep above.
+///
+/// The steepness is what makes the V/2 half-select scheme work: at the
+/// default corner `f(2.8 V) / f(1.4 V) ≈ 800`.
+pub fn drive(params: &DeviceParams, voltage_magnitude: f64) -> f64 {
+    let v = voltage_magnitude.abs();
+    if v <= params.v_threshold() {
+        return 0.0;
+    }
+    (v / params.v_char()).sinh() - (params.v_threshold() / params.v_char()).sinh()
+}
+
+/// Integrates the state under a constant voltage for `dt` seconds.
+///
+/// Positive voltage SETs (towards LRS, `w → 1`); negative voltage RESETs
+/// (towards HRS, `w → 0`). Sub-threshold voltage leaves the state
+/// untouched. The result is clamped to `[0, 1]`.
+pub fn evolve_state(params: &DeviceParams, w0: f64, voltage: f64, dt: f64) -> f64 {
+    debug_assert!(dt >= 0.0, "negative pulse width");
+    let w0 = w0.clamp(0.0, 1.0);
+    let f = drive(params, voltage);
+    if f == 0.0 || dt == 0.0 {
+        return w0;
+    }
+    if voltage > 0.0 {
+        let decay = (-params.rate_set() * f * dt).exp();
+        1.0 - (1.0 - w0) * decay
+    } else {
+        let decay = (-params.rate_reset() * f * dt).exp();
+        w0 * decay
+    }
+}
+
+/// Pulse width that moves the state from `w0` to `w_target` at constant
+/// `voltage` (closed-form inversion of [`evolve_state`]).
+///
+/// Returns `None` when the target is in the wrong direction for the
+/// voltage sign, the drive is zero (sub-threshold), or the target sits
+/// exactly on a boundary that is only reached asymptotically.
+pub fn width_for_target(
+    params: &DeviceParams,
+    w0: f64,
+    w_target: f64,
+    voltage: f64,
+) -> Option<f64> {
+    let w0 = w0.clamp(0.0, 1.0);
+    let wt = w_target.clamp(0.0, 1.0);
+    let f = drive(params, voltage);
+    if f == 0.0 {
+        return if (wt - w0).abs() < 1e-15 {
+            Some(0.0)
+        } else {
+            None
+        };
+    }
+    if (wt - w0).abs() < 1e-15 {
+        return Some(0.0);
+    }
+    if voltage > 0.0 {
+        // SET: must move upward and cannot reach exactly 1.
+        if wt < w0 || wt >= 1.0 {
+            return None;
+        }
+        let ratio = (1.0 - w0) / (1.0 - wt);
+        Some(ratio.ln() / (params.rate_set() * f))
+    } else {
+        // RESET: must move downward and cannot reach exactly 0.
+        if wt > w0 || wt <= 0.0 || w0 <= 0.0 {
+            return None;
+        }
+        let ratio = w0 / wt;
+        Some(ratio.ln() / (params.rate_reset() * f))
+    }
+}
+
+/// Numeric (bisection) inversion of [`evolve_state`] — validation fallback
+/// for [`width_for_target`], and the tool of choice if the closed form is
+/// ever replaced by a tabulated switching characteristic.
+pub fn width_for_target_numeric(
+    params: &DeviceParams,
+    w0: f64,
+    w_target: f64,
+    voltage: f64,
+    max_width: f64,
+) -> Option<f64> {
+    let f = drive(params, voltage);
+    if f == 0.0 {
+        return None;
+    }
+    let w0 = w0.clamp(0.0, 1.0);
+    let wt = w_target.clamp(0.0, 1.0);
+    let toward = evolve_state(params, w0, voltage, max_width);
+    // Monotone in dt: check the target is bracketed.
+    let (lo_val, hi_val) = (w0, toward);
+    let bracketed = if lo_val <= hi_val {
+        (lo_val..=hi_val).contains(&wt)
+    } else {
+        (hi_val..=lo_val).contains(&wt)
+    };
+    if !bracketed {
+        return None;
+    }
+    let mut lo = 0.0;
+    let mut hi = max_width;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        let w = evolve_state(params, w0, voltage, mid);
+        let undershoot = if voltage > 0.0 { w < wt } else { w > wt };
+        if undershoot {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> DeviceParams {
+        DeviceParams::default()
+    }
+
+    #[test]
+    fn drive_zero_below_threshold() {
+        let p = p();
+        assert_eq!(drive(&p, 0.0), 0.0);
+        assert_eq!(drive(&p, 1.0), 0.0);
+        assert_eq!(drive(&p, p.v_threshold()), 0.0);
+        assert!(drive(&p, p.v_threshold() + 0.01) > 0.0);
+    }
+
+    #[test]
+    fn half_select_is_orders_of_magnitude_weaker() {
+        let p = p();
+        let full = drive(&p, p.v_program());
+        let half = drive(&p, p.v_program() / 2.0);
+        assert!(
+            full / half > 100.0,
+            "full/half drive ratio = {}",
+            full / half
+        );
+    }
+
+    #[test]
+    fn drive_is_symmetric_in_sign() {
+        let p = p();
+        assert_eq!(drive(&p, 2.8), drive(&p, -2.8));
+    }
+
+    #[test]
+    fn set_moves_towards_one() {
+        let p = p();
+        let w1 = evolve_state(&p, 0.0, p.v_program(), 1e-6);
+        assert!(w1 > 0.5, "1 µs full SET should move most of the way: {w1}");
+        let w2 = evolve_state(&p, 0.0, p.v_program(), 1e-5);
+        assert!(w2 > w1);
+        assert!(w2 <= 1.0);
+    }
+
+    #[test]
+    fn reset_moves_towards_zero() {
+        let p = p();
+        let w1 = evolve_state(&p, 1.0, -p.v_program(), 1e-6);
+        assert!(w1 < 0.5);
+        let w2 = evolve_state(&p, 1.0, -p.v_program(), 1e-5);
+        assert!(w2 < w1);
+        assert!(w2 >= 0.0);
+    }
+
+    #[test]
+    fn subthreshold_pulse_is_noop() {
+        let p = p();
+        assert_eq!(evolve_state(&p, 0.3, 1.0, 1.0), 0.3);
+        assert_eq!(evolve_state(&p, 0.3, -1.0, 1.0), 0.3);
+        // Half-select at V/2 = 1.4 V moves, but only a little in 1 µs.
+        let w = evolve_state(&p, 0.3, p.v_program() / 2.0, 1e-6);
+        assert!((w - 0.3).abs() < 0.01, "half-select drift {}", w - 0.3);
+    }
+
+    #[test]
+    fn zero_width_is_noop() {
+        let p = p();
+        assert_eq!(evolve_state(&p, 0.7, 2.8, 0.0), 0.7);
+    }
+
+    #[test]
+    fn width_inversion_roundtrip_set() {
+        let p = p();
+        for &(w0, wt) in &[(0.0, 0.3), (0.1, 0.9), (0.5, 0.6), (0.0, 0.999)] {
+            let dt = width_for_target(&p, w0, wt, p.v_program()).expect("reachable");
+            let w = evolve_state(&p, w0, p.v_program(), dt);
+            assert!((w - wt).abs() < 1e-9, "w0={w0} wt={wt} got {w}");
+        }
+    }
+
+    #[test]
+    fn width_inversion_roundtrip_reset() {
+        let p = p();
+        for &(w0, wt) in &[(1.0, 0.7), (0.9, 0.1), (0.5, 0.4), (1.0, 0.001)] {
+            let dt = width_for_target(&p, w0, wt, -p.v_program()).expect("reachable");
+            let w = evolve_state(&p, w0, -p.v_program(), dt);
+            assert!((w - wt).abs() < 1e-9, "w0={w0} wt={wt} got {w}");
+        }
+    }
+
+    #[test]
+    fn wrong_direction_is_unreachable() {
+        let p = p();
+        assert!(width_for_target(&p, 0.5, 0.2, p.v_program()).is_none());
+        assert!(width_for_target(&p, 0.5, 0.8, -p.v_program()).is_none());
+        assert!(width_for_target(&p, 0.5, 0.8, 1.0).is_none()); // sub-threshold
+    }
+
+    #[test]
+    fn exact_boundaries_unreachable_in_finite_time() {
+        let p = p();
+        assert!(width_for_target(&p, 0.5, 1.0, p.v_program()).is_none());
+        assert!(width_for_target(&p, 0.5, 0.0, -p.v_program()).is_none());
+    }
+
+    #[test]
+    fn same_state_takes_zero_width() {
+        let p = p();
+        assert_eq!(width_for_target(&p, 0.4, 0.4, p.v_program()), Some(0.0));
+    }
+
+    #[test]
+    fn numeric_inversion_agrees_with_closed_form() {
+        let p = p();
+        for &(w0, wt, sign) in &[(0.0, 0.5, 1.0), (0.2, 0.8, 1.0), (0.9, 0.3, -1.0)] {
+            let v = sign * p.v_program();
+            let exact = width_for_target(&p, w0, wt, v).unwrap();
+            let numeric = width_for_target_numeric(&p, w0, wt, v, 1e-3).unwrap();
+            assert!(
+                (exact - numeric).abs() / exact.max(1e-12) < 1e-6,
+                "exact {exact} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn lower_voltage_needs_longer_pulse() {
+        // The IR-drop mechanism: a degraded programming voltage needs an
+        // exponentially longer pulse for the same resistance change.
+        let p = p();
+        let full = width_for_target(&p, 0.0, 0.5, p.v_program()).unwrap();
+        let degraded = width_for_target(&p, 0.0, 0.5, p.v_program() - 0.3).unwrap();
+        assert!(
+            degraded / full > 3.0,
+            "0.3 V degradation should slow switching a lot, ratio {}",
+            degraded / full
+        );
+    }
+
+    #[test]
+    fn figure_1a_shape_voltage_sensitivity() {
+        // Paper: reducing the programming voltage from 2.9 V to 2.8 V at a
+        // fixed 0.5 µs changes the achieved resistance by >2×; reducing to
+        // the half-select 1.45 V produces negligible change. Verify the
+        // same qualitative shape on a RESET (towards HRS) transition.
+        let p = p();
+        let dt = 0.5e-6;
+        let r29 = p.resistance_from_w(evolve_state(&p, 1.0, -2.9, dt));
+        let r28 = p.resistance_from_w(evolve_state(&p, 1.0, -2.8, dt));
+        let r145 = p.resistance_from_w(evolve_state(&p, 1.0, -1.45, dt));
+        assert!(r29 / r28 > 1.5, "2.9 vs 2.8 V: {r29:.3e} vs {r28:.3e}");
+        assert!(
+            (r145 - p.r_on()) / p.r_on() < 0.05,
+            "half-select should barely move: {r145:.3e}"
+        );
+    }
+}

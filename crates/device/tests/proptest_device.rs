@@ -1,0 +1,126 @@
+//! Property-based tests for the memristor device models.
+
+use proptest::prelude::*;
+use vortex_device::params::DeviceParams;
+use vortex_device::pulse::precalculate_pulse;
+use vortex_device::switching::{drive, evolve_state, width_for_target};
+use vortex_device::VariationModel;
+use vortex_linalg::rng::Xoshiro256PlusPlus;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn state_stays_in_unit_interval(w0 in 0.0..1.0f64,
+                                    v in -4.0..4.0f64,
+                                    dt in 0.0..1e-3f64) {
+        let p = DeviceParams::default();
+        let w = evolve_state(&p, w0, v, dt);
+        prop_assert!((0.0..=1.0).contains(&w), "w = {w}");
+    }
+
+    #[test]
+    fn set_is_monotone_in_width(w0 in 0.0..0.9f64, dt in 1e-9..1e-5f64) {
+        let p = DeviceParams::default();
+        let v = p.v_program();
+        let w1 = evolve_state(&p, w0, v, dt);
+        let w2 = evolve_state(&p, w0, v, dt * 2.0);
+        prop_assert!(w2 >= w1 - 1e-15);
+        prop_assert!(w1 >= w0 - 1e-15);
+    }
+
+    #[test]
+    fn reset_is_monotone_in_width(w0 in 0.1..1.0f64, dt in 1e-9..1e-5f64) {
+        let p = DeviceParams::default();
+        let v = -p.v_program();
+        let w1 = evolve_state(&p, w0, v, dt);
+        let w2 = evolve_state(&p, w0, v, dt * 2.0);
+        prop_assert!(w2 <= w1 + 1e-15);
+        prop_assert!(w1 <= w0 + 1e-15);
+    }
+
+    #[test]
+    fn drive_is_monotone_in_voltage(v1 in 0.0..4.0f64, dv in 0.0..2.0f64) {
+        let p = DeviceParams::default();
+        prop_assert!(drive(&p, v1 + dv) >= drive(&p, v1));
+    }
+
+    #[test]
+    fn pulse_inversion_roundtrip(w0 in 0.0..0.95f64, wt in 0.02..0.98f64) {
+        let p = DeviceParams::default();
+        let v = if wt > w0 { p.v_program() } else { -p.v_program() };
+        if (wt - w0).abs() > 1e-9 {
+            if let Some(dt) = width_for_target(&p, w0, wt, v) {
+                let w = evolve_state(&p, w0, v, dt);
+                prop_assert!((w - wt).abs() < 1e-8, "w0={w0} wt={wt} got {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn precalculated_pulse_lands_within_tolerance(r_from in 1.1e4..9.9e5f64,
+                                                  r_to in 1.1e4..9.9e5f64) {
+        let p = DeviceParams::default();
+        let pulse = precalculate_pulse(&p, r_from, r_to).unwrap();
+        let w0 = p.w_from_resistance(r_from);
+        let w = evolve_state(&p, w0, pulse.voltage(), pulse.width_s());
+        let r = p.resistance_from_w(w);
+        prop_assert!((r - r_to).abs() / r_to < 1e-2, "from {r_from} to {r_to} landed {r}");
+    }
+
+    #[test]
+    fn conductance_w_roundtrip(w in 0.0..1.0f64) {
+        let p = DeviceParams::default();
+        let g = p.conductance_from_w(w);
+        prop_assert!((p.w_from_conductance(g) - w).abs() < 1e-12);
+        prop_assert!(g >= p.g_off() && g <= p.g_on());
+    }
+
+    #[test]
+    fn variation_apply_preserves_positivity(g in 1e-7..1e-3f64, theta in -3.0..3.0f64) {
+        prop_assert!(VariationModel::apply(g, theta) > 0.0);
+    }
+
+    #[test]
+    fn theta_samples_bounded_by_tails(sigma in 0.0..1.0f64, seed in proptest::num::u64::ANY) {
+        let m = VariationModel::parametric(sigma).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        for _ in 0..20 {
+            let t = m.sample_theta(&mut rng);
+            // 8σ tails are effectively impossible; catches scale bugs.
+            prop_assert!(t.abs() <= 8.0 * sigma + 1e-12);
+        }
+    }
+
+    #[test]
+    fn half_select_always_weaker_than_full(w0 in 0.0..1.0f64, dt in 1e-9..1e-5f64) {
+        let p = DeviceParams::default();
+        let full = evolve_state(&p, w0, p.v_program(), dt);
+        let half = evolve_state(&p, w0, p.v_program() / 2.0, dt);
+        // Half-select movement never exceeds full-select movement.
+        prop_assert!((half - w0).abs() <= (full - w0).abs() + 1e-15);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn retention_decay_is_monotone_and_bounded(nu in 0.0..0.3f64,
+                                               t1 in 0.0..1e9f64,
+                                               dt in 0.0..1e9f64) {
+        let m = vortex_device::drift::RetentionModel::new(0.05, 0.02, 1.0).unwrap();
+        let f1 = m.decay_factor(nu, t1);
+        let f2 = m.decay_factor(nu, t1 + dt);
+        prop_assert!(f2 <= f1 + 1e-15);
+        prop_assert!(f1 > 0.0 && f1 <= 1.0);
+    }
+
+    #[test]
+    fn correlated_total_sigma_is_root_sum_square(a in 0.0..1.0f64, b in 0.0..1.0f64,
+                                                 c in 0.0..1.0f64) {
+        let m = vortex_device::variation::CorrelatedVariationModel::new(a, b, c).unwrap();
+        let expect = (a * a + b * b + c * c).sqrt();
+        prop_assert!((m.total_sigma() - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,358 @@
+//! Chi-square distribution: CDF and inverse CDF.
+//!
+//! VAT bounds the variation penalty with `‖θ‖₂ ≤ ρ` at a chosen confidence
+//! level, where `‖θ‖₂²` of `n` i.i.d. `N(0, σ²)` variables is `σ²·χ²(n)`
+//! (Eq. (7) of the paper). The confidence radius is therefore
+//! `ρ = σ·sqrt(chi2_quantile(confidence, n))`, computed here.
+//!
+//! Implementation: log-gamma by the Lanczos approximation, the regularized
+//! lower incomplete gamma `P(a, x)` by series/continued-fraction (Numerical
+//! Recipes style), the quantile by a Wilson–Hilferty initial guess refined
+//! with Newton iterations on the CDF.
+
+use crate::{LinalgError, Result};
+
+/// Natural log of the gamma function, Lanczos approximation (g = 7, n = 9).
+///
+/// Accurate to ~1e-13 for `x > 0`.
+///
+/// # Panics
+///
+/// Panics if `x <= 0`.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    const G: f64 = 7.0;
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEFFS[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized lower incomplete gamma `P(a, x) = γ(a, x) / Γ(a)`.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `x < 0`.
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_p requires a > 0");
+    assert!(x >= 0.0, "gamma_p requires x >= 0");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        1.0 - gamma_q_continued_fraction(a, x)
+    }
+}
+
+/// Series expansion of `P(a, x)` — converges fast for `x < a + 1`.
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-15 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Continued fraction for `Q(a, x) = 1 − P(a, x)` — for `x ≥ a + 1`.
+fn gamma_q_continued_fraction(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma(a)).exp() * h
+}
+
+/// Chi-square CDF with `dof` degrees of freedom.
+///
+/// # Panics
+///
+/// Panics if `dof == 0` or `x < 0`.
+pub fn chi2_cdf(x: f64, dof: usize) -> f64 {
+    assert!(dof > 0, "chi2_cdf requires dof > 0");
+    gamma_p(dof as f64 / 2.0, x / 2.0)
+}
+
+/// Chi-square quantile (inverse CDF) at probability `p` with `dof` degrees
+/// of freedom.
+///
+/// Uses the Wilson–Hilferty cube-root normal approximation as the initial
+/// guess and polishes with safeguarded Newton iterations on [`chi2_cdf`].
+///
+/// # Errors
+///
+/// Returns [`LinalgError::InvalidParameter`] if `p ∉ (0, 1)` or `dof == 0`.
+pub fn chi2_quantile(p: f64, dof: usize) -> Result<f64> {
+    if dof == 0 {
+        return Err(LinalgError::InvalidParameter {
+            name: "dof",
+            requirement: "must be positive",
+        });
+    }
+    if !(p > 0.0 && p < 1.0) {
+        return Err(LinalgError::InvalidParameter {
+            name: "p",
+            requirement: "must lie strictly between 0 and 1",
+        });
+    }
+    let k = dof as f64;
+
+    // Wilson–Hilferty: χ²(k) ≈ k·(1 − 2/(9k) + z·sqrt(2/(9k)))³.
+    let z = normal_quantile(p);
+    let c = 2.0 / (9.0 * k);
+    let mut x = k * (1.0 - c + z * c.sqrt()).powi(3);
+    if !(x.is_finite() && x > 0.0) {
+        x = k; // Fall back to the mean.
+    }
+
+    // Newton on F(x) − p with the chi-square PDF as derivative, with
+    // bisection safeguarding against leaving (0, ∞).
+    let mut lo = 0.0_f64;
+    let mut hi = f64::INFINITY;
+    for _ in 0..100 {
+        let f = chi2_cdf(x, dof) - p;
+        if f.abs() < 1e-12 {
+            break;
+        }
+        if f > 0.0 {
+            hi = hi.min(x);
+        } else {
+            lo = lo.max(x);
+        }
+        let pdf = chi2_pdf(x, dof);
+        let mut next = if pdf > 1e-300 { x - f / pdf } else { x };
+        if !(next > lo && (hi.is_infinite() || next < hi)) || !next.is_finite() {
+            next = if hi.is_finite() {
+                0.5 * (lo + hi)
+            } else {
+                lo.max(x) * 2.0 + 1.0
+            };
+        }
+        if (next - x).abs() <= 1e-12 * x.max(1.0) {
+            x = next;
+            break;
+        }
+        x = next;
+    }
+    Ok(x)
+}
+
+/// Chi-square PDF with `dof` degrees of freedom.
+///
+/// # Panics
+///
+/// Panics if `dof == 0`.
+pub fn chi2_pdf(x: f64, dof: usize) -> f64 {
+    assert!(dof > 0, "chi2_pdf requires dof > 0");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    let k = dof as f64 / 2.0;
+    ((k - 1.0) * x.ln() - x / 2.0 - k * std::f64::consts::LN_2 - ln_gamma(k)).exp()
+}
+
+/// Standard normal quantile (inverse CDF), Acklam's rational approximation
+/// (relative error < 1.2e-9), refined with one Halley step.
+///
+/// # Panics
+///
+/// Panics if `p ∉ (0, 1)`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "normal_quantile requires p in (0,1)");
+    // Acklam coefficients.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement using the exact CDF (erf-based).
+    let e = crate::distributions::normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = sqrt(π).
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24.0_f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gamma_p_limits() {
+        assert_eq!(gamma_p(3.0, 0.0), 0.0);
+        assert!((gamma_p(1.0, 50.0) - 1.0).abs() < 1e-12);
+        // P(1, x) = 1 − e^{−x}.
+        for &x in &[0.1, 0.5, 1.0, 2.0, 5.0] {
+            assert!((gamma_p(1.0, x) - (1.0 - (-x_f(x)).exp())).abs() < 1e-10);
+        }
+    }
+
+    fn x_f(x: f64) -> f64 {
+        x
+    }
+
+    #[test]
+    fn chi2_cdf_reference_values() {
+        // From standard chi-square tables.
+        // χ²₀.₉₅(1) = 3.8415, χ²₀.₉₅(10) = 18.307, χ²₀.₉₅(100) = 124.342.
+        assert!((chi2_cdf(3.8415, 1) - 0.95).abs() < 1e-4);
+        assert!((chi2_cdf(18.307, 10) - 0.95).abs() < 1e-4);
+        assert!((chi2_cdf(124.342, 100) - 0.95).abs() < 1e-4);
+        // Median of χ²(2) is 2·ln2 ≈ 1.3863.
+        assert!((chi2_cdf(2.0 * std::f64::consts::LN_2, 2) - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn chi2_quantile_inverts_cdf() {
+        for &dof in &[1usize, 2, 5, 10, 49, 100, 196, 784] {
+            for &p in &[0.05, 0.5, 0.9, 0.95, 0.99] {
+                let x = chi2_quantile(p, dof).unwrap();
+                let back = chi2_cdf(x, dof);
+                assert!(
+                    (back - p).abs() < 1e-8,
+                    "dof={dof} p={p}: quantile={x}, cdf back={back}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chi2_quantile_reference_values() {
+        assert!((chi2_quantile(0.95, 1).unwrap() - 3.8415).abs() < 1e-3);
+        assert!((chi2_quantile(0.95, 10).unwrap() - 18.307).abs() < 1e-3);
+        assert!((chi2_quantile(0.99, 5).unwrap() - 15.086).abs() < 1e-3);
+        // For large dof the quantile approaches dof.
+        let q = chi2_quantile(0.5, 784).unwrap();
+        assert!((q - 783.33).abs() < 0.5, "median χ²(784) = {q}");
+    }
+
+    #[test]
+    fn chi2_quantile_rejects_bad_input() {
+        assert!(chi2_quantile(0.0, 5).is_err());
+        assert!(chi2_quantile(1.0, 5).is_err());
+        assert!(chi2_quantile(0.5, 0).is_err());
+    }
+
+    #[test]
+    fn chi2_pdf_integrates_roughly_to_one() {
+        let dof = 4;
+        let dx = 0.01;
+        let total: f64 = (0..4000).map(|i| chi2_pdf(i as f64 * dx, dof) * dx).sum();
+        assert!((total - 1.0).abs() < 1e-3, "integral {total}");
+    }
+
+    #[test]
+    fn normal_quantile_reference() {
+        assert!(normal_quantile(0.5).abs() < 1e-7);
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-4);
+        assert!((normal_quantile(0.025) + 1.959964).abs() < 1e-4);
+        assert!((normal_quantile(0.99) - 2.326348).abs() < 1e-4);
+        assert!((normal_quantile(1e-6) + 4.753424).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rho_for_vat_is_monotone_in_dof() {
+        // ρ = sqrt(χ²₀.₉₅(n)) must grow with n — more devices, more total
+        // variation budget.
+        let mut prev = 0.0;
+        for &n in &[10usize, 49, 100, 196, 400, 784] {
+            let rho = chi2_quantile(0.95, n).unwrap().sqrt();
+            assert!(rho > prev);
+            prev = rho;
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Probability distributions used by the device-variation models.
+//!
+//! The paper models memristor parametric variation as lognormal
+//! (`r → e^θ · r_nominal`, `θ ~ N(0, σ²)`, after Lee et al. VLSIT'12) and
+//! switching variation as a small additive Gaussian. This module provides
+//! exactly those samplers plus the small set of helpers the dataset
+//! generator needs.
+
+use crate::rng::Xoshiro256PlusPlus;
+use crate::{LinalgError, Result};
+
+/// Normal (Gaussian) distribution `N(mean, std²)`, sampled with the
+/// Marsaglia polar method.
+///
+/// # Example
+///
+/// ```
+/// use vortex_linalg::rng::Xoshiro256PlusPlus;
+/// use vortex_linalg::distributions::Normal;
+///
+/// # fn main() -> Result<(), vortex_linalg::LinalgError> {
+/// let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+/// let n = Normal::new(5.0, 2.0)?;
+/// let x = n.sample(&mut rng);
+/// assert!(x.is_finite());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidParameter`] if `std < 0` or either
+    /// parameter is non-finite.
+    pub fn new(mean: f64, std: f64) -> Result<Self> {
+        if !mean.is_finite() {
+            return Err(LinalgError::InvalidParameter {
+                name: "mean",
+                requirement: "must be finite",
+            });
+        }
+        if !(std.is_finite() && std >= 0.0) {
+            return Err(LinalgError::InvalidParameter {
+                name: "std",
+                requirement: "must be finite and non-negative",
+            });
+        }
+        Ok(Self { mean, std })
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Self {
+            mean: 0.0,
+            std: 1.0,
+        }
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Standard deviation of the distribution.
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut Xoshiro256PlusPlus) -> f64 {
+        self.mean + self.std * standard_normal(rng)
+    }
+
+    /// Fills a vector with `n` independent samples.
+    pub fn sample_vec(&self, rng: &mut Xoshiro256PlusPlus, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Draws one standard-normal sample via the Marsaglia polar method.
+pub fn standard_normal(rng: &mut Xoshiro256PlusPlus) -> f64 {
+    loop {
+        let u = 2.0 * rng.next_f64() - 1.0;
+        let v = 2.0 * rng.next_f64() - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Lognormal distribution: `exp(N(mu, sigma²))`.
+///
+/// This is the paper's parametric-variation model: a device programmed to
+/// nominal resistance `r` lands at `r · e^θ` with `θ ~ N(0, σ²)`, i.e. the
+/// multiplicative factor is `LogNormal::new(0.0, σ)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    log_normal: Normal,
+}
+
+impl LogNormal {
+    /// Creates a lognormal with the given log-domain mean and std.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidParameter`] under the same conditions
+    /// as [`Normal::new`].
+    pub fn new(mu: f64, sigma: f64) -> Result<Self> {
+        Ok(Self {
+            log_normal: Normal::new(mu, sigma)?,
+        })
+    }
+
+    /// Log-domain mean `mu`.
+    pub fn mu(&self) -> f64 {
+        self.log_normal.mean()
+    }
+
+    /// Log-domain standard deviation `sigma`.
+    pub fn sigma(&self) -> f64 {
+        self.log_normal.std()
+    }
+
+    /// Draws one sample (always strictly positive).
+    pub fn sample(&self, rng: &mut Xoshiro256PlusPlus) -> f64 {
+        self.log_normal.sample(rng).exp()
+    }
+
+    /// Analytic mean `exp(mu + sigma²/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu() + 0.5 * self.sigma() * self.sigma()).exp()
+    }
+
+    /// Analytic median `exp(mu)`.
+    pub fn median(&self) -> f64 {
+        self.mu().exp()
+    }
+}
+
+/// Uniform distribution on `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidParameter`] if `lo > hi` or a bound is
+    /// not finite.
+    pub fn new(lo: f64, hi: f64) -> Result<Self> {
+        if !(lo.is_finite() && hi.is_finite() && lo <= hi) {
+            return Err(LinalgError::InvalidParameter {
+                name: "bounds",
+                requirement: "lo <= hi, both finite",
+            });
+        }
+        Ok(Self { lo, hi })
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut Xoshiro256PlusPlus) -> f64 {
+        rng.range_f64(self.lo, self.hi)
+    }
+}
+
+/// Standard-normal cumulative distribution function Φ(x),
+/// accurate to ~1e-7 (Abramowitz & Stegun 7.1.26 on erf).
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Error function, |error| < 1.5e-7 (Abramowitz & Stegun 7.1.26).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    fn rng() -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::seed_from_u64(2024)
+    }
+
+    #[test]
+    fn normal_rejects_negative_std() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn normal_moments_match() {
+        let mut r = rng();
+        let n = Normal::new(3.0, 2.0).unwrap();
+        let xs = n.sample_vec(&mut r, 200_000);
+        let m = stats::mean(&xs);
+        let s = stats::std_dev(&xs);
+        assert!((m - 3.0).abs() < 0.03, "mean {m}");
+        assert!((s - 2.0).abs() < 0.03, "std {s}");
+    }
+
+    #[test]
+    fn zero_std_is_degenerate() {
+        let mut r = rng();
+        let n = Normal::new(7.0, 0.0).unwrap();
+        for _ in 0..10 {
+            assert_eq!(n.sample(&mut r), 7.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_positive_and_median() {
+        let mut r = rng();
+        let ln = LogNormal::new(0.0, 0.6).unwrap();
+        let xs: Vec<f64> = (0..100_000).map(|_| ln.sample(&mut r)).collect();
+        assert!(xs.iter().all(|&x| x > 0.0));
+        let med = stats::quantile(&xs, 0.5);
+        // Median of LogNormal(0, σ) is exp(0) = 1.
+        assert!((med - 1.0).abs() < 0.02, "median {med}");
+    }
+
+    #[test]
+    fn lognormal_mean_formula() {
+        let mut r = rng();
+        let ln = LogNormal::new(0.2, 0.4).unwrap();
+        let xs: Vec<f64> = (0..200_000).map(|_| ln.sample(&mut r)).collect();
+        let m = stats::mean(&xs);
+        assert!((m - ln.mean()).abs() / ln.mean() < 0.02, "mean {m}");
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut r = rng();
+        let u = Uniform::new(2.0, 5.0).unwrap();
+        for _ in 0..1000 {
+            let x = u.sample(&mut r);
+            assert!((2.0..5.0).contains(&x));
+        }
+        assert!(Uniform::new(5.0, 2.0).is_err());
+    }
+
+    #[test]
+    fn erf_known_values() {
+        assert!((erf(0.0)).abs() < 1e-8);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+        assert!((erf(2.0) - 0.9953222650).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        for &x in &[0.1, 0.7, 1.3, 2.9] {
+            let s = normal_cdf(x) + normal_cdf(-x);
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-8);
+        // Φ(1.96) ≈ 0.975.
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-4);
+    }
+
+    #[test]
+    fn standard_normal_tail_fractions() {
+        let mut r = rng();
+        let n = 100_000;
+        let beyond_2: usize = (0..n)
+            .filter(|_| standard_normal(&mut r).abs() > 2.0)
+            .count();
+        let frac = beyond_2 as f64 / n as f64;
+        // P(|Z| > 2) ≈ 0.0455.
+        assert!((frac - 0.0455).abs() < 0.005, "frac {frac}");
+    }
+}

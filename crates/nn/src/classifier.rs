@@ -1,0 +1,182 @@
+//! The linear "1 vs. all" classifier realized by a crossbar.
+//!
+//! §4.1.1: the computation is `y = x·W` with `W` an `n × m` weight matrix
+//! (one column per class); the predicted class is the argmax output.
+
+use vortex_linalg::{vector, Matrix};
+
+use crate::dataset::Dataset;
+use crate::{NnError, Result};
+
+/// A linear multi-class classifier `y = x·W`, class = argmax(y).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearClassifier {
+    weights: Matrix,
+}
+
+impl LinearClassifier {
+    /// Wraps a weight matrix (`features × classes`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidParameter`] for an empty matrix.
+    pub fn new(weights: Matrix) -> Result<Self> {
+        if weights.rows() == 0 || weights.cols() == 0 {
+            return Err(NnError::InvalidParameter {
+                name: "weights",
+                requirement: "must be non-empty",
+            });
+        }
+        Ok(Self { weights })
+    }
+
+    /// The weight matrix.
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// Consumes the classifier, returning its weights.
+    pub fn into_weights(self) -> Matrix {
+        self.weights
+    }
+
+    /// Number of input features.
+    pub fn num_features(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Raw class scores `x·W`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `x` has the wrong length.
+    pub fn scores(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.num_features() {
+            return Err(NnError::ShapeMismatch {
+                context: "LinearClassifier::scores",
+                expected: self.num_features(),
+                actual: x.len(),
+            });
+        }
+        Ok(self.weights.vecmat(x))
+    }
+
+    /// Predicted class of one sample.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::scores`].
+    pub fn predict(&self, x: &[f64]) -> Result<u8> {
+        let s = self.scores(x)?;
+        Ok(vector::argmax(&s).unwrap_or(0) as u8)
+    }
+
+    /// Fraction of `data` classified correctly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if feature counts disagree.
+    pub fn accuracy(&self, data: &Dataset) -> Result<f64> {
+        if data.num_features() != self.num_features() {
+            return Err(NnError::ShapeMismatch {
+                context: "LinearClassifier::accuracy",
+                expected: self.num_features(),
+                actual: data.num_features(),
+            });
+        }
+        if data.is_empty() {
+            return Ok(0.0);
+        }
+        let mut correct = 0usize;
+        for i in 0..data.len() {
+            if self.predict(data.image(i))? == data.label(i) {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / data.len() as f64)
+    }
+}
+
+/// Classifies every sample of `data` through an arbitrary score function
+/// (e.g. a programmed crossbar readout) and returns the accuracy.
+///
+/// The score function receives the pixel vector and must return one score
+/// per class.
+pub fn accuracy_with<F>(data: &Dataset, mut score_fn: F) -> f64
+where
+    F: FnMut(&[f64]) -> Vec<f64>,
+{
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for i in 0..data.len() {
+        let scores = score_fn(data.image(i));
+        let pred = vector::argmax(&scores).unwrap_or(0) as u8;
+        if pred == data.label(i) {
+            correct += 1;
+        }
+    }
+    correct as f64 / data.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetConfig, SynthDigits};
+
+    #[test]
+    fn validation() {
+        assert!(LinearClassifier::new(Matrix::zeros(0, 3)).is_err());
+        assert!(LinearClassifier::new(Matrix::zeros(4, 0)).is_err());
+        assert!(LinearClassifier::new(Matrix::zeros(4, 3)).is_ok());
+    }
+
+    #[test]
+    fn predict_argmax() {
+        // Weights that route feature k to class k.
+        let w = Matrix::identity(3);
+        let c = LinearClassifier::new(w).unwrap();
+        assert_eq!(c.predict(&[0.1, 0.9, 0.2]).unwrap(), 1);
+        assert_eq!(c.predict(&[1.0, 0.0, 0.0]).unwrap(), 0);
+        assert!(c.predict(&[1.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn accuracy_of_perfect_oracle() {
+        let data = SynthDigits::generate(&DatasetConfig::tiny(), 17).unwrap();
+        // Oracle score function peeks at the label through a captured map.
+        let labels: Vec<u8> = data.labels().to_vec();
+        let mut i = 0usize;
+        let acc = accuracy_with(&data, |_| {
+            let mut s = vec![0.0; 10];
+            s[labels[i] as usize] = 1.0;
+            i += 1;
+            s
+        });
+        assert_eq!(acc, 1.0);
+    }
+
+    #[test]
+    fn accuracy_of_constant_classifier_is_class_rate() {
+        let data = SynthDigits::generate(&DatasetConfig::tiny(), 18).unwrap();
+        let acc = accuracy_with(&data, |_| {
+            let mut s = vec![0.0; 10];
+            s[3] = 1.0;
+            s
+        });
+        assert!((acc - 0.1).abs() < 1e-9); // balanced classes
+    }
+
+    #[test]
+    fn accuracy_checks_shapes() {
+        let data = SynthDigits::generate(&DatasetConfig::tiny(), 19).unwrap();
+        let c = LinearClassifier::new(Matrix::zeros(5, 10)).unwrap();
+        assert!(c.accuracy(&data).is_err());
+    }
+}

@@ -1,0 +1,194 @@
+//! Stroke prototypes for the digits '0'–'9'.
+//!
+//! Each glyph is a set of polylines in the unit square, pen-down point
+//! sequences traced roughly the way a seven-segment-plus-curves rendering
+//! of the digit looks. The generator perturbs these prototypes per sample.
+
+/// A 2-D point in glyph space (`[0, 1]²`, y grows downward).
+pub type Point = (f64, f64);
+
+/// A polyline stroke: consecutive points are connected.
+pub type Stroke = Vec<Point>;
+
+/// Returns the stroke prototype of `digit`.
+///
+/// # Panics
+///
+/// Panics if `digit > 9`.
+pub fn glyph_strokes(digit: u8) -> Vec<Stroke> {
+    assert!(digit <= 9, "digit must be 0..=9, got {digit}");
+    match digit {
+        0 => vec![closed(vec![
+            (0.50, 0.12),
+            (0.74, 0.22),
+            (0.80, 0.50),
+            (0.74, 0.78),
+            (0.50, 0.88),
+            (0.26, 0.78),
+            (0.20, 0.50),
+            (0.26, 0.22),
+        ])],
+        1 => vec![
+            vec![(0.35, 0.28), (0.52, 0.12), (0.52, 0.88)],
+            vec![(0.32, 0.88), (0.72, 0.88)],
+        ],
+        2 => vec![vec![
+            (0.24, 0.28),
+            (0.38, 0.12),
+            (0.62, 0.12),
+            (0.76, 0.28),
+            (0.72, 0.46),
+            (0.45, 0.64),
+            (0.24, 0.88),
+            (0.78, 0.88),
+        ]],
+        3 => vec![vec![
+            (0.25, 0.18),
+            (0.55, 0.12),
+            (0.74, 0.26),
+            (0.58, 0.45),
+            (0.40, 0.48),
+            (0.58, 0.51),
+            (0.76, 0.68),
+            (0.56, 0.88),
+            (0.25, 0.82),
+        ]],
+        4 => vec![
+            vec![(0.62, 0.88), (0.62, 0.12), (0.22, 0.62), (0.80, 0.62)],
+        ],
+        5 => vec![vec![
+            (0.74, 0.12),
+            (0.30, 0.12),
+            (0.27, 0.46),
+            (0.55, 0.42),
+            (0.76, 0.58),
+            (0.72, 0.80),
+            (0.48, 0.90),
+            (0.24, 0.82),
+        ]],
+        6 => vec![vec![
+            (0.68, 0.14),
+            (0.42, 0.24),
+            (0.27, 0.50),
+            (0.26, 0.72),
+            (0.44, 0.88),
+            (0.66, 0.84),
+            (0.75, 0.66),
+            (0.62, 0.50),
+            (0.40, 0.52),
+            (0.28, 0.64),
+        ]],
+        7 => vec![
+            vec![(0.24, 0.12), (0.78, 0.12), (0.46, 0.88)],
+            vec![(0.34, 0.52), (0.66, 0.52)],
+        ],
+        8 => vec![
+            closed(vec![
+                (0.50, 0.12),
+                (0.68, 0.20),
+                (0.68, 0.38),
+                (0.50, 0.48),
+                (0.32, 0.38),
+                (0.32, 0.20),
+            ]),
+            closed(vec![
+                (0.50, 0.48),
+                (0.72, 0.58),
+                (0.72, 0.78),
+                (0.50, 0.88),
+                (0.28, 0.78),
+                (0.28, 0.58),
+            ]),
+        ],
+        9 => vec![vec![
+            (0.72, 0.40),
+            (0.58, 0.50),
+            (0.36, 0.46),
+            (0.26, 0.30),
+            (0.38, 0.14),
+            (0.60, 0.12),
+            (0.73, 0.26),
+            (0.73, 0.55),
+            (0.66, 0.78),
+            (0.46, 0.90),
+        ]],
+        _ => unreachable!(),
+    }
+}
+
+/// Closes a polyline by appending its first point.
+fn closed(mut stroke: Stroke) -> Stroke {
+    if let Some(&first) = stroke.first() {
+        stroke.push(first);
+    }
+    stroke
+}
+
+/// Total pen length of a glyph (used by tests to sanity-check shapes).
+pub fn glyph_length(digit: u8) -> f64 {
+    glyph_strokes(digit)
+        .iter()
+        .map(|s| {
+            s.windows(2)
+                .map(|w| {
+                    let (x0, y0) = w[0];
+                    let (x1, y1) = w[1];
+                    ((x1 - x0).powi(2) + (y1 - y0).powi(2)).sqrt()
+                })
+                .sum::<f64>()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_digits_have_strokes() {
+        for d in 0..=9u8 {
+            let strokes = glyph_strokes(d);
+            assert!(!strokes.is_empty(), "digit {d} has no strokes");
+            assert!(
+                strokes.iter().all(|s| s.len() >= 2),
+                "digit {d} has degenerate strokes"
+            );
+        }
+    }
+
+    #[test]
+    fn all_points_inside_unit_square() {
+        for d in 0..=9u8 {
+            for s in glyph_strokes(d) {
+                for (x, y) in s {
+                    assert!((0.0..=1.0).contains(&x), "digit {d}: x {x}");
+                    assert!((0.0..=1.0).contains(&y), "digit {d}: y {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn glyphs_have_reasonable_ink() {
+        for d in 0..=9u8 {
+            let len = glyph_length(d);
+            assert!(len > 0.8, "digit {d} too short: {len}");
+            assert!(len < 6.0, "digit {d} too long: {len}");
+        }
+    }
+
+    #[test]
+    fn zero_and_eight_are_closed() {
+        let zero = &glyph_strokes(0)[0];
+        assert_eq!(zero.first(), zero.last());
+        for ring in glyph_strokes(8) {
+            assert_eq!(ring.first(), ring.last());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "0..=9")]
+    fn out_of_range_digit_panics() {
+        let _ = glyph_strokes(10);
+    }
+}

@@ -1,0 +1,157 @@
+//! Polyline rasterization onto a square pixel grid.
+
+use super::glyphs::Stroke;
+
+/// Rasterizes strokes onto a `side × side` grayscale grid in `[0, 1]`.
+///
+/// Each stroke is walked at sub-pixel resolution; every sample point
+/// deposits a Gaussian brush of radius `stroke_width` (in glyph units,
+/// where the image spans `[0, 1]`). Intensities saturate at 1.
+pub fn rasterize(strokes: &[Stroke], side: usize, stroke_width: f64) -> Vec<f64> {
+    assert!(side > 0, "raster side must be positive");
+    let mut img = vec![0.0_f64; side * side];
+    let sigma = (stroke_width * side as f64).max(0.35);
+    let radius = (2.5 * sigma).ceil() as isize;
+    let step = 0.5 / side as f64; // half-pixel walking step
+
+    for stroke in strokes {
+        for w in stroke.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            let len = ((x1 - x0).powi(2) + (y1 - y0).powi(2)).sqrt();
+            let n_steps = (len / step).ceil().max(1.0) as usize;
+            for k in 0..=n_steps {
+                let t = k as f64 / n_steps as f64;
+                let px = (x0 + t * (x1 - x0)) * side as f64 - 0.5;
+                let py = (y0 + t * (y1 - y0)) * side as f64 - 0.5;
+                stamp(&mut img, side, px, py, sigma, radius);
+            }
+        }
+    }
+    for v in &mut img {
+        *v = v.min(1.0);
+    }
+    img
+}
+
+/// Deposits a Gaussian brush at sub-pixel center `(px, py)`.
+fn stamp(img: &mut [f64], side: usize, px: f64, py: f64, sigma: f64, radius: isize) {
+    let cx = px.round() as isize;
+    let cy = py.round() as isize;
+    for dy in -radius..=radius {
+        for dx in -radius..=radius {
+            let x = cx + dx;
+            let y = cy + dy;
+            if x < 0 || y < 0 || x >= side as isize || y >= side as isize {
+                continue;
+            }
+            let ddx = x as f64 - px;
+            let ddy = y as f64 - py;
+            let d2 = ddx * ddx + ddy * ddy;
+            // A fraction of full intensity per sample; the walk overlaps
+            // samples, so the accumulated ink saturates along the stroke.
+            let ink = 0.6 * (-d2 / (2.0 * sigma * sigma)).exp();
+            img[y as usize * side + x as usize] += ink;
+        }
+    }
+}
+
+/// Block-average under-sampling: `side × side` → `(side/factor)²`.
+///
+/// This is the paper's benchmark down-sampling (28×28 → 14×14 → 7×7,
+/// §5.4).
+///
+/// # Panics
+///
+/// Panics if `factor` does not divide `side` or the image length is not
+/// `side²`.
+pub fn downsample(img: &[f64], side: usize, factor: usize) -> Vec<f64> {
+    assert!(factor > 0 && side.is_multiple_of(factor), "factor must divide side");
+    assert_eq!(img.len(), side * side, "image length mismatch");
+    let out_side = side / factor;
+    let mut out = vec![0.0; out_side * out_side];
+    let norm = 1.0 / (factor * factor) as f64;
+    for oy in 0..out_side {
+        for ox in 0..out_side {
+            let mut acc = 0.0;
+            for dy in 0..factor {
+                for dx in 0..factor {
+                    acc += img[(oy * factor + dy) * side + (ox * factor + dx)];
+                }
+            }
+            out[oy * out_side + ox] = acc * norm;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::glyphs::glyph_strokes;
+
+    #[test]
+    fn rasterized_glyph_has_ink_in_range() {
+        for d in 0..=9u8 {
+            let img = rasterize(&glyph_strokes(d), 28, 0.04);
+            assert_eq!(img.len(), 28 * 28);
+            assert!(img.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            let total: f64 = img.iter().sum();
+            assert!(total > 10.0, "digit {d} too faint: {total}");
+            assert!(total < 500.0, "digit {d} too heavy: {total}");
+        }
+    }
+
+    #[test]
+    fn different_digits_render_differently() {
+        let a = rasterize(&glyph_strokes(1), 28, 0.04);
+        let b = rasterize(&glyph_strokes(8), 28, 0.04);
+        let dist: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(dist > 20.0, "digits 1 and 8 must differ: {dist}");
+    }
+
+    #[test]
+    fn thicker_stroke_more_ink() {
+        let thin = rasterize(&glyph_strokes(3), 28, 0.02);
+        let thick = rasterize(&glyph_strokes(3), 28, 0.07);
+        let sum = |v: &[f64]| v.iter().sum::<f64>();
+        assert!(sum(&thick) > sum(&thin));
+    }
+
+    #[test]
+    fn downsample_preserves_mean() {
+        let img = rasterize(&glyph_strokes(5), 28, 0.04);
+        let half = downsample(&img, 28, 2);
+        assert_eq!(half.len(), 14 * 14);
+        let mean_full: f64 = img.iter().sum::<f64>() / img.len() as f64;
+        let mean_half: f64 = half.iter().sum::<f64>() / half.len() as f64;
+        assert!((mean_full - mean_half).abs() < 1e-12);
+    }
+
+    #[test]
+    fn downsample_chain_28_14_7() {
+        let img = rasterize(&glyph_strokes(2), 28, 0.04);
+        let d14 = downsample(&img, 28, 2);
+        let d7 = downsample(&d14, 14, 2);
+        assert_eq!(d7.len(), 49);
+        // Direct 4× downsample must agree with the chained one.
+        let direct = downsample(&img, 28, 4);
+        for (a, b) in d7.iter().zip(&direct) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn bad_factor_panics() {
+        let img = vec![0.0; 28 * 28];
+        let _ = downsample(&img, 28, 3);
+    }
+
+    #[test]
+    fn uniform_image_downsamples_to_uniform() {
+        let img = vec![0.7; 16 * 16];
+        let d = downsample(&img, 16, 4);
+        assert!(d.iter().all(|&v| (v - 0.7).abs() < 1e-12));
+    }
+}

@@ -1,0 +1,199 @@
+//! Stratified dataset splits.
+//!
+//! The paper's protocol: 4000 training samples, 2000 test samples (§5.4),
+//! and inside training a large/small split for VAT's self-tuning
+//! validation loop (§4.1.3, Fig. 5).
+
+use vortex_linalg::rng::Xoshiro256PlusPlus;
+
+use crate::dataset::Dataset;
+use crate::{NnError, Result};
+
+/// A train/test (or train/validation) partition of a dataset.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// First part (training).
+    pub train: Dataset,
+    /// Second part (test or validation).
+    pub test: Dataset,
+}
+
+/// Splits `data` into `n_train`/`n_test` samples, stratified by class:
+/// each class contributes proportionally to both parts. Sample order
+/// within each part is shuffled.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidParameter`] if `n_train + n_test` exceeds the
+/// dataset size or either count is zero.
+pub fn stratified_split(
+    data: &Dataset,
+    n_train: usize,
+    n_test: usize,
+    rng: &mut Xoshiro256PlusPlus,
+) -> Result<Split> {
+    if n_train == 0 || n_test == 0 {
+        return Err(NnError::InvalidParameter {
+            name: "n_train/n_test",
+            requirement: "must both be positive",
+        });
+    }
+    if n_train + n_test > data.len() {
+        return Err(NnError::InvalidParameter {
+            name: "n_train + n_test",
+            requirement: "must not exceed the dataset size",
+        });
+    }
+    // Group indices by class, shuffle within class.
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); data.num_classes()];
+    for i in 0..data.len() {
+        by_class[data.label(i) as usize].push(i);
+    }
+    for idx in &mut by_class {
+        rng.shuffle(idx);
+    }
+
+    // Take per-class quotas round-robin so totals land exactly.
+    let mut train_idx = Vec::with_capacity(n_train);
+    let mut test_idx = Vec::with_capacity(n_test);
+    let mut cursors = vec![0usize; by_class.len()];
+    let mut class = 0usize;
+    let take = |want: usize,
+                    out: &mut Vec<usize>,
+                    cursors: &mut Vec<usize>,
+                    class: &mut usize| {
+        let mut stalled = 0;
+        while out.len() < want {
+            let c = *class % by_class.len();
+            *class += 1;
+            if cursors[c] < by_class[c].len() {
+                out.push(by_class[c][cursors[c]]);
+                cursors[c] += 1;
+                stalled = 0;
+            } else {
+                stalled += 1;
+                if stalled > by_class.len() {
+                    break; // every class exhausted
+                }
+            }
+        }
+    };
+    take(n_train, &mut train_idx, &mut cursors, &mut class);
+    take(n_test, &mut test_idx, &mut cursors, &mut class);
+
+    rng.shuffle(&mut train_idx);
+    rng.shuffle(&mut test_idx);
+    Ok(Split {
+        train: data.subset(&train_idx),
+        test: data.subset(&test_idx),
+    })
+}
+
+/// Splits a *training* set into the large/small groups of VAT's
+/// self-tuning loop; `validation_fraction` of the samples go to the small
+/// group.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidParameter`] if the fraction is outside
+/// `(0, 1)` or produces an empty part.
+pub fn tuning_split(
+    train: &Dataset,
+    validation_fraction: f64,
+    rng: &mut Xoshiro256PlusPlus,
+) -> Result<Split> {
+    if !(validation_fraction > 0.0 && validation_fraction < 1.0) {
+        return Err(NnError::InvalidParameter {
+            name: "validation_fraction",
+            requirement: "must lie strictly between 0 and 1",
+        });
+    }
+    let n_valid = ((train.len() as f64) * validation_fraction).round() as usize;
+    let n_train = train.len() - n_valid;
+    if n_valid == 0 || n_train == 0 {
+        return Err(NnError::InvalidParameter {
+            name: "validation_fraction",
+            requirement: "must leave both parts non-empty",
+        });
+    }
+    stratified_split(train, n_train, n_valid, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetConfig, SynthDigits};
+
+    fn data() -> Dataset {
+        SynthDigits::generate(&DatasetConfig::tiny(), 9).unwrap()
+    }
+
+    fn rng() -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::seed_from_u64(100)
+    }
+
+    #[test]
+    fn split_sizes_exact() {
+        let d = data();
+        let s = stratified_split(&d, 200, 80, &mut rng()).unwrap();
+        assert_eq!(s.train.len(), 200);
+        assert_eq!(s.test.len(), 80);
+    }
+
+    #[test]
+    fn split_is_stratified() {
+        let d = data(); // 30 per class
+        let s = stratified_split(&d, 200, 100, &mut rng()).unwrap();
+        for digit in 0..10u8 {
+            let tr = s.train.labels().iter().filter(|&&l| l == digit).count();
+            let te = s.test.labels().iter().filter(|&&l| l == digit).count();
+            assert!((tr as i64 - 20).abs() <= 1, "class {digit} train {tr}");
+            assert!((te as i64 - 10).abs() <= 1, "class {digit} test {te}");
+        }
+    }
+
+    #[test]
+    fn split_parts_are_disjoint() {
+        let d = data();
+        let s = stratified_split(&d, 150, 150, &mut rng()).unwrap();
+        // No image may appear in both parts: compare by content hash-ish sum.
+        let key = |img: &[f64]| -> u64 {
+            img.iter()
+                .enumerate()
+                .map(|(i, &v)| (i as u64 + 1).wrapping_mul((v * 1e6) as u64))
+                .fold(0u64, u64::wrapping_add)
+        };
+        let train_keys: std::collections::HashSet<u64> =
+            (0..s.train.len()).map(|i| key(s.train.image(i))).collect();
+        for i in 0..s.test.len() {
+            assert!(!train_keys.contains(&key(s.test.image(i))));
+        }
+    }
+
+    #[test]
+    fn split_validation() {
+        let d = data();
+        assert!(stratified_split(&d, 0, 10, &mut rng()).is_err());
+        assert!(stratified_split(&d, 400, 10, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn tuning_split_fraction() {
+        let d = data();
+        let s = tuning_split(&d, 0.2, &mut rng()).unwrap();
+        assert_eq!(s.test.len(), 60);
+        assert_eq!(s.train.len(), 240);
+        assert!(tuning_split(&d, 0.0, &mut rng()).is_err());
+        assert!(tuning_split(&d, 1.0, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn different_seeds_give_different_splits() {
+        let d = data();
+        let mut r1 = Xoshiro256PlusPlus::seed_from_u64(1);
+        let mut r2 = Xoshiro256PlusPlus::seed_from_u64(2);
+        let s1 = stratified_split(&d, 100, 50, &mut r1).unwrap();
+        let s2 = stratified_split(&d, 100, 50, &mut r2).unwrap();
+        assert_ne!(s1.train.images(), s2.train.images());
+    }
+}

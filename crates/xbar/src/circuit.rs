@@ -1,0 +1,532 @@
+//! Exact resistive-mesh (nodal analysis) solve of a crossbar with wire
+//! resistance.
+//!
+//! Geometry (Fig. 1(b) of the paper): row (word) wires are driven from the
+//! **left**, column (bit) wires are grounded/sensed at the **bottom**. Each
+//! wire is a chain of segments with resistance `r_wire`; the memristor at
+//! `(i, j)` bridges row-wire node `T(i,j)` and column-wire node `B(i,j)`.
+//!
+//! The same mesh serves two bias conditions:
+//!
+//! * **compute** — every row driven at its input voltage, every column at
+//!   virtual ground: the sensed column currents are the degraded analog
+//!   MVM.
+//! * **programming** — one selected cell sees the full programming voltage
+//!   path, every other wire is held at V/2 (the half-select scheme,
+//!   §2.2.2): the solve yields the *actual* voltage across every device,
+//!   which is what the IR-drop analysis of §3.2 is about.
+//!
+//! The resulting system is a symmetric positive definite conductance
+//! Laplacian with Dirichlet boundary segments; it is solved with
+//! Jacobi-preconditioned conjugate gradient.
+
+use vortex_linalg::iterative::{conjugate_gradient, SolveOptions};
+use vortex_linalg::sparse::TripletBuilder;
+use vortex_linalg::Matrix;
+
+use crate::{Result, XbarError};
+
+/// Per-row drive condition for [`NodalAnalysis::compute_general`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RowDrive {
+    /// Row driven at the given voltage through one wire segment.
+    Voltage(f64),
+    /// Row driver disconnected — the row floats on whatever its devices
+    /// impose (the sneak-path condition).
+    Floating,
+}
+
+/// Per-column termination condition for
+/// [`NodalAnalysis::compute_general`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ColTermination {
+    /// Column terminated at the given voltage through one wire segment
+    /// (0 V = virtual-ground sensing).
+    Voltage(f64),
+    /// Column left unterminated — no sense amp attached; the column
+    /// floats and can carry sneak chains.
+    Floating,
+}
+
+/// Result of a compute-mode (read) circuit solve.
+#[derive(Debug, Clone)]
+pub struct ComputeSolution {
+    /// Sensed current of every column (amperes, flowing into the ground
+    /// terminal).
+    pub column_currents: Vec<f64>,
+    /// Voltage across every device: `T(i,j) − B(i,j)`.
+    pub device_voltages: Matrix,
+    /// Raw node voltages (row-wire nodes then column-wire nodes) — usable
+    /// as a warm start for a subsequent solve with similar inputs.
+    pub node_voltages: Vec<f64>,
+}
+
+/// Nodal analysis of an `rows × cols` crossbar mesh.
+///
+/// # Example
+///
+/// ```
+/// use vortex_linalg::Matrix;
+/// use vortex_xbar::circuit::NodalAnalysis;
+///
+/// # fn main() -> Result<(), vortex_xbar::XbarError> {
+/// let na = NodalAnalysis::new(4, 2, 2.5)?; // 4×2 mesh, 2.5 Ω segments
+/// let g = Matrix::filled(4, 2, 1e-4);      // all LRS
+/// let sol = na.compute(&g, &[1.0, 1.0, 1.0, 1.0])?;
+/// // IR drop keeps each column below the ideal 4 × 100 µA.
+/// assert!(sol.column_currents[0] < 4e-4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NodalAnalysis {
+    rows: usize,
+    cols: usize,
+    g_wire: f64,
+    options: SolveOptions,
+}
+
+impl NodalAnalysis {
+    /// Creates a solver for the given geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InvalidParameter`] for an empty array or a
+    /// non-positive / non-finite wire resistance (use the ideal model for
+    /// `r_wire == 0`).
+    pub fn new(rows: usize, cols: usize, r_wire: f64) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(XbarError::InvalidParameter {
+                name: "rows/cols",
+                requirement: "must both be positive",
+            });
+        }
+        if !(r_wire.is_finite() && r_wire > 0.0) {
+            return Err(XbarError::InvalidParameter {
+                name: "r_wire",
+                requirement: "must be finite and positive (use ideal::compute for 0)",
+            });
+        }
+        Ok(Self {
+            rows,
+            cols,
+            g_wire: 1.0 / r_wire,
+            options: SolveOptions {
+                max_iterations: 200_000,
+                tolerance: 1e-9,
+                omega: 1.6,
+            },
+        })
+    }
+
+    /// Overrides the iterative-solver options.
+    pub fn with_options(mut self, options: SolveOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Number of rows of the mesh.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the mesh.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn t_idx(&self, i: usize, j: usize) -> usize {
+        i * self.cols + j
+    }
+
+    fn b_idx(&self, i: usize, j: usize) -> usize {
+        self.rows * self.cols + i * self.cols + j
+    }
+
+    /// Stamps the mesh with the given per-row source voltages and per-column
+    /// termination voltages, then solves. Returns node voltages.
+    fn solve_mesh(
+        &self,
+        g: &Matrix,
+        row_sources: &[f64],
+        col_terminations: &[f64],
+        warm_start: Option<&[f64]>,
+    ) -> Result<Vec<f64>> {
+        let drives: Vec<RowDrive> = row_sources.iter().map(|&v| RowDrive::Voltage(v)).collect();
+        let terms: Vec<ColTermination> = col_terminations
+            .iter()
+            .map(|&v| ColTermination::Voltage(v))
+            .collect();
+        self.solve_mesh_general(g, &drives, &terms, warm_start)
+    }
+
+    /// [`Self::solve_mesh`] with per-row drive conditions: a row is either
+    /// driven at a voltage or left floating (its driver disconnected — the
+    /// condition under which sneak paths appear).
+    fn solve_mesh_general(
+        &self,
+        g: &Matrix,
+        row_drives: &[RowDrive],
+        col_terminations: &[ColTermination],
+        warm_start: Option<&[f64]>,
+    ) -> Result<Vec<f64>> {
+        let (m, n) = (self.rows, self.cols);
+        let gw = self.g_wire;
+        let n_nodes = 2 * m * n;
+        let mut a = TripletBuilder::new(n_nodes, n_nodes);
+        let mut rhs = vec![0.0; n_nodes];
+
+        for i in 0..m {
+            for j in 0..n {
+                let t = self.t_idx(i, j);
+                let b = self.b_idx(i, j);
+                let gd = g[(i, j)];
+
+                // Device between T and B.
+                a.add(t, t, gd);
+                a.add(b, b, gd);
+                a.add(t, b, -gd);
+                a.add(b, t, -gd);
+
+                // Row wire: left neighbour or driver (floating rows have
+                // no driver segment at all).
+                if j == 0 {
+                    if let RowDrive::Voltage(v) = row_drives[i] {
+                        a.add(t, t, gw);
+                        rhs[t] += gw * v;
+                    }
+                } else {
+                    let left = self.t_idx(i, j - 1);
+                    a.add(t, t, gw);
+                    a.add(left, left, gw);
+                    a.add(t, left, -gw);
+                    a.add(left, t, -gw);
+                }
+
+                // Column wire: lower neighbour or termination (floating
+                // columns have no termination segment).
+                if i == m - 1 {
+                    if let ColTermination::Voltage(v) = col_terminations[j] {
+                        a.add(b, b, gw);
+                        rhs[b] += gw * v;
+                    }
+                } else {
+                    let below = self.b_idx(i + 1, j);
+                    a.add(b, b, gw);
+                    a.add(below, below, gw);
+                    a.add(b, below, -gw);
+                    a.add(below, b, -gw);
+                }
+            }
+        }
+
+        let a = a.build();
+        let report = conjugate_gradient(&a, &rhs, warm_start, &self.options)
+            .map_err(XbarError::Numeric)?;
+        Ok(report.x)
+    }
+
+    /// Compute-mode (read) solve: rows driven at `x`, columns at virtual
+    /// ground.
+    ///
+    /// # Errors
+    ///
+    /// * [`XbarError::ShapeMismatch`] if `g` or `x` disagree with the mesh
+    ///   geometry.
+    /// * [`XbarError::Numeric`] if the CG solve fails.
+    pub fn compute(&self, g: &Matrix, x: &[f64]) -> Result<ComputeSolution> {
+        self.compute_with_warm_start(g, x, None)
+    }
+
+    /// [`Self::compute`] with an optional warm start from a previous
+    /// solution's `node_voltages`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::compute`].
+    pub fn compute_with_warm_start(
+        &self,
+        g: &Matrix,
+        x: &[f64],
+        warm_start: Option<&[f64]>,
+    ) -> Result<ComputeSolution> {
+        self.check_shape(g)?;
+        if x.len() != self.rows {
+            return Err(XbarError::ShapeMismatch {
+                context: "compute input vector",
+                expected: self.rows,
+                actual: x.len(),
+            });
+        }
+        let zeros = vec![0.0; self.cols];
+        let v = self.solve_mesh(g, x, &zeros, warm_start)?;
+        let currents = (0..self.cols)
+            .map(|j| self.g_wire * v[self.b_idx(self.rows - 1, j)])
+            .collect();
+        let device_voltages =
+            Matrix::from_fn(self.rows, self.cols, |i, j| v[self.t_idx(i, j)] - v[self.b_idx(i, j)]);
+        Ok(ComputeSolution {
+            column_currents: currents,
+            device_voltages,
+            node_voltages: v,
+        })
+    }
+
+    /// General read solve with arbitrary per-row drive conditions and
+    /// per-column termination voltages. This is the tool behind the
+    /// sneak-path analysis ([`crate::sneak`]): floating rows let current
+    /// creep through multi-device series paths.
+    ///
+    /// # Errors
+    ///
+    /// * [`XbarError::ShapeMismatch`] if dimensions disagree.
+    /// * [`XbarError::Numeric`] if the solve fails.
+    pub fn compute_general(
+        &self,
+        g: &Matrix,
+        row_drives: &[RowDrive],
+        col_terminations: &[ColTermination],
+    ) -> Result<ComputeSolution> {
+        self.check_shape(g)?;
+        if row_drives.len() != self.rows {
+            return Err(XbarError::ShapeMismatch {
+                context: "compute_general row drives",
+                expected: self.rows,
+                actual: row_drives.len(),
+            });
+        }
+        if col_terminations.len() != self.cols {
+            return Err(XbarError::ShapeMismatch {
+                context: "compute_general column terminations",
+                expected: self.cols,
+                actual: col_terminations.len(),
+            });
+        }
+        let v = self.solve_mesh_general(g, row_drives, col_terminations, None)?;
+        let currents = (0..self.cols)
+            .map(|j| match col_terminations[j] {
+                ColTermination::Voltage(vt) => {
+                    self.g_wire * (v[self.b_idx(self.rows - 1, j)] - vt)
+                }
+                ColTermination::Floating => 0.0,
+            })
+            .collect();
+        let device_voltages = Matrix::from_fn(self.rows, self.cols, |i, j| {
+            v[self.t_idx(i, j)] - v[self.b_idx(i, j)]
+        });
+        Ok(ComputeSolution {
+            column_currents: currents,
+            device_voltages,
+            node_voltages: v,
+        })
+    }
+
+    /// Programming-mode solve with the V/2 half-select scheme: row `p`
+    /// driven at `v_program`, column `q` grounded, all other wires held at
+    /// `v_program / 2`.
+    ///
+    /// Returns the voltage across every device; entry `(p, q)` is the
+    /// degraded full-select programming voltage, the rest are half-select
+    /// disturb voltages.
+    ///
+    /// # Errors
+    ///
+    /// * [`XbarError::ShapeMismatch`] / [`XbarError::InvalidParameter`] on
+    ///   bad arguments.
+    /// * [`XbarError::Numeric`] if the CG solve fails.
+    pub fn program_bias(
+        &self,
+        g: &Matrix,
+        selected: (usize, usize),
+        v_program: f64,
+    ) -> Result<Matrix> {
+        self.check_shape(g)?;
+        let (p, q) = selected;
+        if p >= self.rows || q >= self.cols {
+            return Err(XbarError::InvalidParameter {
+                name: "selected",
+                requirement: "cell coordinates must lie inside the array",
+            });
+        }
+        let half = v_program / 2.0;
+        let row_sources: Vec<f64> = (0..self.rows)
+            .map(|i| if i == p { v_program } else { half })
+            .collect();
+        let col_terms: Vec<f64> = (0..self.cols)
+            .map(|j| if j == q { 0.0 } else { half })
+            .collect();
+        let v = self.solve_mesh(g, &row_sources, &col_terms, None)?;
+        Ok(Matrix::from_fn(self.rows, self.cols, |i, j| {
+            v[self.t_idx(i, j)] - v[self.b_idx(i, j)]
+        }))
+    }
+
+    fn check_shape(&self, g: &Matrix) -> Result<()> {
+        if g.shape() != (self.rows, self.cols) {
+            return Err(XbarError::ShapeMismatch {
+                context: "conductance matrix",
+                expected: self.rows * self.cols,
+                actual: g.rows() * g.cols(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ideal;
+
+    #[test]
+    fn one_by_one_matches_series_circuit() {
+        // v → r_wire → device → r_wire → ground: I = v / (2·r_w + r_dev).
+        let r_wire = 2.5;
+        let r_dev = 10e3;
+        let na = NodalAnalysis::new(1, 1, r_wire).unwrap();
+        let g = Matrix::filled(1, 1, 1.0 / r_dev);
+        let sol = na.compute(&g, &[1.0]).unwrap();
+        let expect = 1.0 / (2.0 * r_wire + r_dev);
+        assert!(
+            (sol.column_currents[0] - expect).abs() / expect < 1e-6,
+            "{} vs {}",
+            sol.column_currents[0],
+            expect
+        );
+        // Device voltage = I · r_dev.
+        let vd = sol.device_voltages[(0, 0)];
+        assert!((vd - expect * r_dev).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tiny_wire_resistance_approaches_ideal() {
+        let na = NodalAnalysis::new(4, 3, 1e-6).unwrap();
+        let g = Matrix::from_fn(4, 3, |i, j| 1e-5 + (i + j) as f64 * 1e-5);
+        let x = [1.0, 0.8, 0.5, 0.2];
+        let sol = na.compute(&g, &x).unwrap();
+        let ideal_y = ideal::compute(&g, &x);
+        for (a, b) in sol.column_currents.iter().zip(&ideal_y) {
+            assert!((a - b).abs() / b < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn wire_resistance_only_reduces_current() {
+        let g = Matrix::filled(8, 4, 1e-4); // all LRS — worst case
+        let x = vec![1.0; 8];
+        let ideal_y = ideal::compute(&g, &x);
+        let na = NodalAnalysis::new(8, 4, 10.0).unwrap();
+        let sol = na.compute(&g, &x).unwrap();
+        for (a, b) in sol.column_currents.iter().zip(&ideal_y) {
+            assert!(*a < *b, "IR drop must reduce current: {a} vs {b}");
+            assert!(*a > 0.5 * b, "but not absurdly");
+        }
+    }
+
+    #[test]
+    fn degradation_grows_with_wire_resistance() {
+        let g = Matrix::filled(8, 4, 1e-4);
+        let x = vec![1.0; 8];
+        let mut prev = f64::INFINITY;
+        for &rw in &[0.5, 2.5, 10.0, 50.0] {
+            let na = NodalAnalysis::new(8, 4, rw).unwrap();
+            let y = na.compute(&g, &x).unwrap().column_currents[0];
+            assert!(y < prev, "current must fall as r_wire grows");
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn program_bias_selected_cell_sees_most_voltage() {
+        let na = NodalAnalysis::new(6, 4, 2.5).unwrap();
+        let g = Matrix::filled(6, 4, 1e-4);
+        let v = 2.8;
+        let bias = na.program_bias(&g, (2, 1), v).unwrap();
+        let sel = bias[(2, 1)];
+        assert!(sel > 0.9 * v, "selected cell voltage {sel}");
+        assert!(sel < v, "IR drop must eat some voltage");
+        // Half-selected cells see roughly V/2 or less.
+        for i in 0..6 {
+            for j in 0..4 {
+                if (i, j) != (2, 1) {
+                    assert!(
+                        bias[(i, j)].abs() < 0.55 * v + 1e-9,
+                        "half-select cell ({i},{j}) sees {}",
+                        bias[(i, j)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn program_bias_far_cell_degrades_more() {
+        // All-LRS worst case: the cell far from both drivers (top-right in
+        // our orientation) sees less programming voltage than the near one
+        // (bottom-left).
+        let m = 16;
+        let n = 8;
+        let na = NodalAnalysis::new(m, n, 5.0).unwrap();
+        let g = Matrix::filled(m, n, 1e-4);
+        let v = 2.8;
+        let near = na.program_bias(&g, (m - 1, 0), v).unwrap()[(m - 1, 0)];
+        let far = na.program_bias(&g, (0, n - 1), v).unwrap()[(0, n - 1)];
+        assert!(
+            far < near,
+            "far cell should be more degraded: far={far} near={near}"
+        );
+    }
+
+    #[test]
+    fn compute_warm_start_matches_cold() {
+        let na = NodalAnalysis::new(5, 3, 2.5).unwrap();
+        let g = Matrix::from_fn(5, 3, |i, j| 1e-5 * (1 + i + j) as f64);
+        let x = [1.0, 0.0, 1.0, 0.5, 0.25];
+        let cold = na.compute(&g, &x).unwrap();
+        let warm = na
+            .compute_with_warm_start(&g, &x, Some(&cold.node_voltages))
+            .unwrap();
+        for (a, b) in cold.column_currents.iter().zip(&warm.column_currents) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn invalid_arguments_rejected() {
+        assert!(NodalAnalysis::new(0, 3, 2.5).is_err());
+        assert!(NodalAnalysis::new(3, 3, 0.0).is_err());
+        assert!(NodalAnalysis::new(3, 3, -2.5).is_err());
+        let na = NodalAnalysis::new(3, 3, 2.5).unwrap();
+        let g = Matrix::filled(2, 3, 1e-5);
+        assert!(na.compute(&g, &[1.0; 3]).is_err());
+        let g = Matrix::filled(3, 3, 1e-5);
+        assert!(na.compute(&g, &[1.0; 2]).is_err());
+        assert!(na.program_bias(&g, (5, 0), 2.8).is_err());
+    }
+
+    #[test]
+    fn zero_input_gives_zero_output() {
+        let na = NodalAnalysis::new(4, 2, 2.5).unwrap();
+        let g = Matrix::filled(4, 2, 1e-4);
+        let sol = na.compute(&g, &[0.0; 4]).unwrap();
+        for c in &sol.column_currents {
+            assert!(c.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn superposition_approximately_holds() {
+        // The network is linear: y(x1 + x2) = y(x1) + y(x2).
+        let na = NodalAnalysis::new(4, 3, 2.5).unwrap();
+        let g = Matrix::from_fn(4, 3, |i, j| 1e-5 * (1 + (i * 3 + j) % 4) as f64);
+        let x1 = [1.0, 0.0, 0.5, 0.0];
+        let x2 = [0.0, 1.0, 0.0, 0.25];
+        let xs: Vec<f64> = x1.iter().zip(&x2).map(|(a, b)| a + b).collect();
+        let y1 = na.compute(&g, &x1).unwrap().column_currents;
+        let y2 = na.compute(&g, &x2).unwrap().column_currents;
+        let ys = na.compute(&g, &xs).unwrap().column_currents;
+        for j in 0..3 {
+            assert!((ys[j] - (y1[j] + y2[j])).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Ideal (zero wire resistance) crossbar computation.
+//!
+//! With perfect wires, driving row `i` at voltage `x_i` with every column
+//! at virtual ground produces column currents `y_j = Σ_i x_i · g_ij` —
+//! the analog vector–matrix multiply of §2.2.1.
+
+use vortex_linalg::Matrix;
+
+/// Ideal crossbar read: `y = xᵀ·G`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != conductances.rows()`.
+pub fn compute(conductances: &Matrix, x: &[f64]) -> Vec<f64> {
+    conductances.vecmat(x)
+}
+
+/// Ideal read restricted to a single column: `y_j = Σ_i x_i·g_ij`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != conductances.rows()` or `col` is out of bounds.
+pub fn compute_column(conductances: &Matrix, x: &[f64], col: usize) -> f64 {
+    assert_eq!(x.len(), conductances.rows(), "input length mismatch");
+    assert!(col < conductances.cols(), "column out of bounds");
+    (0..conductances.rows())
+        .map(|i| x[i] * conductances[(i, col)])
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_matches_manual_sum() {
+        let g = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let x = [1.0, 0.5, 2.0];
+        let y = compute(&g, &x);
+        assert_eq!(y, vec![1.0 + 1.5 + 10.0, 2.0 + 2.0 + 12.0]);
+    }
+
+    #[test]
+    fn column_agrees_with_full() {
+        let g = Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64 * 1e-5);
+        let x = [1.0, -1.0, 0.5, 2.0];
+        let full = compute(&g, &x);
+        for (j, expect) in full.iter().enumerate() {
+            assert!((compute_column(&g, &x, j) - expect).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn zero_input_zero_output() {
+        let g = Matrix::filled(3, 2, 1e-4);
+        assert_eq!(compute(&g, &[0.0; 3]), vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,227 @@
+//! Peripheral converters: ADC sensing and DAC input drivers.
+//!
+//! §3.3 of the paper: sensing resolution bounds both the computational
+//! accuracy of a crossbar NCS and the convergence quality of close-loop
+//! training; §5.2 sweeps ADC resolution and finds test rate saturating at
+//! 6 bits. The models here are ideal uniform quantizers with saturation —
+//! exactly the abstraction the paper's analysis uses.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, XbarError};
+
+/// Uniform-quantizing, saturating analog-to-digital converter.
+///
+/// Quantizes a non-negative current into `2^bits` levels over
+/// `[0, full_scale]`.
+///
+/// # Example
+///
+/// ```
+/// use vortex_xbar::Adc;
+///
+/// # fn main() -> Result<(), vortex_xbar::XbarError> {
+/// let adc = Adc::new(6, 100e-6)?; // 6-bit, 100 µA full scale
+/// let q = adc.quantize(37.3e-6);
+/// assert!((q - 37.3e-6).abs() <= adc.step() / 2.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Adc {
+    bits: u32,
+    full_scale: f64,
+}
+
+impl Adc {
+    /// Creates an ADC with the given resolution and full-scale input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InvalidParameter`] if `bits` is 0 or > 24, or
+    /// `full_scale` is not positive and finite.
+    pub fn new(bits: u32, full_scale: f64) -> Result<Self> {
+        if bits == 0 || bits > 24 {
+            return Err(XbarError::InvalidParameter {
+                name: "bits",
+                requirement: "must be in 1..=24",
+            });
+        }
+        if !(full_scale.is_finite() && full_scale > 0.0) {
+            return Err(XbarError::InvalidParameter {
+                name: "full_scale",
+                requirement: "must be finite and positive",
+            });
+        }
+        Ok(Self { bits, full_scale })
+    }
+
+    /// Resolution in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Full-scale input value.
+    pub fn full_scale(&self) -> f64 {
+        self.full_scale
+    }
+
+    /// Quantization step (LSB size).
+    pub fn step(&self) -> f64 {
+        self.full_scale / (1u64 << self.bits) as f64
+    }
+
+    /// Quantizes a value: rounds to the nearest level, saturating at the
+    /// rails. Negative inputs saturate to 0.
+    pub fn quantize(&self, value: f64) -> f64 {
+        let levels = (1u64 << self.bits) as f64;
+        let code = (value / self.step()).round().clamp(0.0, levels - 1.0);
+        code * self.step()
+    }
+
+    /// Quantizes a signed value using a mirrored transfer curve
+    /// (sign-magnitude): useful when sensing differential currents.
+    pub fn quantize_signed(&self, value: f64) -> f64 {
+        value.signum() * self.quantize(value.abs())
+    }
+
+    /// Quantizes every element of a slice.
+    pub fn quantize_vec(&self, values: &[f64]) -> Vec<f64> {
+        values.iter().map(|&v| self.quantize(v)).collect()
+    }
+}
+
+/// Input digital-to-analog driver: quantizes the requested row voltage to
+/// `2^bits` levels over `[0, v_ref]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Dac {
+    bits: u32,
+    v_ref: f64,
+}
+
+impl Dac {
+    /// Creates a DAC.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Adc::new`].
+    pub fn new(bits: u32, v_ref: f64) -> Result<Self> {
+        if bits == 0 || bits > 24 {
+            return Err(XbarError::InvalidParameter {
+                name: "bits",
+                requirement: "must be in 1..=24",
+            });
+        }
+        if !(v_ref.is_finite() && v_ref > 0.0) {
+            return Err(XbarError::InvalidParameter {
+                name: "v_ref",
+                requirement: "must be finite and positive",
+            });
+        }
+        Ok(Self { bits, v_ref })
+    }
+
+    /// Resolution in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Reference (full-scale) voltage.
+    pub fn v_ref(&self) -> f64 {
+        self.v_ref
+    }
+
+    /// Output step size.
+    pub fn step(&self) -> f64 {
+        self.v_ref / (1u64 << self.bits) as f64
+    }
+
+    /// Converts a requested voltage to the nearest producible level.
+    pub fn convert(&self, voltage: f64) -> f64 {
+        let levels = (1u64 << self.bits) as f64;
+        let code = (voltage / self.step()).round().clamp(0.0, levels - 1.0);
+        code * self.step()
+    }
+
+    /// Converts every element of a slice.
+    pub fn convert_vec(&self, voltages: &[f64]) -> Vec<f64> {
+        voltages.iter().map(|&v| self.convert(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adc_validation() {
+        assert!(Adc::new(0, 1e-3).is_err());
+        assert!(Adc::new(25, 1e-3).is_err());
+        assert!(Adc::new(6, 0.0).is_err());
+        assert!(Adc::new(6, f64::NAN).is_err());
+        assert!(Adc::new(6, 1e-3).is_ok());
+    }
+
+    #[test]
+    fn adc_step_and_rounding() {
+        let adc = Adc::new(3, 8.0).unwrap(); // step = 1.0
+        assert_eq!(adc.step(), 1.0);
+        assert_eq!(adc.quantize(2.4), 2.0);
+        assert_eq!(adc.quantize(2.6), 3.0);
+        assert_eq!(adc.quantize(0.0), 0.0);
+    }
+
+    #[test]
+    fn adc_saturates() {
+        let adc = Adc::new(3, 8.0).unwrap();
+        assert_eq!(adc.quantize(100.0), 7.0); // top code
+        assert_eq!(adc.quantize(-5.0), 0.0);
+    }
+
+    #[test]
+    fn adc_error_bounded_by_half_lsb_in_range() {
+        let adc = Adc::new(6, 100e-6).unwrap();
+        for k in 0..1000 {
+            let v = k as f64 * 1e-7;
+            if v < adc.full_scale() - adc.step() {
+                assert!((adc.quantize(v) - v).abs() <= adc.step() / 2.0 + 1e-18);
+            }
+        }
+    }
+
+    #[test]
+    fn higher_resolution_means_smaller_error() {
+        let coarse = Adc::new(4, 100e-6).unwrap();
+        let fine = Adc::new(8, 100e-6).unwrap();
+        let v = 37.7e-6;
+        assert!((fine.quantize(v) - v).abs() < (coarse.quantize(v) - v).abs());
+    }
+
+    #[test]
+    fn signed_quantization_is_odd() {
+        let adc = Adc::new(5, 1.0).unwrap();
+        assert_eq!(adc.quantize_signed(-0.4), -adc.quantize_signed(0.4));
+    }
+
+    #[test]
+    fn quantize_vec_matches_elementwise() {
+        let adc = Adc::new(4, 1.0).unwrap();
+        let xs = [0.1, 0.5, 0.9];
+        let q = adc.quantize_vec(&xs);
+        for (qi, &xi) in q.iter().zip(&xs) {
+            assert_eq!(*qi, adc.quantize(xi));
+        }
+    }
+
+    #[test]
+    fn dac_basics() {
+        let dac = Dac::new(4, 1.0).unwrap();
+        assert_eq!(dac.step(), 1.0 / 16.0);
+        let v = dac.convert(0.52);
+        assert!((v - 0.5).abs() < 0.04);
+        assert_eq!(dac.convert(2.0), 15.0 / 16.0);
+        assert!(Dac::new(0, 1.0).is_err());
+        assert!(Dac::new(4, -1.0).is_err());
+        assert_eq!(dac.convert_vec(&[0.0, 1.0]).len(), 2);
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests for the crossbar simulator.
+
+use proptest::prelude::*;
+use vortex_device::DeviceParams;
+use vortex_linalg::rng::Xoshiro256PlusPlus;
+use vortex_linalg::Matrix;
+use vortex_xbar::circuit::NodalAnalysis;
+use vortex_xbar::ideal;
+use vortex_xbar::pair::WeightMapping;
+use vortex_xbar::sensing::{Adc, Dac};
+
+fn conductances(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(1e-6..1e-4f64, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ideal_read_is_permutation_invariant(g in conductances(6, 3),
+                                           x in proptest::collection::vec(0.0..1.0f64, 6),
+                                           seed in proptest::num::u64::ANY) {
+        // The AMP remapping identity (Fig. 6): permuting rows together
+        // with inputs leaves the output unchanged.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let mut perm: Vec<usize> = (0..6).collect();
+        rng.shuffle(&mut perm);
+        let gp = g.permute_rows(&perm);
+        let xp: Vec<f64> = perm.iter().map(|&p| x[p]).collect();
+        let y0 = ideal::compute(&g, &x);
+        let y1 = ideal::compute(&gp, &xp);
+        for (a, b) in y0.iter().zip(&y1) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn nodal_solve_respects_superposition(g in conductances(5, 3),
+                                          x1 in proptest::collection::vec(0.0..1.0f64, 5),
+                                          x2 in proptest::collection::vec(0.0..1.0f64, 5)) {
+        let na = NodalAnalysis::new(5, 3, 2.5).unwrap();
+        let xs: Vec<f64> = x1.iter().zip(&x2).map(|(a, b)| a + b).collect();
+        let y1 = na.compute(&g, &x1).unwrap().column_currents;
+        let y2 = na.compute(&g, &x2).unwrap().column_currents;
+        let ys = na.compute(&g, &xs).unwrap().column_currents;
+        for j in 0..3 {
+            prop_assert!((ys[j] - (y1[j] + y2[j])).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn nodal_output_never_exceeds_ideal(g in conductances(5, 3),
+                                        x in proptest::collection::vec(0.0..1.0f64, 5)) {
+        // Wire resistance can only lose voltage: each column current is
+        // bounded by the ideal one (for non-negative inputs).
+        let na = NodalAnalysis::new(5, 3, 5.0).unwrap();
+        let exact = na.compute(&g, &x).unwrap().column_currents;
+        let ideal_y = ideal::compute(&g, &x);
+        for j in 0..3 {
+            prop_assert!(exact[j] <= ideal_y[j] + 1e-9);
+            prop_assert!(exact[j] >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn adc_quantization_error_bounded(bits in 2u32..12, value in 0.0..1.0f64) {
+        let adc = Adc::new(bits, 1.0).unwrap();
+        let q = adc.quantize(value);
+        // Inside the range (excluding the top rail) error ≤ LSB/2.
+        if value < 1.0 - adc.step() {
+            prop_assert!((q - value).abs() <= adc.step() / 2.0 + 1e-15);
+        }
+        // Quantization is idempotent.
+        prop_assert_eq!(adc.quantize(q), q);
+    }
+
+    #[test]
+    fn dac_is_monotone(bits in 2u32..10, v1 in 0.0..1.0f64, dv in 0.0..0.5f64) {
+        let dac = Dac::new(bits, 1.0).unwrap();
+        prop_assert!(dac.convert(v1 + dv) >= dac.convert(v1));
+    }
+
+    #[test]
+    fn weight_mapping_roundtrip(w in -2.0..2.0f64) {
+        let device = DeviceParams::default();
+        let m = WeightMapping::new(&device, 2.0).unwrap();
+        let (gp, gn) = m.to_conductance_pair(w);
+        prop_assert!(gp >= device.g_off() && gp <= device.g_on());
+        prop_assert!(gn >= device.g_off() && gn <= device.g_on());
+        let back = (gp - gn) / m.scale();
+        prop_assert!((back - w).abs() < 1e-12);
+        // At most one side deviates from the baseline.
+        prop_assert!(gp == device.g_off() || gn == device.g_off());
+    }
+
+    #[test]
+    fn weight_mapping_is_monotone(w1 in -2.0..2.0f64, dw in 0.0..1.0f64) {
+        let device = DeviceParams::default();
+        let m = WeightMapping::new(&device, 3.5).unwrap();
+        let (gp1, gn1) = m.to_conductance_pair(w1);
+        let (gp2, gn2) = m.to_conductance_pair(w1 + dw);
+        // Differential conductance is monotone in the weight.
+        prop_assert!(gp2 - gn2 >= gp1 - gn1 - 1e-15);
+    }
+
+    #[test]
+    fn device_voltages_bounded_by_drive(g in conductances(4, 2),
+                                        x in proptest::collection::vec(0.0..1.0f64, 4)) {
+        let na = NodalAnalysis::new(4, 2, 3.0).unwrap();
+        let sol = na.compute(&g, &x).unwrap();
+        let x_max = x.iter().cloned().fold(0.0_f64, f64::max);
+        for i in 0..4 {
+            for j in 0..2 {
+                let vd = sol.device_voltages[(i, j)];
+                prop_assert!(vd >= -1e-9 && vd <= x_max + 1e-9,
+                    "device ({i},{j}) voltage {vd} outside [0, {x_max}]");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cost_ledger_merge_is_commutative(p1 in 0u64..1000, p2 in 0u64..1000,
+                                        a1 in 0u64..1000, a2 in 0u64..1000,
+                                        w1 in 0.0..1e-3f64, w2 in 0.0..1e-3f64) {
+        use vortex_xbar::cost::CostLedger;
+        let mk = |p: u64, a: u64, w: f64| {
+            let mut l = CostLedger::new();
+            for _ in 0..p.min(5) {
+                l.record_pulse(2.8, w, 1e-4);
+            }
+            l.record_adc(a);
+            l.pulse_count = p; // force counts for the algebraic check
+            l
+        };
+        let (la, lb) = (mk(p1, a1, w1), mk(p2, a2, w2));
+        let mut ab = la;
+        ab.merge(&lb);
+        let mut ba = lb;
+        ba.merge(&la);
+        prop_assert_eq!(ab.pulse_count, ba.pulse_count);
+        prop_assert_eq!(ab.adc_conversions, ba.adc_conversions);
+        prop_assert!((ab.program_time_s - ba.program_time_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn analytic_map_factors_in_unit_interval(gvals in proptest::collection::vec(1e-6..1e-4f64, 6 * 4),
+                                             r_wire in 0.0..50.0f64) {
+        let g = Matrix::from_vec(6, 4, gvals).unwrap();
+        let map = vortex_xbar::irdrop::ProgramVoltageMap::analytic(&g, r_wire, 2.8).unwrap();
+        for i in 0..6 {
+            for j in 0..4 {
+                let f = map.factor(i, j);
+                prop_assert!((0.0..=1.0).contains(&f));
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_map_corner_ordering_for_uniform_arrays(gval in 1e-6..1e-4f64,
+                                                       r_wire in 0.0..50.0f64) {
+        // For *uniform* conductances the near corner (bottom-left) is at
+        // least as healthy as the far corner (top-right). (Heterogeneous
+        // arrays can invert this: a high-conductance near-corner device
+        // loses more voltage in its own series divider than a
+        // low-conductance far-corner one — a counterexample this suite's
+        // earlier version discovered.)
+        let g = Matrix::filled(6, 4, gval);
+        let map = vortex_xbar::irdrop::ProgramVoltageMap::analytic(&g, r_wire, 2.8).unwrap();
+        prop_assert!(map.factor(5, 0) + 1e-9 >= map.factor(0, 3));
+    }
+}

@@ -1,0 +1,58 @@
+//! Defect tolerance: fabricate crossbars with stuck-at cells, let AMP's
+//! pre-testing flag the defective rows, and show how redundancy restores
+//! the hardware test rate (§4.2.2 / §5.3 of the paper).
+//!
+//! ```text
+//! cargo run --release --example defect_tolerance
+//! ```
+
+use vortex_core::amp::sensitivity::mean_abs_inputs;
+use vortex_core::pipeline::HardwareEnv;
+use vortex_core::report::{pct, Table};
+use vortex_core::vortex::{amp_evaluate, AmpChipOptions};
+use vortex_device::defects::DefectModel;
+use vortex_linalg::rng::Xoshiro256PlusPlus;
+use vortex_nn::dataset::{DatasetConfig, SynthDigits};
+use vortex_nn::gdt::GdtTrainer;
+use vortex_nn::split::stratified_split;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(13);
+    let data = SynthDigits::generate(
+        &DatasetConfig {
+            side: 14,
+            samples_per_class: 80,
+            ..DatasetConfig::paper()
+        },
+        23,
+    )?;
+    let split = stratified_split(&data, 600, 200, &mut rng)?;
+    let weights = GdtTrainer::default().train(&split.train)?;
+    let mean_abs = mean_abs_inputs(&split.train);
+
+    // 2 % of cells stuck at HRS, 1 % stuck at LRS, plus σ = 0.5 variation.
+    let mut env = HardwareEnv::with_sigma(0.5)?;
+    env.defects = DefectModel::new(0.01, 0.02)?;
+
+    let mut table = Table::new(
+        "defective chip (1% stuck-LRS + 2% stuck-HRS cells, sigma = 0.5)",
+        &["redundant rows", "hardware test rate"],
+    );
+    for redundancy in [0usize, 10, 25, 50] {
+        let opts = AmpChipOptions {
+            redundant_rows: redundancy,
+            ..AmpChipOptions::default()
+        };
+        let eval = amp_evaluate(
+            &weights, &mean_abs, &opts, &env, &split.test, 3, &mut rng,
+        )?;
+        table.add_row(&[redundancy.to_string(), pct(eval.mean_test_rate)]);
+    }
+    println!("{table}");
+    println!(
+        "note: pre-testing reads every device once per chip; rows with |θ̂| > {} are\n\
+         treated as defective and, redundancy permitting, never mapped.",
+        AmpChipOptions::default().defect_theta_threshold
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Quickstart: train a digit classifier with Vortex, program it onto a
+//! simulated memristor crossbar pair, and compare the hardware test rate
+//! against the naive open-loop baseline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use vortex_core::old::OldPipeline;
+use vortex_core::pipeline::HardwareEnv;
+use vortex_core::vortex::{VortexConfig, VortexPipeline};
+use vortex_linalg::rng::Xoshiro256PlusPlus;
+use vortex_nn::dataset::{DatasetConfig, SynthDigits};
+use vortex_nn::split::stratified_split;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A 14×14 synthetic digit benchmark: 600 training / 300 test
+    //    samples (use `DatasetConfig::paper()` for the full 28×28 setup).
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(42);
+    let data_cfg = DatasetConfig {
+        side: 14,
+        samples_per_class: 90,
+        ..DatasetConfig::paper()
+    };
+    let data = SynthDigits::generate(&data_cfg, 7)?;
+    let split = stratified_split(&data, 600, 300, &mut rng)?;
+    println!(
+        "dataset: {} train / {} test samples, {} features",
+        split.train.len(),
+        split.test.len(),
+        split.train.num_features()
+    );
+
+    // 2. The hardware: memristors with lognormal variation σ = 0.8 —
+    //    a hostile chip for open-loop programming.
+    let env = HardwareEnv::with_sigma(0.8)?;
+
+    // 3. Baseline: conventional software training + blind programming.
+    let old = OldPipeline::default().run(&split.train, &split.test, &env, &mut rng)?;
+    println!(
+        "OLD    : training rate {:5.1}%, hardware test rate {:5.1}%",
+        100.0 * old.rates.training_rate,
+        100.0 * old.rates.test_rate
+    );
+
+    // 4. Vortex: variation-aware training with self-tuned γ plus per-chip
+    //    adaptive mapping over 20 redundant rows.
+    let config = VortexConfig {
+        redundant_rows: 20,
+        ..VortexConfig::default()
+    };
+    let vortex = VortexPipeline::new(config).run(&split.train, &split.test, &env, &mut rng)?;
+    println!(
+        "Vortex : training rate {:5.1}%, hardware test rate {:5.1}% (tuned gamma = {:.2})",
+        100.0 * vortex.rates.training_rate,
+        100.0 * vortex.rates.test_rate,
+        vortex.best_gamma
+    );
+    println!(
+        "gain   : {:+.1} percentage points of hardware test rate",
+        100.0 * (vortex.rates.test_rate - old.rates.test_rate)
+    );
+    Ok(())
+}

@@ -1,0 +1,99 @@
+//! Tiled-accelerator design study (extension beyond the paper): compare a
+//! monolithic crossbar against row-tiled layouts under IR-drop, and print
+//! the hardware-overhead ledger of each training scheme.
+//!
+//! ```text
+//! cargo run --release --example tiled_accelerator
+//! ```
+
+use vortex_core::amp::greedy::RowMapping;
+use vortex_core::amp::sensitivity::mean_abs_inputs;
+use vortex_core::pipeline::{evaluate_hardware, HardwareEnv};
+use vortex_core::report::{pct, Table};
+use vortex_core::tiling::TiledEvaluator;
+use vortex_linalg::rng::Xoshiro256PlusPlus;
+use vortex_nn::dataset::{DatasetConfig, SynthDigits};
+use vortex_nn::gdt::GdtTrainer;
+use vortex_nn::split::stratified_split;
+use vortex_xbar::cost::SchemeCostModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(77);
+    let data = SynthDigits::generate(
+        &DatasetConfig {
+            side: 14,
+            samples_per_class: 80,
+            ..DatasetConfig::paper()
+        },
+        71,
+    )?;
+    let split = stratified_split(&data, 600, 200, &mut rng)?;
+    let weights = GdtTrainer::default().train(&split.train)?;
+    let mean_abs = mean_abs_inputs(&split.train);
+
+    // Aggressive wires, no programming compensation: the regime where
+    // Table 1 shows monolithic arrays failing.
+    let env = HardwareEnv::ideal().with_ir_drop(10.0);
+
+    let mut table = Table::new(
+        "monolithic vs tiled under r_wire = 10 ohm (uncompensated)",
+        &["layout", "hardware test rate"],
+    );
+    let mono = evaluate_hardware(
+        &weights,
+        &RowMapping::identity(weights.rows()),
+        &env,
+        &split.test,
+        3,
+        &mut rng,
+    )?;
+    table.add_row(&["monolithic 196-row".to_string(), pct(mono.mean_test_rate)]);
+    for tile_rows in [98usize, 49, 28] {
+        let tiled = TiledEvaluator::new(tile_rows)?.evaluate(
+            &weights,
+            &mean_abs,
+            &env,
+            &split.test,
+            3,
+            &mut rng,
+        )?;
+        table.add_row(&[
+            format!("{tile_rows}-row tiles"),
+            pct(tiled.mean_test_rate),
+        ]);
+    }
+    println!("{table}");
+
+    // What does each training scheme cost in peripheral activity?
+    let cost = SchemeCostModel {
+        rows: weights.rows(),
+        cols: weights.cols(),
+        redundant_rows: 0,
+        mean_pulse_width_s: 1e-6,
+        pretest_repeats: 3,
+        samples: split.train.len(),
+        epochs: 25,
+    };
+    let mut ledger = Table::new(
+        "scheme overhead (closed form)",
+        &["scheme", "pulses", "ADC conversions"],
+    );
+    for (name, c) in [
+        ("OLD", cost.old_cost()?),
+        ("Vortex", cost.vortex_cost()?),
+        ("CLD", cost.cld_cost()?),
+    ] {
+        ledger.add_row(&[
+            name.to_string(),
+            c.pulse_count.to_string(),
+            c.adc_conversions.to_string(),
+        ]);
+    }
+    println!("{ledger}");
+    println!(
+        "takeaway: small tiles keep every current path short (Fig. 3's skew never\n\
+         develops), and open-loop schemes need orders of magnitude fewer ADC\n\
+         conversions than close-loop training."
+    );
+    Ok(())
+}

@@ -1,0 +1,111 @@
+//! Shape tests for the paper experiments: every figure/table module must
+//! reproduce the paper's *qualitative* result at reduced scale.
+
+use vortex_bench::experiments::{fig2, fig3, fig4, fig7, fig8, fig9, table1};
+use vortex_bench::Scale;
+
+fn scale() -> Scale {
+    Scale::bench()
+}
+
+#[test]
+fn fig2_old_grows_cld_flat() {
+    let r = fig2::run(&scale());
+    let first = r.points.first().unwrap();
+    let last = r.points.last().unwrap();
+    assert!(last.old_discrepancy > first.old_discrepancy * 2.0);
+    assert!(last.cld_discrepancy < 0.05);
+    // OLD's mean discrepancy scales roughly like σ/√n: sanity bracket.
+    assert!(last.old_discrepancy > 0.02 && last.old_discrepancy < 1.0);
+}
+
+#[test]
+fn fig3_skew_grows_and_crosses_two() {
+    let r = fig3::run(&scale());
+    let skews: Vec<f64> = r.points.iter().map(|p| p.update_rate_skew).collect();
+    assert!(skews.windows(2).all(|w| w[1] >= w[0] * 0.9), "roughly monotone");
+    assert!(
+        *skews.last().unwrap() > 2.0,
+        "largest mesh must show >2 skew: {skews:?}"
+    );
+}
+
+#[test]
+fn fig4_variation_gap_exists_at_gamma_zero() {
+    let r = fig4::run_with_sigma(&scale(), 0.8);
+    let at0 = r.points.first().unwrap();
+    assert!(
+        at0.test_rate_without_variation >= at0.test_rate_with_variation - 0.02,
+        "variation must not help an unprotected net: w/o {} w/ {}",
+        at0.test_rate_without_variation,
+        at0.test_rate_with_variation
+    );
+}
+
+#[test]
+fn fig7_amp_curve_dominates_on_average() {
+    let r = fig7::run_with_sigma(&scale(), 0.8);
+    let before: f64 = r.points.iter().map(|p| p.test_rate_before_amp).sum();
+    let after: f64 = r.points.iter().map(|p| p.test_rate_after_amp).sum();
+    assert!(
+        after >= before - 0.05 * r.points.len() as f64,
+        "after-AMP mean must not lose: {after} vs {before}"
+    );
+}
+
+#[test]
+fn fig8_low_resolution_hurts_or_saturates() {
+    let r = fig8::run(&scale());
+    for &sigma in &r.sigmas {
+        let lo = r.at(4, sigma).unwrap();
+        let hi = r.at(10, sigma).unwrap();
+        assert!(
+            hi >= lo - 0.05,
+            "σ={sigma}: more resolution should not hurt ({lo} → {hi})"
+        );
+    }
+}
+
+#[test]
+fn fig9_vortex_leads_baselines() {
+    let r = fig9::run_with_sigma(&scale(), 0.8);
+    let p0 = &r.points[0];
+    assert!(
+        p0.vortex >= r.old_baseline - 0.03,
+        "Vortex {} vs OLD {}",
+        p0.vortex,
+        r.old_baseline
+    );
+    // Components alone should not beat the combination by much.
+    assert!(p0.vortex >= p0.amp_only - 0.08);
+}
+
+#[test]
+fn table1_cld_collapse_is_size_dependent() {
+    // Strong wires exaggerate the effect at bench scale.
+    let r = table1::run_with(&scale(), 10.0, 0.6);
+    // The paper's Table 1 shape: Vortex holds up on the LARGE crossbar
+    // (compensated open-loop programming sidesteps the skewed update
+    // rates that cripple CLD there) but may lose on the smallest one,
+    // where CLD's closed loop shines and the penalty costs Vortex fit.
+    let big = &r.columns[0];
+    assert!(
+        big.vortex_with_irdrop.test_rate >= big.cld_with_irdrop.test_rate - 0.10,
+        "{} rows: Vortex {} vs CLD w/ IR-drop {}",
+        big.rows,
+        big.vortex_with_irdrop.test_rate,
+        big.cld_with_irdrop.test_rate
+    );
+    // The larger crossbar suffers more from IR-drop in CLD (relative to
+    // its own no-IR-drop ceiling).
+    if r.columns.len() >= 2 {
+        let big = &r.columns[0];
+        let small = &r.columns[r.columns.len() - 1];
+        let big_loss = big.cld_without_irdrop.test_rate - big.cld_with_irdrop.test_rate;
+        let small_loss = small.cld_without_irdrop.test_rate - small.cld_with_irdrop.test_rate;
+        assert!(
+            big_loss >= small_loss - 0.10,
+            "larger crossbar should lose at least as much: big {big_loss} small {small_loss}"
+        );
+    }
+}

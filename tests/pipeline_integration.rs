@@ -1,0 +1,227 @@
+//! Cross-crate integration tests: the full train → fabricate → pre-test →
+//! map → program → read pipelines, exercised end to end.
+
+use vortex_core::amp::greedy::RowMapping;
+use vortex_core::amp::sensitivity::mean_abs_inputs;
+use vortex_core::cld::CldTrainer;
+use vortex_core::old::OldPipeline;
+use vortex_core::pipeline::{evaluate_hardware, HardwareEnv};
+use vortex_core::vortex::{amp_evaluate, AmpChipOptions, VortexConfig, VortexPipeline};
+use vortex_device::defects::DefectModel;
+use vortex_linalg::rng::Xoshiro256PlusPlus;
+use vortex_nn::dataset::{Dataset, DatasetConfig, SynthDigits};
+use vortex_nn::gdt::GdtTrainer;
+use vortex_nn::split::stratified_split;
+
+fn rng(seed: u64) -> Xoshiro256PlusPlus {
+    Xoshiro256PlusPlus::seed_from_u64(seed)
+}
+
+fn dataset(seed: u64) -> (Dataset, Dataset) {
+    let data = SynthDigits::generate(&DatasetConfig::tiny(), seed).expect("dataset");
+    let split = stratified_split(&data, 200, 100, &mut rng(seed)).expect("split");
+    (split.train, split.test)
+}
+
+#[test]
+fn vortex_beats_old_and_cld_at_high_variation() {
+    let (train, test) = dataset(1);
+    let env = HardwareEnv::with_sigma(1.0).expect("env");
+    let mut r = rng(10);
+
+    let old = OldPipeline::fast().run(&train, &test, &env, &mut r).expect("old");
+    let cld = CldTrainer::fast().run(&train, &test, &env, &mut r).expect("cld");
+    let vortex = VortexPipeline::new(VortexConfig {
+        redundant_rows: 20,
+        ..VortexConfig::fast()
+    })
+    .run(&train, &test, &env, &mut r)
+    .expect("vortex");
+
+    // The paper's headline ordering at σ = 0.8+: Vortex ≥ both baselines.
+    assert!(
+        vortex.rates.test_rate >= old.rates.test_rate - 0.02,
+        "Vortex {} vs OLD {}",
+        vortex.rates.test_rate,
+        old.rates.test_rate
+    );
+    assert!(
+        vortex.rates.test_rate >= cld.rates.test_rate - 0.10,
+        "Vortex {} vs CLD {}",
+        vortex.rates.test_rate,
+        cld.rates.test_rate
+    );
+}
+
+#[test]
+fn amp_mapping_recovers_accuracy_on_defective_chips() {
+    let (train, test) = dataset(2);
+    let weights = GdtTrainer {
+        epochs: 10,
+        ..Default::default()
+    }
+    .train(&train)
+    .expect("training");
+    let mean_abs = mean_abs_inputs(&train);
+
+    let mut env = HardwareEnv::with_sigma(0.4).expect("env");
+    env.defects = DefectModel::new(0.02, 0.04).expect("defects");
+
+    let mut r = rng(20);
+    let no_amp = evaluate_hardware(
+        &weights,
+        &RowMapping::identity(weights.rows()),
+        &env,
+        &test,
+        3,
+        &mut r,
+    )
+    .expect("identity eval");
+    let with_amp = amp_evaluate(
+        &weights,
+        &mean_abs,
+        &AmpChipOptions {
+            redundant_rows: 30,
+            ..AmpChipOptions::default()
+        },
+        &env,
+        &test,
+        3,
+        &mut r,
+    )
+    .expect("amp eval");
+    assert!(
+        with_amp.mean_test_rate > no_amp.mean_test_rate,
+        "AMP+redundancy {} must beat blind mapping {} on a defective chip",
+        with_amp.mean_test_rate,
+        no_amp.mean_test_rate
+    );
+}
+
+#[test]
+fn programming_irdrop_compensation_matters_end_to_end() {
+    let (train, test) = dataset(3);
+    let weights = GdtTrainer {
+        epochs: 10,
+        ..Default::default()
+    }
+    .train(&train)
+    .expect("training");
+    let mapping = RowMapping::identity(weights.rows());
+
+    let uncompensated = HardwareEnv::ideal().with_ir_drop(5.0);
+    let mut compensated = uncompensated;
+    compensated.compensate_program_irdrop = true;
+
+    let mut r = rng(30);
+    let bad = evaluate_hardware(&weights, &mapping, &uncompensated, &test, 2, &mut r)
+        .expect("uncompensated");
+    let good = evaluate_hardware(&weights, &mapping, &compensated, &test, 2, &mut r)
+        .expect("compensated");
+    assert!(
+        good.mean_test_rate > bad.mean_test_rate + 0.05,
+        "compensated {} vs uncompensated {}",
+        good.mean_test_rate,
+        bad.mean_test_rate
+    );
+}
+
+#[test]
+fn self_tuned_gamma_is_interior_under_variation() {
+    let (train, test) = dataset(4);
+    let env = HardwareEnv::with_sigma(0.9).expect("env");
+    let out = VortexPipeline::new(VortexConfig::fast())
+        .run(&train, &test, &env, &mut rng(40))
+        .expect("vortex");
+    // At σ = 0.9 the tuner should find some protection useful (γ > 0 on
+    // the coarse grid) — the defining behaviour of the self-tuning loop.
+    assert!(
+        out.best_gamma >= 0.0 && out.best_gamma <= 1.0,
+        "gamma {}",
+        out.best_gamma
+    );
+    assert!(!out.tuning_curve.is_empty());
+    // Training rate must exceed the hardware test rate (variation costs).
+    assert!(out.rates.training_rate >= out.rates.test_rate - 0.05);
+}
+
+#[test]
+fn whole_pipeline_is_reproducible() {
+    let (train, test) = dataset(5);
+    let env = HardwareEnv::with_sigma(0.6).expect("env");
+    let pipeline = VortexPipeline::new(VortexConfig::fast());
+    let a = pipeline.run(&train, &test, &env, &mut rng(50)).expect("run a");
+    let b = pipeline.run(&train, &test, &env, &mut rng(50)).expect("run b");
+    assert_eq!(a.per_draw, b.per_draw);
+    assert_eq!(a.best_gamma, b.best_gamma);
+    assert_eq!(a.weights, b.weights);
+}
+
+#[test]
+fn retune_after_amp_runs_and_stays_sane() {
+    let (train, test) = dataset(6);
+    let env = HardwareEnv::with_sigma(0.8).expect("env");
+    let out = VortexPipeline::new(VortexConfig {
+        retune_after_amp: true,
+        redundant_rows: 10,
+        mc_draws: 1,
+        ..VortexConfig::fast()
+    })
+    .run(&train, &test, &env, &mut rng(60))
+    .expect("vortex with retune");
+    assert!(out.rates.test_rate > 0.2, "test rate {}", out.rates.test_rate);
+    // AMP should report a reduced effective σ relative to the raw 0.8.
+    assert!(
+        out.effective_sigma_mean < 0.8,
+        "effective σ {} should be below raw 0.8",
+        out.effective_sigma_mean
+    );
+}
+
+#[test]
+fn pretest_compensation_extension_beats_plain_amp() {
+    // Extension beyond the paper: using the pre-test multipliers to
+    // correct each device's target (not just to remap rows) should
+    // recover most of the open-loop variation loss.
+    let (train, test) = dataset(7);
+    let weights = GdtTrainer {
+        epochs: 10,
+        ..Default::default()
+    }
+    .train(&train)
+    .expect("training");
+    let mean_abs = mean_abs_inputs(&train);
+    let env = HardwareEnv::with_sigma(0.8).expect("env");
+    let mut r = rng(70);
+
+    let plain = amp_evaluate(
+        &weights,
+        &mean_abs,
+        &AmpChipOptions::default(),
+        &env,
+        &test,
+        3,
+        &mut r,
+    )
+    .expect("plain amp");
+    let compensated = amp_evaluate(
+        &weights,
+        &mean_abs,
+        &AmpChipOptions {
+            pretest_compensation: true,
+            pretest_bits: 8,
+            ..AmpChipOptions::default()
+        },
+        &env,
+        &test,
+        3,
+        &mut r,
+    )
+    .expect("compensated amp");
+    assert!(
+        compensated.mean_test_rate >= plain.mean_test_rate - 0.02,
+        "compensated {} vs plain {}",
+        compensated.mean_test_rate,
+        plain.mean_test_rate
+    );
+}
