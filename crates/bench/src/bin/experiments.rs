@@ -27,7 +27,9 @@ fn main() {
         .map(String::as_str)
         .collect();
     let which: Vec<&str> = if which.is_empty() || which.contains(&"all") {
-        vec!["fig1", "fig2", "fig3", "fig4", "fig7", "fig8", "fig9", "table1", "ext"]
+        vec![
+            "fig1", "fig2", "fig3", "fig4", "fig7", "fig8", "fig9", "table1", "ext",
+        ]
     } else {
         which
     };

@@ -6,7 +6,7 @@
 //! * self-tuned γ vs a fixed γ across variation corners.
 
 use vortex_core::amp::greedy::{greedy_map, RowMapping};
-use vortex_core::amp::{swv, sensitivity};
+use vortex_core::amp::{sensitivity, swv};
 use vortex_core::pipeline::{evaluate_hardware, HardwareEnv};
 use vortex_core::rho::RhoConfig;
 use vortex_core::tuning::SelfTuner;
@@ -228,8 +228,18 @@ mod tests {
     #[test]
     fn greedy_mapping_beats_identity_and_random() {
         let r = mapping_ablation(40, 10, 0.8, 2);
-        assert!(r.greedy <= r.identity, "greedy {} identity {}", r.greedy, r.identity);
-        assert!(r.greedy <= r.random, "greedy {} random {}", r.greedy, r.random);
+        assert!(
+            r.greedy <= r.identity,
+            "greedy {} identity {}",
+            r.greedy,
+            r.identity
+        );
+        assert!(
+            r.greedy <= r.random,
+            "greedy {} random {}",
+            r.greedy,
+            r.random
+        );
     }
 
     #[test]

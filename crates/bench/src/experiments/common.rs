@@ -3,6 +3,7 @@
 use vortex_core::vat::VatTrainer;
 use vortex_linalg::rng::Xoshiro256PlusPlus;
 use vortex_nn::dataset::{Dataset, DatasetConfig, SynthDigits};
+use vortex_nn::executor::Parallelism;
 use vortex_nn::gdt::GdtTrainer;
 use vortex_nn::split::stratified_split;
 
@@ -30,6 +31,10 @@ pub struct Scale {
     pub gamma_points: usize,
     /// Master seed.
     pub seed: u64,
+    /// Worker pool for Monte-Carlo fan-outs. Every setting produces
+    /// bit-identical results (see `vortex_nn::executor`); only wall-clock
+    /// time changes.
+    pub parallelism: Parallelism,
 }
 
 impl Scale {
@@ -44,6 +49,7 @@ impl Scale {
             epochs: 30,
             gamma_points: 11,
             seed: 2015,
+            parallelism: Parallelism::Auto,
         }
     }
 
@@ -58,6 +64,7 @@ impl Scale {
             epochs: 10,
             gamma_points: 5,
             seed: 2015,
+            parallelism: Parallelism::Auto,
         }
     }
 
@@ -72,6 +79,15 @@ impl Scale {
             epochs: 4,
             gamma_points: 3,
             seed: 2015,
+            parallelism: Parallelism::Auto,
+        }
+    }
+
+    /// The same scale with an explicit worker-pool setting.
+    pub fn with_parallelism(self, parallelism: Parallelism) -> Self {
+        Self {
+            parallelism,
+            ..self
         }
     }
 

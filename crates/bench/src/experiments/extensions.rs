@@ -82,7 +82,14 @@ pub fn run(scale: &Scale) -> ExtensionsResult {
     let tile_rows = (weights.rows() / 6).max(16);
     let tiled = TiledEvaluator::new(tile_rows)
         .expect("tile size")
-        .evaluate(&weights, &mean_abs, &env_ir, &test, scale.mc_draws, &mut rng)
+        .evaluate(
+            &weights,
+            &mean_abs,
+            &env_ir,
+            &test,
+            scale.mc_draws,
+            &mut rng,
+        )
         .expect("tiled")
         .mean_test_rate;
 
@@ -131,7 +138,13 @@ pub fn run(scale: &Scale) -> ExtensionsResult {
     let vortex = cost_model.vortex_cost().expect("vortex cost");
     let mut ct = Table::new(
         "Scheme overhead (closed-form estimates)",
-        &["scheme", "pulses", "program time", "ADC conversions", "cells"],
+        &[
+            "scheme",
+            "pulses",
+            "program time",
+            "ADC conversions",
+            "cells",
+        ],
     );
     for (name, c) in [("OLD", old), ("CLD", cld), ("Vortex", vortex)] {
         ct.add_row(&[

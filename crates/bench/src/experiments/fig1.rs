@@ -10,7 +10,6 @@
 use vortex_core::report::{fixed, Table};
 use vortex_device::switching::evolve_state;
 use vortex_device::{DeviceParams, VariationModel};
-use vortex_linalg::rng::Xoshiro256PlusPlus;
 use vortex_linalg::stats::Histogram;
 
 use super::common::Scale;
@@ -50,10 +49,7 @@ impl Fig1Result {
             &["voltage (V)", "landed resistance (kohm)"],
         );
         for p in &self.characteristic {
-            a.add_row(&[
-                fixed(p.voltage, 2),
-                fixed(p.resistance_ohms / 1e3, 1),
-            ]);
+            a.add_row(&[fixed(p.voltage, 2), fixed(p.resistance_ohms / 1e3, 1)]);
         }
         let mut c = Table::new(
             format!(

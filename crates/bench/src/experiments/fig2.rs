@@ -8,6 +8,7 @@
 use vortex_core::column::ColumnExperiment;
 use vortex_core::report::{fixed, Table};
 use vortex_device::VariationModel;
+use vortex_nn::executor::run_trials;
 
 use super::common::Scale;
 
@@ -59,16 +60,26 @@ pub fn run(scale: &Scale) -> Fig2Result {
     let mut points = Vec::with_capacity(sigmas.len());
     for &sigma in &sigmas {
         let variation = VariationModel::parametric(sigma).expect("valid sigma");
-        let mut old_acc = 0.0;
-        let mut cld_acc = 0.0;
-        for _ in 0..scale.column_runs {
-            old_acc += experiment
-                .old_discrepancy(&variation, &mut rng)
-                .expect("valid column experiment");
-            cld_acc += experiment
-                .cld_discrepancy(&variation, &mut rng)
-                .expect("valid column experiment");
-        }
+        // Each Monte-Carlo run draws its OLD and CLD columns from its own
+        // pre-split stream, so the sweep is bit-identical on any worker
+        // count (see `vortex_nn::executor`).
+        let runs = run_trials(
+            &mut rng,
+            scale.column_runs,
+            scale.parallelism,
+            |_, run_rng| {
+                let old = experiment
+                    .old_discrepancy(&variation, run_rng)
+                    .expect("valid column experiment");
+                let cld = experiment
+                    .cld_discrepancy(&variation, run_rng)
+                    .expect("valid column experiment");
+                (old, cld)
+            },
+        );
+        let (old_acc, cld_acc) = runs
+            .iter()
+            .fold((0.0, 0.0), |(o, c), &(old, cld)| (o + old, c + cld));
         points.push(Fig2Point {
             sigma,
             old_discrepancy: old_acc / scale.column_runs as f64,
@@ -97,7 +108,12 @@ mod tests {
         );
         // CLD stays small everywhere.
         for p in &r.points {
-            assert!(p.cld_discrepancy < 0.05, "CLD at σ={}: {}", p.sigma, p.cld_discrepancy);
+            assert!(
+                p.cld_discrepancy < 0.05,
+                "CLD at σ={}: {}",
+                p.sigma,
+                p.cld_discrepancy
+            );
             assert!(p.old_discrepancy >= 0.0);
         }
         // And OLD is worse than CLD at high σ.

@@ -11,10 +11,9 @@
 use vortex_core::report::{fixed, Table};
 use vortex_device::DeviceParams;
 use vortex_linalg::Matrix;
+use vortex_nn::executor::run_trials;
 use vortex_xbar::circuit::NodalAnalysis;
-use vortex_xbar::irdrop::{
-    decompose_beta_d, skewness, update_rate_profile, ProgramVoltageMap,
-};
+use vortex_xbar::irdrop::{decompose_beta_d, skewness, update_rate_profile, ProgramVoltageMap};
 
 use super::common::Scale;
 
@@ -104,8 +103,13 @@ pub fn run_with_wire(scale: &Scale, r_wire: f64) -> Fig3Result {
     } else {
         &[16, 32, 64, 128]
     };
-    let mut points = Vec::with_capacity(sizes.len());
-    for &rows in sizes {
+    // The IR-drop analysis is deterministic (no variation draws), but each
+    // size point solves an independent mesh, so the sweep shards cleanly
+    // over the worker pool; output order and values are identical to the
+    // serial loop.
+    let mut rng = scale.rng(3);
+    let points = run_trials(&mut rng, sizes.len(), scale.parallelism, |k, _| {
+        let rows = sizes[k];
         let g = Matrix::filled(rows, cols, device.g_on()); // all LRS
         let map =
             ProgramVoltageMap::analytic(&g, r_wire, device.v_program()).expect("valid params");
@@ -113,8 +117,8 @@ pub fn run_with_wire(scale: &Scale, r_wire: f64) -> Fig3Result {
         let rate_profile = update_rate_profile(&map, &device, 0);
         let (exact_checked, exact_error) = if rows <= 32 {
             let na = NodalAnalysis::new(rows, cols, r_wire).expect("valid mesh");
-            let exact = ProgramVoltageMap::from_exact(&na, &g, device.v_program())
-                .expect("mesh solve");
+            let exact =
+                ProgramVoltageMap::from_exact(&na, &g, device.v_program()).expect("mesh solve");
             let mut err = 0.0_f64;
             for i in 0..rows {
                 for j in 0..cols {
@@ -125,7 +129,7 @@ pub fn run_with_wire(scale: &Scale, r_wire: f64) -> Fig3Result {
         } else {
             (false, 0.0)
         };
-        points.push(Fig3Point {
+        Fig3Point {
             rows,
             worst_voltage_factor: map.worst_factor(),
             voltage_skew: skewness(&d),
@@ -133,8 +137,8 @@ pub fn run_with_wire(scale: &Scale, r_wire: f64) -> Fig3Result {
             beta_mean: beta.iter().sum::<f64>() / beta.len() as f64,
             exact_checked,
             exact_error,
-        });
-    }
+        }
+    });
     Fig3Result { points, r_wire }
 }
 

@@ -6,9 +6,9 @@
 //! gently, and the *with-variation* test rate rises to an interior peak
 //! before the penalty's disturbance dominates.
 
-use vortex_core::pipeline::{evaluate_hardware, HardwareEnv};
-use vortex_core::report::{fixed, pct, Table};
 use vortex_core::amp::greedy::RowMapping;
+use vortex_core::pipeline::{evaluate_hardware_with, HardwareEnv};
+use vortex_core::report::{fixed, pct, Table};
 use vortex_nn::metrics::accuracy_of_weights;
 
 use super::common::Scale;
@@ -93,8 +93,16 @@ pub fn run_with_sigma(scale: &Scale, sigma: f64) -> Fig4Result {
         let w = trainer.train(&train).expect("valid trainer");
         let training_rate = accuracy_of_weights(&w, &train);
         let clean = accuracy_of_weights(&w, &test);
-        let eval = evaluate_hardware(&w, &mapping, &env, &test, scale.mc_draws, &mut rng)
-            .expect("hardware evaluation");
+        let eval = evaluate_hardware_with(
+            &w,
+            &mapping,
+            &env,
+            &test,
+            scale.mc_draws,
+            &mut rng,
+            scale.parallelism,
+        )
+        .expect("hardware evaluation");
         points.push(Fig4Point {
             gamma,
             training_rate,
@@ -124,9 +132,7 @@ mod tests {
         );
         // With-variation is below without-variation at γ = 0 (variation
         // hurts an unprotected network).
-        assert!(
-            first.test_rate_with_variation <= first.test_rate_without_variation + 0.05
-        );
+        assert!(first.test_rate_with_variation <= first.test_rate_without_variation + 0.05);
     }
 
     #[test]

@@ -5,10 +5,10 @@
 //! with-AMP curve sits higher and peaks at a smaller γ.
 
 use vortex_core::amp::greedy::RowMapping;
-use vortex_core::pipeline::{evaluate_hardware, HardwareEnv};
-use vortex_core::report::{fixed, pct, Table};
-use vortex_core::vortex::{amp_evaluate, AmpChipOptions};
 use vortex_core::amp::sensitivity::mean_abs_inputs;
+use vortex_core::pipeline::{evaluate_hardware_with, HardwareEnv};
+use vortex_core::report::{fixed, pct, Table};
+use vortex_core::vortex::{amp_evaluate_with, AmpChipOptions};
 use vortex_nn::metrics::accuracy_of_weights;
 
 use super::common::Scale;
@@ -51,7 +51,12 @@ impl Fig7Result {
     pub fn render(&self) -> String {
         let mut t = Table::new(
             format!("Fig. 7 — AMP effectiveness at sigma = {}", self.sigma),
-            &["gamma", "training rate", "test (before AMP)", "test (after AMP)"],
+            &[
+                "gamma",
+                "training rate",
+                "test (before AMP)",
+                "test (after AMP)",
+            ],
         );
         for p in &self.points {
             t.add_row(&[
@@ -95,9 +100,17 @@ pub fn run_with_sigma(scale: &Scale, sigma: f64) -> Fig7Result {
         let trainer = scale.vat().with_sigma(sigma).with_gamma(gamma);
         let w = trainer.train(&train).expect("valid trainer");
         let training_rate = accuracy_of_weights(&w, &train);
-        let before = evaluate_hardware(&w, &identity, &env, &test, scale.mc_draws, &mut rng)
-            .expect("hardware evaluation");
-        let after = amp_evaluate(
+        let before = evaluate_hardware_with(
+            &w,
+            &identity,
+            &env,
+            &test,
+            scale.mc_draws,
+            &mut rng,
+            scale.parallelism,
+        )
+        .expect("hardware evaluation");
+        let after = amp_evaluate_with(
             &w,
             &mean_abs,
             &amp_opts,
@@ -105,6 +118,7 @@ pub fn run_with_sigma(scale: &Scale, sigma: f64) -> Fig7Result {
             &test,
             scale.mc_draws,
             &mut rng,
+            scale.parallelism,
         )
         .expect("AMP evaluation");
         points.push(Fig7Point {
@@ -124,10 +138,10 @@ mod tests {
     #[test]
     fn amp_helps_on_average() {
         let r = run_with_sigma(&Scale::bench(), 0.8);
-        let mean_before: f64 = r.points.iter().map(|p| p.test_rate_before_amp).sum::<f64>()
-            / r.points.len() as f64;
-        let mean_after: f64 = r.points.iter().map(|p| p.test_rate_after_amp).sum::<f64>()
-            / r.points.len() as f64;
+        let mean_before: f64 =
+            r.points.iter().map(|p| p.test_rate_before_amp).sum::<f64>() / r.points.len() as f64;
+        let mean_after: f64 =
+            r.points.iter().map(|p| p.test_rate_after_amp).sum::<f64>() / r.points.len() as f64;
         assert!(
             mean_after > mean_before - 0.02,
             "AMP should help: before {mean_before} after {mean_after}"

@@ -8,7 +8,7 @@
 use vortex_core::amp::sensitivity::mean_abs_inputs;
 use vortex_core::pipeline::HardwareEnv;
 use vortex_core::report::{pct, Table};
-use vortex_core::vortex::{amp_evaluate, AmpChipOptions};
+use vortex_core::vortex::{amp_evaluate_with, AmpChipOptions};
 
 use super::common::Scale;
 
@@ -49,7 +49,10 @@ impl Fig8Result {
             .chain(self.sigmas.iter().map(|s| format!("sigma={s}")))
             .collect();
         let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-        let mut t = Table::new("Fig. 8 — pre-test ADC resolution vs test rate", &header_refs);
+        let mut t = Table::new(
+            "Fig. 8 — pre-test ADC resolution vs test rate",
+            &header_refs,
+        );
         for &bits in &self.bits {
             let mut row = vec![bits.to_string()];
             for &sigma in &self.sigmas {
@@ -84,7 +87,7 @@ pub fn run(scale: &Scale) -> Fig8Result {
                 pretest_bits: b,
                 ..AmpChipOptions::default()
             };
-            let eval = amp_evaluate(
+            let eval = amp_evaluate_with(
                 &w,
                 &mean_abs,
                 &opts,
@@ -92,6 +95,7 @@ pub fn run(scale: &Scale) -> Fig8Result {
                 &test,
                 scale.mc_draws,
                 &mut rng,
+                scale.parallelism,
             )
             .expect("AMP evaluation");
             points.push(Fig8Point {

@@ -10,10 +10,10 @@ use vortex_core::amp::greedy::RowMapping;
 use vortex_core::amp::sensitivity::mean_abs_inputs;
 use vortex_core::cld::CldTrainer;
 use vortex_core::old::OldPipeline;
-use vortex_core::pipeline::{evaluate_hardware, HardwareEnv};
+use vortex_core::pipeline::{evaluate_hardware_with, HardwareEnv};
 use vortex_core::report::{pct, Table};
 use vortex_core::tuning::SelfTuner;
-use vortex_core::vortex::{amp_evaluate, AmpChipOptions};
+use vortex_core::vortex::{amp_evaluate_with, AmpChipOptions};
 use vortex_nn::metrics::accuracy_of_weights;
 
 use super::common::Scale;
@@ -92,6 +92,7 @@ pub fn run_with_sigma(scale: &Scale, sigma: f64) -> Fig9Result {
     let tuner = SelfTuner {
         gamma_grid: scale.gamma_grid(),
         mc_draws: scale.mc_draws.max(3),
+        parallelism: scale.parallelism,
         ..SelfTuner::default()
     };
     let tuned = tuner
@@ -123,15 +124,23 @@ pub fn run_with_sigma(scale: &Scale, sigma: f64) -> Fig9Result {
     };
     let mut points = Vec::with_capacity(redundancies.len());
     // VAT-only does not use redundancy: evaluate once.
-    let vat_only = evaluate_hardware(&w_vat, &identity, &env, &test, scale.mc_draws, &mut rng)
-        .expect("VAT-only evaluation")
-        .mean_test_rate;
+    let vat_only = evaluate_hardware_with(
+        &w_vat,
+        &identity,
+        &env,
+        &test,
+        scale.mc_draws,
+        &mut rng,
+        scale.parallelism,
+    )
+    .expect("VAT-only evaluation")
+    .mean_test_rate;
     for &p in redundancies {
         let opts = AmpChipOptions {
             redundant_rows: p,
             ..AmpChipOptions::default()
         };
-        let vortex = amp_evaluate(
+        let vortex = amp_evaluate_with(
             &w_vat,
             &mean_abs,
             &opts,
@@ -139,10 +148,11 @@ pub fn run_with_sigma(scale: &Scale, sigma: f64) -> Fig9Result {
             &test,
             scale.mc_draws,
             &mut rng,
+            scale.parallelism,
         )
         .expect("Vortex evaluation")
         .mean_test_rate;
-        let amp_only = amp_evaluate(
+        let amp_only = amp_evaluate_with(
             &w_gdt,
             &mean_abs,
             &opts,
@@ -150,6 +160,7 @@ pub fn run_with_sigma(scale: &Scale, sigma: f64) -> Fig9Result {
             &test,
             scale.mc_draws,
             &mut rng,
+            scale.parallelism,
         )
         .expect("AMP-only evaluation")
         .mean_test_rate;

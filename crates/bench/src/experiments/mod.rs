@@ -1,13 +1,13 @@
 //! One module per paper artifact. See the crate-level table.
 
-pub mod common;
 pub mod ablation;
+pub mod common;
+pub mod extensions;
+pub mod fig1;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fig7;
 pub mod fig8;
-pub mod extensions;
-pub mod fig1;
 pub mod fig9;
 pub mod table1;

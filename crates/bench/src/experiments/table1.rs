@@ -64,7 +64,9 @@ impl Table1Result {
             cells.extend(self.columns.iter().map(|c| pct(f(c))));
             cells
         };
-        t.add_row(&row("test: CLD w/ IR-drop", &|c| c.cld_with_irdrop.test_rate));
+        t.add_row(&row("test: CLD w/ IR-drop", &|c| {
+            c.cld_with_irdrop.test_rate
+        }));
         t.add_row(&row("test: Vortex w/ IR-drop", &|c| {
             c.vortex_with_irdrop.test_rate
         }));
@@ -139,10 +141,12 @@ pub fn run_with(scale: &Scale, r_wire: f64, sigma: f64) -> Table1Result {
             tuner: SelfTuner {
                 gamma_grid: scale.gamma_grid(),
                 mc_draws: scale.mc_draws.max(3),
+                parallelism: scale.parallelism,
                 ..SelfTuner::default()
             },
             redundant_rows: redundant,
             mc_draws: scale.mc_draws,
+            parallelism: scale.parallelism,
             ..VortexConfig::default()
         };
         let vortex_with_irdrop = VortexPipeline::new(vortex_cfg)

@@ -277,10 +277,7 @@ mod tests {
         // Physical row 1 is catastrophically bad (e.g. stuck cell): with
         // one redundant row it must remain unused.
         let sensitivity = [1.0, 2.0];
-        let swv = Matrix::from_rows(&[
-            vec![0.2, 100.0, 0.3],
-            vec![0.1, 100.0, 0.2],
-        ]);
+        let swv = Matrix::from_rows(&[vec![0.2, 100.0, 0.3], vec![0.1, 100.0, 0.2]]);
         let mapping = greedy_map(&sensitivity, &swv).unwrap();
         assert!(!mapping.assignment().contains(&1), "defective row used");
     }

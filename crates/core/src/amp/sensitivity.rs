@@ -68,17 +68,16 @@ mod tests {
     fn mean_abs_inputs_matches_manual() {
         let d = SynthDigits::generate(&DatasetConfig::tiny(), 3).unwrap();
         let m = mean_abs_inputs(&d);
-        let manual: f64 =
-            (0..d.len()).map(|i| d.image(i)[10].abs()).sum::<f64>() / d.len() as f64;
+        let manual: f64 = (0..d.len()).map(|i| d.image(i)[10].abs()).sum::<f64>() / d.len() as f64;
         assert!((m[10] - manual).abs() < 1e-12);
     }
 
     #[test]
     fn row_sensitivity_orders_by_weight_and_input() {
         let w = Matrix::from_rows(&[
-            vec![1.0, 1.0],  // big weights
-            vec![0.1, 0.1],  // small weights
-            vec![1.0, 1.0],  // big weights but dead input
+            vec![1.0, 1.0], // big weights
+            vec![0.1, 0.1], // small weights
+            vec![1.0, 1.0], // big weights but dead input
         ]);
         let xbar = vec![1.0, 1.0, 0.0];
         let s = row_sensitivity(&w, &xbar);

@@ -73,11 +73,7 @@ pub fn swv_matrix(weights: &Matrix, multipliers: &Matrix) -> Result<Matrix> {
 /// # Errors
 ///
 /// Returns [`CoreError::InvalidParameter`] if shapes disagree.
-pub fn swv_matrix_pair(
-    weights: &Matrix,
-    mult_pos: &Matrix,
-    mult_neg: &Matrix,
-) -> Result<Matrix> {
+pub fn swv_matrix_pair(weights: &Matrix, mult_pos: &Matrix, mult_neg: &Matrix) -> Result<Matrix> {
     if weights.cols() != mult_pos.cols() || mult_pos.shape() != mult_neg.shape() {
         return Err(CoreError::InvalidParameter {
             name: "multipliers",
@@ -116,7 +112,7 @@ mod tests {
         // Positive weight uses the positive crossbar's multiplier.
         let v = swv_row_pair(&[1.0], &[2.0], &[1.0]);
         assert!((v - 1.0).abs() < 1e-12); // |1·(1−2)| = 1
-        // Negative weight uses the negative crossbar's multiplier.
+                                          // Negative weight uses the negative crossbar's multiplier.
         let v = swv_row_pair(&[-1.0], &[2.0], &[1.0]);
         assert_eq!(v, 0.0); // |−1·(1−1)| = 0
     }

@@ -157,9 +157,7 @@ impl CldTrainer {
             });
         }
         let adc = match self.sense_bits {
-            Some(bits) => {
-                Some(Adc::new(bits, self.sense_full_scale).map_err(CoreError::Xbar)?)
-            }
+            Some(bits) => Some(Adc::new(bits, self.sense_full_scale).map_err(CoreError::Xbar)?),
             None => None,
         };
         let mut per_draw = Vec::with_capacity(self.mc_draws);
@@ -308,7 +306,11 @@ pub fn mean_target_error(w: &Matrix, data: &Dataset) -> f64 {
     for i in 0..data.len() {
         let y = w.vecmat(data.image(i));
         for (j, &yj) in y.iter().enumerate() {
-            let target = if data.label(i) as usize == j { 1.0 } else { -1.0 };
+            let target = if data.label(i) as usize == j {
+                1.0
+            } else {
+                -1.0
+            };
             acc += (target - yj).abs();
         }
     }
@@ -476,6 +478,9 @@ mod tests {
             .run(&train, &train, &HardwareEnv::ideal(), &mut rng())
             .unwrap();
         let err1 = mean_target_error(&out.weights, &train);
-        assert!(err1 < err0, "training must reduce target error: {err0} → {err1}");
+        assert!(
+            err1 < err0,
+            "training must reduce target error: {err0} → {err1}"
+        );
     }
 }

@@ -8,8 +8,8 @@
 //! `|I − I_target| / I_target` over Monte-Carlo variation draws.
 
 use serde::{Deserialize, Serialize};
-use vortex_linalg::rng::Xoshiro256PlusPlus;
 use vortex_device::{DeviceParams, VariationModel};
+use vortex_linalg::rng::Xoshiro256PlusPlus;
 use vortex_xbar::sensing::Adc;
 
 use crate::{CoreError, Result};
@@ -117,9 +117,7 @@ impl ColumnExperiment {
         self.validate()?;
         let g_each = self.i_target / (self.v_in * self.n as f64);
         let adc = match self.sense_bits {
-            Some(bits) => Some(
-                Adc::new(bits, 2.0 * self.i_target).map_err(CoreError::Xbar)?,
-            ),
+            Some(bits) => Some(Adc::new(bits, 2.0 * self.i_target).map_err(CoreError::Xbar)?),
             None => None,
         };
         // Fabrication: per-device multiplicative realization.
@@ -128,16 +126,13 @@ impl ColumnExperiment {
             .collect();
         // Start from a blind OLD-style programming.
         let mut g_nominal = vec![g_each; self.n];
-        let realized =
-            |g_nom: &[f64]| -> f64 {
-                g_nom
-                    .iter()
-                    .zip(&multipliers)
-                    .map(|(&g, &m)| {
-                        self.v_in * (g * m).clamp(self.device.g_off(), self.device.g_on())
-                    })
-                    .sum()
-            };
+        let realized = |g_nom: &[f64]| -> f64 {
+            g_nom
+                .iter()
+                .zip(&multipliers)
+                .map(|(&g, &m)| self.v_in * (g * m).clamp(self.device.g_off(), self.device.g_on()))
+                .sum()
+        };
         for _ in 0..self.max_iterations {
             let current = realized(&g_nominal);
             let sensed = match &adc {
@@ -231,7 +226,10 @@ mod tests {
         };
         let d_small = mean_disc(0.2, &mut r);
         let d_large = mean_disc(0.8, &mut r);
-        assert!(d_large < d_small + 0.02, "CLD: σ=0.2 {d_small} σ=0.8 {d_large}");
+        assert!(
+            d_large < d_small + 0.02,
+            "CLD: σ=0.2 {d_small} σ=0.8 {d_large}"
+        );
         assert!(d_large < 0.05, "CLD discrepancy must stay small: {d_large}");
     }
 
@@ -271,6 +269,9 @@ mod tests {
         };
         let f = mean(&fine, &mut r);
         let co = mean(&coarse, &mut r);
-        assert!(f <= co + 1e-6, "finer sensing should do no worse: {f} vs {co}");
+        assert!(
+            f <= co + 1e-6,
+            "finer sensing should do no worse: {f} vs {co}"
+        );
     }
 }

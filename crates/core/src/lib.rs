@@ -50,9 +50,9 @@ pub mod config;
 pub mod old;
 pub mod pipeline;
 pub mod report;
-pub mod tiling;
 pub mod retention;
 pub mod rho;
+pub mod tiling;
 pub mod tuning;
 pub mod vat;
 pub mod vortex;

@@ -14,6 +14,7 @@ use vortex_linalg::rng::Xoshiro256PlusPlus;
 use vortex_linalg::Matrix;
 use vortex_nn::classifier::accuracy_with;
 use vortex_nn::dataset::Dataset;
+use vortex_nn::executor::{run_trials, Parallelism};
 use vortex_xbar::crossbar::CrossbarConfig;
 use vortex_xbar::irdrop::ProgramVoltageMap;
 use vortex_xbar::pair::{DifferentialPair, ReadCircuit, WeightMapping};
@@ -166,6 +167,11 @@ pub struct HardwareEvaluation {
 /// `mapping` and measures classification accuracy on `test`, repeated for
 /// `mc_draws` independent fabrications.
 ///
+/// Fabrication draws fan out over [`Parallelism::Auto`] (the
+/// `VORTEX_MC_THREADS` override applies); results are bit-identical to
+/// the serial loop for any thread count. Use [`evaluate_hardware_with`]
+/// to pin the pool size.
+///
 /// # Errors
 ///
 /// Propagates fabrication, programming and readout errors.
@@ -176,6 +182,37 @@ pub fn evaluate_hardware(
     test: &Dataset,
     mc_draws: usize,
     rng: &mut Xoshiro256PlusPlus,
+) -> Result<HardwareEvaluation> {
+    evaluate_hardware_with(
+        weights,
+        mapping,
+        env,
+        test,
+        mc_draws,
+        rng,
+        Parallelism::Auto,
+    )
+}
+
+/// [`evaluate_hardware`] with an explicit executor configuration.
+///
+/// Each draw's generator is pre-split from `rng` in draw order before
+/// fan-out, so every [`Parallelism`] setting produces the same per-draw
+/// rates, in the same order. When several draws fail, the error of the
+/// earliest (by draw index) is returned, again independent of scheduling.
+///
+/// # Errors
+///
+/// Propagates fabrication, programming and readout errors.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_hardware_with(
+    weights: &Matrix,
+    mapping: &RowMapping,
+    env: &HardwareEnv,
+    test: &Dataset,
+    mc_draws: usize,
+    rng: &mut Xoshiro256PlusPlus,
+    parallelism: Parallelism,
 ) -> Result<HardwareEvaluation> {
     if mc_draws == 0 {
         return Err(CoreError::InvalidParameter {
@@ -189,14 +226,12 @@ pub fn evaluate_hardware(
             requirement: "logical row count must match the weight matrix",
         });
     }
-    let mut per_draw = Vec::with_capacity(mc_draws);
-    for _ in 0..mc_draws {
-        let mut draw_rng = rng.split();
-        let pair = program_pair(weights, mapping, env, &mut draw_rng)?;
-        per_draw.push(score_pair(&pair, mapping, env, test)?);
-    }
-    let mean_test_rate =
-        per_draw.iter().sum::<f64>() / per_draw.len() as f64;
+    let draws = run_trials(rng, mc_draws, parallelism, |_, draw_rng| {
+        let pair = program_pair(weights, mapping, env, draw_rng)?;
+        score_pair(&pair, mapping, env, test)
+    });
+    let per_draw = draws.into_iter().collect::<Result<Vec<f64>>>()?;
+    let mean_test_rate = per_draw.iter().sum::<f64>() / per_draw.len() as f64;
     Ok(HardwareEvaluation {
         mean_test_rate,
         per_draw,
@@ -224,23 +259,22 @@ pub fn program_pair(
     let physical_weights = mapping.apply_to_rows(weights, 0.0);
     let (targets_pos, targets_neg) = pair.mapping().weights_to_targets(&physical_weights);
 
-    let (actual_pos, actual_neg, estimate_pos, estimate_neg) = if env.program_irdrop
-        && env.r_wire > 0.0
-    {
-        let v = env.device.v_program();
-        let ap = ProgramVoltageMap::analytic(&targets_pos, env.r_wire, v)
-            .map_err(CoreError::Xbar)?;
-        let an = ProgramVoltageMap::analytic(&targets_neg, env.r_wire, v)
-            .map_err(CoreError::Xbar)?;
-        let (ep, en) = if env.compensate_program_irdrop {
-            (Some(ap.clone()), Some(an.clone()))
+    let (actual_pos, actual_neg, estimate_pos, estimate_neg) =
+        if env.program_irdrop && env.r_wire > 0.0 {
+            let v = env.device.v_program();
+            let ap = ProgramVoltageMap::analytic(&targets_pos, env.r_wire, v)
+                .map_err(CoreError::Xbar)?;
+            let an = ProgramVoltageMap::analytic(&targets_neg, env.r_wire, v)
+                .map_err(CoreError::Xbar)?;
+            let (ep, en) = if env.compensate_program_irdrop {
+                (Some(ap.clone()), Some(an.clone()))
+            } else {
+                (None, None)
+            };
+            (Some(ap), Some(an), ep, en)
         } else {
-            (None, None)
+            (None, None, None, None)
         };
-        (Some(ap), Some(an), ep, en)
-    } else {
-        (None, None, None, None)
-    };
 
     let opts_pos = ProgramOptions {
         compensation: estimate_pos,
@@ -355,15 +389,8 @@ mod tests {
     fn variation_degrades_test_rate() {
         let (data, w) = small_setup();
         let mapping = RowMapping::identity(w.rows());
-        let ideal = evaluate_hardware(
-            &w,
-            &mapping,
-            &HardwareEnv::ideal(),
-            &data,
-            1,
-            &mut rng(),
-        )
-        .unwrap();
+        let ideal =
+            evaluate_hardware(&w, &mapping, &HardwareEnv::ideal(), &data, 1, &mut rng()).unwrap();
         let noisy = evaluate_hardware(
             &w,
             &mapping,
@@ -432,7 +459,11 @@ mod tests {
         assert!(fine.mean_test_rate >= coarse.mean_test_rate - 0.05);
         assert!((fine.mean_test_rate - ideal.mean_test_rate).abs() < 0.05);
         // Even 1-bit inputs keep the classifier well above chance.
-        assert!(coarse.mean_test_rate > 0.3, "1-bit inputs: {}", coarse.mean_test_rate);
+        assert!(
+            coarse.mean_test_rate > 0.3,
+            "1-bit inputs: {}",
+            coarse.mean_test_rate
+        );
     }
 
     #[test]
@@ -445,7 +476,11 @@ mod tests {
         env.r_wire = 5.0;
         env.read_fidelity = ReadFidelity::FastIrDrop;
         let eval = evaluate_hardware(&w, &mapping, &env, &data, 1, &mut rng()).unwrap();
-        assert!(eval.mean_test_rate > 0.5, "test rate {}", eval.mean_test_rate);
+        assert!(
+            eval.mean_test_rate > 0.5,
+            "test rate {}",
+            eval.mean_test_rate
+        );
     }
 
     #[test]

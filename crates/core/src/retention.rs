@@ -85,10 +85,7 @@ pub fn retention_curve(
 /// The first time in `times_s` at which the mean test rate falls below
 /// `floor` (`None` if it never does) — a "retention lifetime" estimate.
 pub fn lifetime_at_floor(curve: &[RetentionPoint], floor: f64) -> Option<f64> {
-    curve
-        .iter()
-        .find(|p| p.test_rate < floor)
-        .map(|p| p.t_s)
+    curve.iter().find(|p| p.test_rate < floor).map(|p| p.t_s)
 }
 
 #[cfg(test)]
@@ -171,12 +168,10 @@ mod tests {
         .unwrap();
         let times = [1e6, 1e8, 1e10];
         let mut r = rng();
-        let plain_curve =
-            retention_curve(&plain, &strong_drift, &times, &test, 6, &mut r).unwrap();
+        let plain_curve = retention_curve(&plain, &strong_drift, &times, &test, 6, &mut r).unwrap();
         let vat_curve = retention_curve(&vat, &strong_drift, &times, &test, 6, &mut r).unwrap();
-        let mean = |c: &[RetentionPoint]| {
-            c.iter().map(|p| p.test_rate).sum::<f64>() / c.len() as f64
-        };
+        let mean =
+            |c: &[RetentionPoint]| c.iter().map(|p| p.test_rate).sum::<f64>() / c.len() as f64;
         assert!(
             mean(&vat_curve) >= mean(&plain_curve) - 0.02,
             "VAT {} should hold up at least as well as plain {} under drift",
@@ -188,9 +183,18 @@ mod tests {
     #[test]
     fn lifetime_helper() {
         let curve = vec![
-            RetentionPoint { t_s: 1.0, test_rate: 0.9 },
-            RetentionPoint { t_s: 10.0, test_rate: 0.8 },
-            RetentionPoint { t_s: 100.0, test_rate: 0.6 },
+            RetentionPoint {
+                t_s: 1.0,
+                test_rate: 0.9,
+            },
+            RetentionPoint {
+                t_s: 10.0,
+                test_rate: 0.8,
+            },
+            RetentionPoint {
+                t_s: 100.0,
+                test_rate: 0.6,
+            },
         ];
         assert_eq!(lifetime_at_floor(&curve, 0.7), Some(100.0));
         assert_eq!(lifetime_at_floor(&curve, 0.5), None);

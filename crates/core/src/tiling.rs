@@ -111,7 +111,14 @@ impl TiledEvaluator {
         let mut per_draw = Vec::with_capacity(mc_draws);
         for _ in 0..mc_draws {
             let mut draw_rng = rng.split();
-            per_draw.push(self.evaluate_one(weights, mean_abs_input, &ranges, env, test, &mut draw_rng)?);
+            per_draw.push(self.evaluate_one(
+                weights,
+                mean_abs_input,
+                &ranges,
+                env,
+                test,
+                &mut draw_rng,
+            )?);
         }
         let mean_test_rate = per_draw.iter().sum::<f64>() / per_draw.len() as f64;
         Ok(HardwareEvaluation {
@@ -138,8 +145,8 @@ impl TiledEvaluator {
             let rows: Vec<usize> = range.clone().collect();
             let tile_weights = weights.select_rows(&rows);
             let tile_mean_abs: Vec<f64> = rows.iter().map(|&i| mean_abs_input[i]).collect();
-            let physical_rows = tile_weights.rows()
-                + self.amp.as_ref().map_or(0, |a| a.redundant_rows);
+            let physical_rows =
+                tile_weights.rows() + self.amp.as_ref().map_or(0, |a| a.redundant_rows);
             let mut pair = fabricate_pair(cols, physical_rows, env, rng)?;
             let (mapping, mults) = match &self.amp {
                 Some(opts) => {
@@ -168,8 +175,7 @@ impl TiledEvaluator {
             let circuit = match env.read_fidelity {
                 ReadFidelity::Ideal => ReadCircuit::Ideal,
                 ReadFidelity::FastIrDrop => {
-                    let tile_ref: Vec<f64> =
-                        range.clone().map(|i| mean_input[i]).collect();
+                    let tile_ref: Vec<f64> = range.clone().map(|i| mean_input[i]).collect();
                     ReadCircuit::fast_for(&pair, &mapping.route_input(&tile_ref))
                         .map_err(CoreError::Xbar)?
                 }
@@ -210,8 +216,8 @@ impl TiledEvaluator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::amp::sensitivity::mean_abs_inputs;
     use crate::amp::greedy::RowMapping as Mapping;
+    use crate::amp::sensitivity::mean_abs_inputs;
     use crate::pipeline::evaluate_hardware;
     use vortex_nn::dataset::{DatasetConfig, SynthDigits};
     use vortex_nn::gdt::GdtTrainer;

@@ -213,8 +213,7 @@ impl VatTrainer {
                 // Penalty term: γ·ρ·‖x ∘ w‖₂ (Eq. (10) with t = |V|).
                 let xw = vector::hadamard(x, &w);
                 let penalty_norm = vector::norm2(&xw);
-                let violated =
-                    self.alpha0 * target * score - coeff * penalty_norm < self.margin;
+                let violated = self.alpha0 * target * score - coeff * penalty_norm < self.margin;
                 if self.l2 > 0.0 {
                     vector::scale(1.0 - alpha * self.l2, &mut w);
                 }
@@ -347,7 +346,10 @@ mod tests {
         let c784 = t.penalty_coefficient(784).unwrap();
         let limit = 2.0 * 0.5 * 0.6; // κ·γ·σ
         assert!(c100 > c784, "finite-n tail: {c100} vs {c784}");
-        assert!(c784 > limit && c784 < limit * 1.2, "c784 {c784} vs κγσ {limit}");
+        assert!(
+            c784 > limit && c784 < limit * 1.2,
+            "c784 {c784} vs κγσ {limit}"
+        );
         let t0 = fast(0.0, 0.6);
         assert_eq!(t0.penalty_coefficient(100).unwrap(), 0.0);
     }

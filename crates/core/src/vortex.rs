@@ -20,6 +20,7 @@ use serde::{Deserialize, Serialize};
 use vortex_linalg::rng::Xoshiro256PlusPlus;
 use vortex_linalg::Matrix;
 use vortex_nn::dataset::Dataset;
+use vortex_nn::executor::{run_trials, Parallelism};
 use vortex_nn::metrics::{accuracy_of_weights, Rates};
 use vortex_xbar::irdrop::ProgramVoltageMap;
 use vortex_xbar::pair::{DifferentialPair, WeightMapping};
@@ -59,6 +60,10 @@ pub struct VortexConfig {
     pub use_vat: bool,
     /// Enable the AMP component (off = identity mapping).
     pub use_amp: bool,
+    /// Worker pool for the per-chip Monte-Carlo fan-out (and, via
+    /// [`SelfTuner::parallelism`], the γ scan). Results are bit-identical
+    /// for every setting; only wall-clock time changes.
+    pub parallelism: Parallelism,
 }
 
 impl Default for VortexConfig {
@@ -74,6 +79,7 @@ impl Default for VortexConfig {
             mc_draws: 5,
             use_vat: true,
             use_amp: true,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -161,19 +167,23 @@ impl VortexPipeline {
         let n_logical = weights.rows();
         let physical_rows = n_logical + cfg.redundant_rows;
         let mean_abs_input = sensitivity::mean_abs_inputs(train);
-        let mut per_draw = Vec::with_capacity(cfg.mc_draws);
-        let mut sigma_acc = 0.0;
-        for _ in 0..cfg.mc_draws {
-            let mut draw_rng = rng.split();
-            let (rate, eff_sigma) = self.run_one_chip(
+        // Chips fabricate independently: pre-split one stream per draw and
+        // fan out (bit-identical to the serial loop for any pool size).
+        let draws = run_trials(rng, cfg.mc_draws, cfg.parallelism, |_, draw_rng| {
+            self.run_one_chip(
                 &weights,
                 &mean_abs_input,
                 physical_rows,
                 train,
                 test,
                 env,
-                &mut draw_rng,
-            )?;
+                draw_rng,
+            )
+        });
+        let mut per_draw = Vec::with_capacity(cfg.mc_draws);
+        let mut sigma_acc = 0.0;
+        for draw in draws {
+            let (rate, eff_sigma) = draw?;
             per_draw.push(rate);
             sigma_acc += eff_sigma;
         }
@@ -317,8 +327,7 @@ pub fn pretest_and_plan(
     env: &HardwareEnv,
     rng: &mut Xoshiro256PlusPlus,
 ) -> Result<AmpPlanOutcome> {
-    let adc =
-        Adc::new(opts.pretest_bits, 1.5 * env.device.g_on()).map_err(CoreError::Xbar)?;
+    let adc = Adc::new(opts.pretest_bits, 1.5 * env.device.g_on()).map_err(CoreError::Xbar)?;
     let mut pt_cfg = PretestConfig::with_adc(adc).map_err(CoreError::Xbar)?;
     pt_cfg.repeats = opts.pretest_repeats;
     let rep_pos = pretest(pair.pos_mut(), &pt_cfg, rng).map_err(CoreError::Xbar)?;
@@ -448,6 +457,9 @@ pub fn program_mapped_with(
 /// the measurement behind Fig. 7/8/9: fabricate, pre-test, plan, program,
 /// score, for `mc_draws` chips.
 ///
+/// Chips fan out over [`Parallelism::Auto`]; use [`amp_evaluate_with`] to
+/// pin the pool size. Results are bit-identical either way.
+///
 /// # Errors
 ///
 /// Propagates chip-level errors.
@@ -460,6 +472,36 @@ pub fn amp_evaluate(
     mc_draws: usize,
     rng: &mut Xoshiro256PlusPlus,
 ) -> Result<crate::pipeline::HardwareEvaluation> {
+    amp_evaluate_with(
+        weights,
+        mean_abs_input,
+        opts,
+        env,
+        test,
+        mc_draws,
+        rng,
+        Parallelism::Auto,
+    )
+}
+
+/// [`amp_evaluate`] with an explicit executor configuration. Per-chip
+/// streams are pre-split from `rng` in draw order, so every
+/// [`Parallelism`] setting produces the same per-draw rates.
+///
+/// # Errors
+///
+/// Propagates chip-level errors.
+#[allow(clippy::too_many_arguments)]
+pub fn amp_evaluate_with(
+    weights: &Matrix,
+    mean_abs_input: &[f64],
+    opts: &AmpChipOptions,
+    env: &HardwareEnv,
+    test: &Dataset,
+    mc_draws: usize,
+    rng: &mut Xoshiro256PlusPlus,
+    parallelism: Parallelism,
+) -> Result<crate::pipeline::HardwareEvaluation> {
     if mc_draws == 0 {
         return Err(CoreError::InvalidParameter {
             name: "mc_draws",
@@ -467,20 +509,18 @@ pub fn amp_evaluate(
         });
     }
     let physical_rows = weights.rows() + opts.redundant_rows;
-    let mut per_draw = Vec::with_capacity(mc_draws);
-    for _ in 0..mc_draws {
-        let mut draw_rng = rng.split();
-        let mut pair = fabricate_pair(weights.cols(), physical_rows, env, &mut draw_rng)?;
-        let plan =
-            pretest_and_plan(&mut pair, weights, mean_abs_input, opts, env, &mut draw_rng)?;
+    let draws = run_trials(rng, mc_draws, parallelism, |_, draw_rng| {
+        let mut pair = fabricate_pair(weights.cols(), physical_rows, env, draw_rng)?;
+        let plan = pretest_and_plan(&mut pair, weights, mean_abs_input, opts, env, draw_rng)?;
         let mults = if opts.pretest_compensation {
             Some((&plan.mult_pos, &plan.mult_neg))
         } else {
             None
         };
-        program_mapped_with(&mut pair, weights, &plan.mapping, mults, env, &mut draw_rng)?;
-        per_draw.push(score_pair(&pair, &plan.mapping, env, test)?);
-    }
+        program_mapped_with(&mut pair, weights, &plan.mapping, mults, env, draw_rng)?;
+        score_pair(&pair, &plan.mapping, env, test)
+    });
+    let per_draw = draws.into_iter().collect::<Result<Vec<f64>>>()?;
     let mean_test_rate = per_draw.iter().sum::<f64>() / per_draw.len() as f64;
     Ok(crate::pipeline::HardwareEvaluation {
         mean_test_rate,
@@ -510,8 +550,14 @@ mod tests {
         let env = HardwareEnv::with_sigma(0.6).unwrap();
         let mut cfg = VortexConfig::fast();
         cfg.redundant_rows = 10;
-        let out = VortexPipeline::new(cfg).run(&train, &test, &env, &mut rng()).unwrap();
-        assert!(out.rates.test_rate > 0.25, "test rate {}", out.rates.test_rate);
+        let out = VortexPipeline::new(cfg)
+            .run(&train, &test, &env, &mut rng())
+            .unwrap();
+        assert!(
+            out.rates.test_rate > 0.25,
+            "test rate {}",
+            out.rates.test_rate
+        );
         assert_eq!(out.per_draw.len(), 2);
         assert!(!out.tuning_curve.is_empty());
         assert!(out.effective_sigma_mean > 0.0);

@@ -88,12 +88,7 @@ impl DefectModel {
     }
 
     /// Samples a full `rows × cols` defect map.
-    pub fn sample_map(
-        &self,
-        rows: usize,
-        cols: usize,
-        rng: &mut Xoshiro256PlusPlus,
-    ) -> DefectMap {
+    pub fn sample_map(&self, rows: usize, cols: usize, rng: &mut Xoshiro256PlusPlus) -> DefectMap {
         let cells = (0..rows * cols).map(|_| self.sample_cell(rng)).collect();
         DefectMap { rows, cols, cells }
     }

@@ -33,9 +33,9 @@
 #![warn(missing_docs)]
 
 pub mod defects;
+pub mod drift;
 pub mod memristor;
 pub mod params;
-pub mod drift;
 pub mod pulse;
 pub mod switching;
 pub mod variation;

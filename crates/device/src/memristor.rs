@@ -124,8 +124,7 @@ impl Memristor {
             return;
         }
         let w0 = self.w;
-        let w_nominal =
-            switching::evolve_state(&self.params, w0, pulse.voltage(), pulse.width_s());
+        let w_nominal = switching::evolve_state(&self.params, w0, pulse.voltage(), pulse.width_s());
         let moved = (w_nominal - w0) * epsilon.exp();
         self.w = (w0 + moved).clamp(0.0, 1.0);
     }

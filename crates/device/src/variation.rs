@@ -371,10 +371,7 @@ mod correlated_tests {
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(6);
         let field = m.sample_theta_matrix(100, 50, &mut rng);
         let overall = stats::std_dev(field.as_slice());
-        let within: f64 = (0..100)
-            .map(|i| stats::std_dev(field.row(i)))
-            .sum::<f64>()
-            / 100.0;
+        let within: f64 = (0..100).map(|i| stats::std_dev(field.row(i))).sum::<f64>() / 100.0;
         assert!(
             within < overall / 3.0,
             "within-row {within} vs overall {overall}"
@@ -389,8 +386,7 @@ mod correlated_tests {
         let s = stats::std_dev(field.as_slice());
         assert!((s - 0.6).abs() < 0.02);
         // Rows are then uncorrelated: within-row spread ≈ overall spread.
-        let within: f64 =
-            (0..80).map(|i| stats::std_dev(field.row(i))).sum::<f64>() / 80.0;
+        let within: f64 = (0..80).map(|i| stats::std_dev(field.row(i))).sum::<f64>() / 80.0;
         assert!((within - s).abs() < 0.05);
     }
 }

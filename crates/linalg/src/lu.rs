@@ -4,7 +4,7 @@
 //! [`crate::iterative`] and solving the reduced circuit models directly when
 //! the crossbar is small enough that a direct solve is cheaper.
 
-use crate::{Matrix, LinalgError, Result};
+use crate::{LinalgError, Matrix, Result};
 
 /// LU factorization `P·A = L·U` of a square matrix, with partial pivoting.
 ///

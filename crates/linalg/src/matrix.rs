@@ -186,7 +186,9 @@ impl Matrix {
     /// Panics if `x.len() != cols`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "matvec: length mismatch");
-        (0..self.rows).map(|i| vector::dot(self.row(i), x)).collect()
+        (0..self.rows)
+            .map(|i| vector::dot(self.row(i), x))
+            .collect()
     }
 
     /// Row-vector–matrix product `y = xᵀ·A` (`x` has `rows` entries).
@@ -379,14 +381,20 @@ impl std::ops::Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl std::ops::IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -554,6 +562,11 @@ mod tests {
 
     // Minimal check that Serialize derives exist without pulling serde_json.
     fn serde_json_like(m: &Matrix) -> String {
-        format!("rows={} cols={} n={}", m.rows(), m.cols(), m.as_slice().len())
+        format!(
+            "rows={} cols={} n={}",
+            m.rows(),
+            m.cols(),
+            m.as_slice().len()
+        )
     }
 }

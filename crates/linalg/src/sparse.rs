@@ -57,8 +57,7 @@ impl TripletBuilder {
 
     /// Builds the CSR matrix, summing duplicates.
     pub fn build(mut self) -> CsrMatrix {
-        self.entries
-            .sort_unstable_by_key(|&(r, c, _)| (r, c));
+        self.entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
         let mut values = Vec::with_capacity(self.entries.len());
         let mut col_idx = Vec::with_capacity(self.entries.len());
         let mut row_ptr = vec![0usize; self.rows + 1];

@@ -1,9 +1,9 @@
 //! Property-based tests for the linear-algebra substrate.
 
 use proptest::prelude::*;
+use vortest_shims::*;
 use vortex_linalg::chi2;
 use vortex_linalg::iterative::{conjugate_gradient, SolveOptions};
-use vortest_shims::*;
 
 mod vortest_shims {
     pub use vortex_linalg::lu;
@@ -161,5 +161,30 @@ proptest! {
         let mut h = stats::Histogram::new(-1.0, 1.0, 7);
         h.extend_from(&xs);
         prop_assert_eq!(h.total(), xs.len());
+    }
+
+    #[test]
+    fn split_children_never_collide_with_parent_stream(seed in proptest::num::u64::ANY,
+                                                       n_children in 1usize..8) {
+        // The determinism contract of the parallel executor rests on split
+        // streams being disjoint: a child that replayed the parent (or a
+        // sibling) would correlate Monte-Carlo trials. Drain a window of
+        // every stream; all draws must be distinct (a true 64-bit
+        // collision has probability ~2⁻⁵⁰ here).
+        let mut parent = vortex_linalg::rng::Xoshiro256PlusPlus::seed_from_u64(seed);
+        let mut children: Vec<_> = (0..n_children).map(|_| parent.split()).collect();
+        let mut draws = Vec::with_capacity(32 * (n_children + 1));
+        for _ in 0..32 {
+            draws.push(parent.next_u64());
+        }
+        for child in &mut children {
+            for _ in 0..32 {
+                draws.push(child.next_u64());
+            }
+        }
+        let total = draws.len();
+        draws.sort_unstable();
+        draws.dedup();
+        prop_assert_eq!(draws.len(), total);
     }
 }

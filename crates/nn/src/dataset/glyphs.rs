@@ -53,9 +53,7 @@ pub fn glyph_strokes(digit: u8) -> Vec<Stroke> {
             (0.56, 0.88),
             (0.25, 0.82),
         ]],
-        4 => vec![
-            vec![(0.62, 0.88), (0.62, 0.12), (0.22, 0.62), (0.80, 0.62)],
-        ],
+        4 => vec![vec![(0.62, 0.88), (0.62, 0.12), (0.22, 0.62), (0.80, 0.62)]],
         5 => vec![vec![
             (0.74, 0.12),
             (0.30, 0.12),

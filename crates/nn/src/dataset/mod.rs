@@ -281,11 +281,7 @@ impl SynthDigits {
     }
 
     /// Renders one jittered sample of `digit`.
-    fn render_sample(
-        config: &DatasetConfig,
-        digit: u8,
-        rng: &mut Xoshiro256PlusPlus,
-    ) -> Vec<f64> {
+    fn render_sample(config: &DatasetConfig, digit: u8, rng: &mut Xoshiro256PlusPlus) -> Vec<f64> {
         let strokes = glyphs::glyph_strokes(digit);
         // Random affine about the glyph center (0.5, 0.5).
         let angle = rng.range_f64(-config.max_rotation, config.max_rotation);
@@ -302,7 +298,10 @@ impl SynthDigits {
                         let dy = y - 0.5;
                         let rx = scale * (cos * dx - sin * dy);
                         let ry = scale * (sin * dx + cos * dy);
-                        ((0.5 + rx + tx).clamp(0.0, 1.0), (0.5 + ry + ty).clamp(0.0, 1.0))
+                        (
+                            (0.5 + rx + tx).clamp(0.0, 1.0),
+                            (0.5 + ry + ty).clamp(0.0, 1.0),
+                        )
                     })
                     .collect()
             })
@@ -312,8 +311,7 @@ impl SynthDigits {
         let mut img = raster::rasterize(&transformed, config.side, width.max(0.005));
         if config.pixel_noise > 0.0 {
             for v in &mut img {
-                let noise =
-                    vortex_linalg::distributions::standard_normal(rng) * config.pixel_noise;
+                let noise = vortex_linalg::distributions::standard_normal(rng) * config.pixel_noise;
                 *v = (*v + noise).clamp(0.0, 1.0);
             }
         }

@@ -17,6 +17,9 @@
 //! * [`metrics`] — training rate, test rate, confusion matrices.
 //! * [`montecarlo`] — seeded Monte-Carlo averaging used by every
 //!   experiment.
+//! * [`executor`] — the deterministic parallel trial executor behind
+//!   every Monte-Carlo loop (pre-split seed streams, ordered reassembly;
+//!   bit-exact across thread counts).
 //!
 //! # Example
 //!
@@ -38,6 +41,7 @@
 
 pub mod classifier;
 pub mod dataset;
+pub mod executor;
 pub mod gdt;
 pub mod metrics;
 pub mod montecarlo;

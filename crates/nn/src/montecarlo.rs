@@ -4,13 +4,39 @@
 //! variation draws (e.g. the 1000-run sweep of Fig. 2). This harness keeps
 //! those loops deterministic: trial `k` of a run seeded with `s` always
 //! sees the same generator stream.
+//!
+//! # Determinism contract
+//!
+//! [`run`] and [`run_with`] produce **bit-identical** `values` for the
+//! same `(seed, trials, f)` regardless of the [`Parallelism`] setting.
+//! Three mechanisms (implemented in [`crate::executor`]) guarantee it:
+//!
+//! * **Pre-split seed streams** — the parent generator splits one child
+//!   per trial serially, *before* any worker starts, so child `k` is a
+//!   pure function of `(seed, k)`;
+//! * **ordered reassembly** — parallel results are written into a slot
+//!   vector by trial index, so `values[k]` is trial `k`'s output no
+//!   matter which worker computed it or when it finished;
+//! * **isolated trials** — `f` only sees its own child generator, so no
+//!   trial can perturb another's stream.
+//!
+//! The worker pool defaults to [`Parallelism::Auto`], which honors the
+//! `VORTEX_MC_THREADS` environment variable and otherwise uses
+//! [`std::thread::available_parallelism`]. Parallel runs are therefore
+//! reproducible across machines with different core counts — only the
+//! wall-clock time changes.
 
+use crate::executor::{run_trials, Parallelism};
 use vortex_linalg::rng::Xoshiro256PlusPlus;
 use vortex_linalg::stats::Summary;
 
-/// Runs `trials` independent evaluations of `f`, each with its own child
-/// generator split deterministically from `seed`, and summarizes the
-/// returned statistic.
+/// Runs `trials` independent evaluations of `f` serially, each with its
+/// own child generator split deterministically from `seed`, and
+/// summarizes the returned statistic.
+///
+/// This is the `FnMut` entry point; closures that need `&mut` state run
+/// here on one thread. Pure closures should prefer [`run_with`], which
+/// produces bit-identical output on any number of threads.
 pub fn run<F>(seed: u64, trials: usize, mut f: F) -> MonteCarloResult
 where
     F: FnMut(&mut Xoshiro256PlusPlus) -> f64,
@@ -24,7 +50,31 @@ where
     MonteCarloResult { values }
 }
 
+/// Parallel [`run`]: identical output, sharded over `parallelism`.
+///
+/// `f` must be `Fn + Sync` so workers can share it; each invocation still
+/// receives its own pre-split child generator, so `values` is bit-exact
+/// with the serial loop for every thread count (see the module docs).
+pub fn run_with<F>(seed: u64, trials: usize, parallelism: Parallelism, f: F) -> MonteCarloResult
+where
+    F: Fn(&mut Xoshiro256PlusPlus) -> f64 + Sync,
+{
+    let mut parent = Xoshiro256PlusPlus::seed_from_u64(seed);
+    let values = run_trials(&mut parent, trials, parallelism, |_, child| f(child));
+    MonteCarloResult { values }
+}
+
 /// The raw samples and summary of a Monte-Carlo run.
+///
+/// # Zero-trial convention
+///
+/// An empty result (zero trials) is valid: [`mean`](Self::mean),
+/// [`std_dev`](Self::std_dev) and [`std_error`](Self::std_error) all
+/// return `0.0` rather than NaN, matching [`vortex_linalg::stats`]. A
+/// single trial likewise has `std_dev() == 0.0` (the unbiased estimator
+/// is undefined at `n = 1`; the workspace convention is zero spread).
+/// Use [`is_empty`](Self::is_empty) / [`len`](Self::len) to distinguish
+/// "no data" from "zero-valued data".
 #[derive(Debug, Clone, PartialEq)]
 pub struct MonteCarloResult {
     /// Per-trial statistic values, in trial order.
@@ -32,17 +82,28 @@ pub struct MonteCarloResult {
 }
 
 impl MonteCarloResult {
-    /// Sample mean.
+    /// Number of trials.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the run had zero trials (see the type-level docs for the
+    /// statistics' zero-trial convention).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Sample mean (`0.0` for an empty run).
     pub fn mean(&self) -> f64 {
         vortex_linalg::stats::mean(&self.values)
     }
 
-    /// Sample standard deviation.
+    /// Sample standard deviation (`0.0` for fewer than two trials).
     pub fn std_dev(&self) -> f64 {
         vortex_linalg::stats::std_dev(&self.values)
     }
 
-    /// Standard error of the mean.
+    /// Standard error of the mean (`0.0` for an empty run).
     pub fn std_error(&self) -> f64 {
         vortex_linalg::stats::std_error(&self.values)
     }
@@ -90,7 +151,49 @@ mod tests {
     #[test]
     fn zero_trials_is_empty() {
         let r = run(3, 0, |rng| rng.next_f64());
-        assert!(r.values.is_empty());
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        // Documented convention: empty statistics are 0.0, never NaN.
         assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.std_dev(), 0.0);
+        assert_eq!(r.std_error(), 0.0);
+    }
+
+    #[test]
+    fn single_trial_statistics() {
+        let r = run(4, 1, |rng| 0.25 + rng.next_f64());
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+        // Mean of one sample is the sample; spread is 0 by convention.
+        assert_eq!(r.mean(), r.values[0]);
+        assert_eq!(r.std_dev(), 0.0);
+        assert_eq!(r.std_error(), 0.0);
+        assert_eq!(r.summary().n, 1);
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let f = |rng: &mut Xoshiro256PlusPlus| rng.next_f64();
+        let serial = run(11, 37, f);
+        for parallelism in [
+            Parallelism::Serial,
+            Parallelism::Fixed(1),
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(8),
+            Parallelism::Auto,
+        ] {
+            let par = run_with(11, 37, parallelism, f);
+            assert_eq!(serial, par, "{parallelism:?} diverged from the serial loop");
+        }
+    }
+
+    #[test]
+    fn parallel_zero_and_single_trials() {
+        let f = |rng: &mut Xoshiro256PlusPlus| rng.next_f64();
+        let zero = run_with(5, 0, Parallelism::Fixed(4), f);
+        assert!(zero.is_empty());
+        assert_eq!(zero.mean(), 0.0);
+        let one = run_with(5, 1, Parallelism::Fixed(4), f);
+        assert_eq!(one, run(5, 1, f));
     }
 }

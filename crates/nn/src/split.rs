@@ -58,10 +58,7 @@ pub fn stratified_split(
     let mut test_idx = Vec::with_capacity(n_test);
     let mut cursors = vec![0usize; by_class.len()];
     let mut class = 0usize;
-    let take = |want: usize,
-                    out: &mut Vec<usize>,
-                    cursors: &mut Vec<usize>,
-                    class: &mut usize| {
+    let take = |want: usize, out: &mut Vec<usize>, cursors: &mut Vec<usize>, class: &mut usize| {
         let mut stalled = 0;
         while out.len() < want {
             let c = *class % by_class.len();

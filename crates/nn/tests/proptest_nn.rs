@@ -2,11 +2,13 @@
 
 use proptest::prelude::*;
 use vortex_linalg::rng::Xoshiro256PlusPlus;
-use vortex_nn::dataset::raster::{downsample, rasterize};
-use vortex_nn::dataset::glyphs::glyph_strokes;
-use vortex_nn::dataset::{Dataset, DatasetConfig, SynthDigits};
-use vortex_nn::split::stratified_split;
 use vortex_linalg::Matrix;
+use vortex_nn::dataset::glyphs::glyph_strokes;
+use vortex_nn::dataset::raster::{downsample, rasterize};
+use vortex_nn::dataset::{Dataset, DatasetConfig, SynthDigits};
+use vortex_nn::executor::Parallelism;
+use vortex_nn::montecarlo;
+use vortex_nn::split::stratified_split;
 
 fn tiny_dataset(seed: u64) -> Dataset {
     SynthDigits::generate(&DatasetConfig::tiny(), seed).unwrap()
@@ -83,5 +85,21 @@ proptest! {
         // Scaling all inputs uniformly never changes the argmax decision
         // (analog amplitude invariance of the crossbar classifier).
         prop_assert_eq!(c.predict(&x).unwrap(), c.predict(&xk).unwrap());
+    }
+
+    #[test]
+    fn montecarlo_statistics_invariant_under_thread_count(seed in proptest::num::u64::ANY,
+                                                          trials in 1usize..40,
+                                                          threads in 2usize..9) {
+        // The determinism contract: the same (seed, trials) produce
+        // bit-identical values — hence bit-identical mean and spread — on
+        // any worker-pool size, including odd trial/thread combinations.
+        let f = |rng: &mut Xoshiro256PlusPlus| rng.next_f64();
+        let serial = montecarlo::run(seed, trials, f);
+        let parallel = montecarlo::run_with(seed, trials, Parallelism::Fixed(threads), f);
+        prop_assert_eq!(&serial.values, &parallel.values);
+        prop_assert_eq!(serial.mean().to_bits(), parallel.mean().to_bits());
+        prop_assert_eq!(serial.std_dev().to_bits(), parallel.std_dev().to_bits());
+        prop_assert_eq!(serial.std_error().to_bits(), parallel.std_error().to_bits());
     }
 }

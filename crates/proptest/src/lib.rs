@@ -1,0 +1,627 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the slice of the `proptest` API the workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map` / `prop_filter` / `boxed`;
+//! * range strategies for the primitive numeric types;
+//! * [`collection::vec`], [`Just`], tuple strategies, [`prop_oneof!`];
+//! * the [`proptest!`] macro with `#![proptest_config(...)]` support;
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//!   `prop_assume!`.
+//!
+//! Differences from the real crate: input generation is **deterministic**
+//! (seeded from the test name, so failures reproduce exactly across runs)
+//! and there is **no shrinking** — a failing case reports the generated
+//! inputs as-is via the assertion message.
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Deterministic generator behind every strategy (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) as f64))
+    }
+
+    /// Uniform integer in `[0, n)` (multiply-shift; `n` must be positive).
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below requires n > 0");
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// FNV-1a hash of a test name, used to seed its [`TestRng`].
+pub fn hash_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Sentinel error string used by `prop_assume!` to signal "reject this
+/// case without failing the test".
+pub const REJECT_SENTINEL: &str = "__proptest_stub_reject__";
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Debug;
+
+    /// Generates one value, or `None` to reject the attempt (filters).
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects values failing `pred`; `whence` labels the filter.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: impl Into<String>,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            _whence: whence.into(),
+            pred,
+        }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> Option<U> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    _whence: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        let v = self.inner.generate(rng)?;
+        if (self.pred)(&v) {
+            Some(v)
+        } else {
+            None
+        }
+    }
+}
+
+/// A type-erased strategy (see [`Strategy::boxed`]).
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        self.0.generate(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies (backs [`prop_oneof!`]).
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T: Debug> Union<T> {
+    /// Creates a union; panics on an empty list.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self(options)
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        let idx = rng.below(self.0.len() as u64) as usize;
+        self.0[idx].generate(rng)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> Option<f64> {
+        debug_assert!(self.start < self.end, "empty f64 range strategy");
+        Some(self.start + (self.end - self.start) * rng.next_f64())
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> Option<f32> {
+        Some(self.start + (self.end - self.start) * rng.next_f64() as f32)
+    }
+}
+
+macro_rules! unsigned_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty integer range strategy");
+                let span = (self.end - self.start) as u64;
+                Some(self.start + rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+unsigned_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty integer range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                Some((self.start as i128 + rng.below(span) as i128) as $t)
+            }
+        }
+    )*};
+}
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                Some(($(self.$idx.generate(rng)?,)+))
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: an exact `usize` or a half-open
+    /// `Range<usize>`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec-length range");
+            Self {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    /// A strategy producing `Vec`s of `element` values.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let span = (self.size.hi_exclusive - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                out.push(self.element.generate(rng)?);
+            }
+            Some(out)
+        }
+    }
+}
+
+/// Full-domain strategies for numeric types.
+pub mod num {
+    /// Strategies for `u64`.
+    pub mod u64 {
+        use crate::{Strategy, TestRng};
+
+        /// The full-domain `u64` strategy type.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// Any `u64`, uniformly.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = u64;
+            fn generate(&self, rng: &mut TestRng) -> Option<u64> {
+                Some(rng.next_u64())
+            }
+        }
+    }
+
+    /// Strategies for `u32`.
+    pub mod u32 {
+        use crate::{Strategy, TestRng};
+
+        /// The full-domain `u32` strategy type.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// Any `u32`, uniformly.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = u32;
+            fn generate(&self, rng: &mut TestRng) -> Option<u32> {
+                Some(rng.next_u64() as u32)
+            }
+        }
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// The body-wrapper result type the assertion macros early-return with.
+pub type TestCaseResult = Result<(), String>;
+
+/// Declares property tests. Mirrors the real `proptest!` grammar for the
+/// subset used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0.0..1.0f64, n in 1usize..10) { prop_assert!(x < n as f64); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $( $(#[$meta:meta])+ fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::new($crate::hash_name(concat!(
+                    module_path!(), "::", stringify!($name)
+                )));
+                let mut accepted: u32 = 0;
+                let mut attempts: u64 = 0;
+                while accepted < cfg.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts < u64::from(cfg.cases).saturating_mul(200).max(10_000),
+                        "proptest `{}`: too many rejected inputs ({} attempts for {} cases)",
+                        stringify!($name), attempts, cfg.cases
+                    );
+                    $(
+                        let $arg = match $crate::Strategy::generate(&($strat), &mut rng) {
+                            ::core::option::Option::Some(v) => v,
+                            ::core::option::Option::None => continue,
+                        };
+                    )+
+                    // Render inputs before the body runs — the body may
+                    // consume them by value.
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}  "),+),
+                        $(&$arg),+
+                    );
+                    let outcome: $crate::TestCaseResult = (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => accepted += 1,
+                        ::core::result::Result::Err(msg) if msg == $crate::REJECT_SENTINEL => continue,
+                        ::core::result::Result::Err(msg) => panic!(
+                            "proptest `{}` failed after {} passing case(s):\n  {}\n  inputs: {}",
+                            stringify!($name),
+                            accepted,
+                            msg,
+                            inputs,
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        // `if cond {} else` rather than `if !cond` so partially-ordered
+        // comparisons don't trip clippy::neg_cmp_op_on_partial_ord at
+        // every call site.
+        if $cond {
+        } else {
+            return ::core::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if $cond {
+        } else {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: {} — {}",
+                stringify!($cond),
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(*lhs == *rhs) {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: {} == {}\n    left: {:?}\n    right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                lhs,
+                rhs,
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if *lhs == *rhs {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: {} != {}\n    both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                lhs,
+            ));
+        }
+    }};
+}
+
+/// Rejects the current case (does not count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::REJECT_SENTINEL.to_string());
+        }
+    };
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Uniform choice among the listed strategies (all must share a value
+/// type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(7);
+        let mut b = TestRng::new(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let x = (2.0..3.0f64).generate(&mut rng).unwrap();
+            assert!((2.0..3.0).contains(&x));
+            let n = (5usize..9).generate(&mut rng).unwrap();
+            assert!((5..9).contains(&n));
+            let s = (-3i32..4).generate(&mut rng).unwrap();
+            assert!((-3..4).contains(&s));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_covers_length_range() {
+        let mut rng = TestRng::new(2);
+        let strat = collection::vec(0.0..1.0f64, 3..6);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng).unwrap();
+            assert!((3..6).contains(&v.len()));
+            seen[v.len() - 3] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn filter_rejects() {
+        let mut rng = TestRng::new(3);
+        let strat = (0.0..1.0f64).prop_filter("big", |v| *v > 0.5);
+        let mut some = 0;
+        for _ in 0..100 {
+            if let Some(v) = strat.generate(&mut rng) {
+                assert!(v > 0.5);
+                some += 1;
+            }
+        }
+        assert!(some > 10 && some < 90);
+    }
+
+    #[test]
+    fn map_transforms() {
+        let mut rng = TestRng::new(4);
+        let strat = (1usize..5).prop_map(|n| vec![0u8; n]);
+        let v = strat.generate(&mut rng).unwrap();
+        assert!((1..5).contains(&v.len()));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_in_range(x in 0.0..1.0f64, n in 1usize..10) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn macro_supports_oneof_and_assume(k in prop_oneof![Just(2usize), Just(4), Just(8)],
+                                           raw in 0usize..20) {
+            prop_assume!(raw != 13);
+            prop_assert!(k == 2 || k == 4 || k == 8);
+            prop_assert_ne!(raw, 13);
+        }
+
+        #[test]
+        fn macro_tuple_strategies(pair in (0usize..5, 10usize..15)) {
+            prop_assert!(pair.0 < 5);
+            prop_assert!((10..15).contains(&pair.1));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+        // Not a #[test] itself: driven by the should_panic test below.
+        #[allow(dead_code)]
+        fn always_fails(x in 0.0..1.0f64) {
+            prop_assert!(x > 2.0, "x was {x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest `always_fails` failed")]
+    fn failing_property_panics_with_inputs() {
+        always_fails();
+    }
+}

@@ -1,0 +1,21 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a minimal `serde` facade (see `crates/serde`). Nothing in the workspace
+//! actually serializes — the derives only need to *exist* so that
+//! `#[derive(Serialize, Deserialize)]` attributes compile. Each derive
+//! expands to an empty token stream.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -221,8 +221,8 @@ impl NodalAnalysis {
         }
 
         let a = a.build();
-        let report = conjugate_gradient(&a, &rhs, warm_start, &self.options)
-            .map_err(XbarError::Numeric)?;
+        let report =
+            conjugate_gradient(&a, &rhs, warm_start, &self.options).map_err(XbarError::Numeric)?;
         Ok(report.x)
     }
 
@@ -263,8 +263,9 @@ impl NodalAnalysis {
         let currents = (0..self.cols)
             .map(|j| self.g_wire * v[self.b_idx(self.rows - 1, j)])
             .collect();
-        let device_voltages =
-            Matrix::from_fn(self.rows, self.cols, |i, j| v[self.t_idx(i, j)] - v[self.b_idx(i, j)]);
+        let device_voltages = Matrix::from_fn(self.rows, self.cols, |i, j| {
+            v[self.t_idx(i, j)] - v[self.b_idx(i, j)]
+        });
         Ok(ComputeSolution {
             column_currents: currents,
             device_voltages,
@@ -305,9 +306,7 @@ impl NodalAnalysis {
         let v = self.solve_mesh_general(g, row_drives, col_terminations, None)?;
         let currents = (0..self.cols)
             .map(|j| match col_terminations[j] {
-                ColTermination::Voltage(vt) => {
-                    self.g_wire * (v[self.b_idx(self.rows - 1, j)] - vt)
-                }
+                ColTermination::Voltage(vt) => self.g_wire * (v[self.b_idx(self.rows - 1, j)] - vt),
                 ColTermination::Floating => 0.0,
             })
             .collect();

@@ -254,8 +254,7 @@ impl Crossbar {
                 let dev = self.device_mut(i, j);
                 dev.reset_to_hrs();
                 let g_target = targets[(i, j)];
-                let pulse =
-                    precalculate_pulse_conductance(&params, params.g_off(), g_target)?;
+                let pulse = precalculate_pulse_conductance(&params, params.g_off(), g_target)?;
                 let pulse = match program_irdrop {
                     Some(map) => pulse.scaled_voltage(map.factor(i, j)),
                     None => pulse,

@@ -140,8 +140,7 @@ impl ProgramVoltageMap {
                 // bottom, open top).
                 let d = (m - p) as f64;
                 let l_col = m as f64;
-                let u_col =
-                    half * (1.0 - cosh_ratio((l_col - d) / lambda_col, l_col / lambda_col));
+                let u_col = half * (1.0 - cosh_ratio((l_col - d) / lambda_col, l_col / lambda_col));
                 // Series drop of the selected device's own current over
                 // its path (divider form).
                 let r_path = r_wire * (s + d);
@@ -273,11 +272,7 @@ pub fn decompose_beta_d(map: &ProgramVoltageMap) -> (Vec<f64>, Vec<f64>) {
 /// This is the diagonal of the paper's `D` matrix as it enters the GDT
 /// update (Eq. (2)); the sinh switching nonlinearity makes its skewness far
 /// larger than the voltage skewness (§3.2's "Δw₁ⱼ < Δwₙⱼ/1000" effect).
-pub fn update_rate_profile(
-    map: &ProgramVoltageMap,
-    params: &DeviceParams,
-    col: usize,
-) -> Vec<f64> {
+pub fn update_rate_profile(map: &ProgramVoltageMap, params: &DeviceParams, col: usize) -> Vec<f64> {
     let v = params.v_program();
     let base = vortex_device::switching::drive(params, v).max(1e-300);
     (0..map.factors().rows())
@@ -370,7 +365,10 @@ mod tests {
         let exact = na.compute(&g, &x).unwrap().column_currents;
         let approx = map.compute(&g, &x);
         for (a, e) in approx.iter().zip(&exact) {
-            assert!((a - e).abs() / e.abs().max(1e-12) < 0.15, "approx {a} exact {e}");
+            assert!(
+                (a - e).abs() / e.abs().max(1e-12) < 0.15,
+                "approx {a} exact {e}"
+            );
         }
     }
 

@@ -141,8 +141,16 @@ impl ReadCircuit {
         let r_wire = pair.config().r_wire;
         let na = NodalAnalysis::new(pair.rows(), pair.cols(), r_wire)?;
         Ok(ReadCircuit::Fast {
-            pos: ComputeAttenuationMap::calibrate(&na, &pair.pos().conductances(), reference_input)?,
-            neg: ComputeAttenuationMap::calibrate(&na, &pair.neg().conductances(), reference_input)?,
+            pos: ComputeAttenuationMap::calibrate(
+                &na,
+                &pair.pos().conductances(),
+                reference_input,
+            )?,
+            neg: ComputeAttenuationMap::calibrate(
+                &na,
+                &pair.neg().conductances(),
+                reference_input,
+            )?,
         })
     }
 
@@ -301,8 +309,8 @@ impl DifferentialPair {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vortex_device::{DeviceParams, VariationModel};
     use vortex_device::defects::DefectModel;
+    use vortex_device::{DeviceParams, VariationModel};
 
     fn rng() -> Xoshiro256PlusPlus {
         Xoshiro256PlusPlus::seed_from_u64(21)

@@ -12,8 +12,8 @@
 //!   other cell on row `p` and column `q` sees ±V/2 and drifts slightly;
 //!   the sinh threshold makes this nearly — but not exactly — zero.
 
-use vortex_device::switching::width_for_target;
 use vortex_device::pulse::Pulse;
+use vortex_device::switching::width_for_target;
 use vortex_linalg::rng::Xoshiro256PlusPlus;
 use vortex_linalg::Matrix;
 
@@ -22,8 +22,7 @@ use crate::irdrop::ProgramVoltageMap;
 use crate::{Result, XbarError};
 
 /// Options for [`program_with_protocol`].
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ProgramOptions {
     /// Degradation map the *programmer believes* (used to compensate pulse
     /// widths). `None` disables compensation.
@@ -31,7 +30,6 @@ pub struct ProgramOptions {
     /// Whether to simulate the tiny drift of half-selected cells.
     pub half_select_disturb: bool,
 }
-
 
 /// Programs `xbar` to the target conductances with the V/2 protocol.
 ///
@@ -136,7 +134,7 @@ pub fn program_with_protocol(
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use vortex_device::DeviceParams;
 
     fn rng() -> Xoshiro256PlusPlus {
@@ -166,8 +164,7 @@ mod tests {
     fn plain_protocol_hits_targets_without_irdrop() {
         let mut xbar = ideal_xbar(4, 4);
         let t = targets(4, 4);
-        program_with_protocol(&mut xbar, &t, None, &ProgramOptions::default(), &mut rng())
-            .unwrap();
+        program_with_protocol(&mut xbar, &t, None, &ProgramOptions::default(), &mut rng()).unwrap();
         assert!(max_rel_err(&xbar, &t) < 1e-2);
     }
 
@@ -175,8 +172,8 @@ mod tests {
     fn uncompensated_irdrop_misses_targets() {
         let mut xbar = ideal_xbar(8, 8);
         let t = Matrix::filled(8, 8, 8e-5); // near-LRS targets, heavy loading
-        let map = ProgramVoltageMap::analytic(&t, 15.0, DeviceParams::default().v_program())
-            .unwrap();
+        let map =
+            ProgramVoltageMap::analytic(&t, 15.0, DeviceParams::default().v_program()).unwrap();
         program_with_protocol(
             &mut xbar,
             &t,
@@ -193,8 +190,8 @@ mod tests {
     fn perfect_compensation_recovers_targets() {
         let mut xbar = ideal_xbar(8, 8);
         let t = Matrix::filled(8, 8, 8e-5);
-        let map = ProgramVoltageMap::analytic(&t, 15.0, DeviceParams::default().v_program())
-            .unwrap();
+        let map =
+            ProgramVoltageMap::analytic(&t, 15.0, DeviceParams::default().v_program()).unwrap();
         let opts = ProgramOptions {
             compensation: Some(map.clone()),
             half_select_disturb: false,
@@ -281,13 +278,9 @@ mod tests {
     fn shape_mismatch_rejected() {
         let mut xbar = ideal_xbar(3, 3);
         let t = Matrix::filled(2, 3, 1e-5);
-        assert!(program_with_protocol(
-            &mut xbar,
-            &t,
-            None,
-            &ProgramOptions::default(),
-            &mut rng()
-        )
-        .is_err());
+        assert!(
+            program_with_protocol(&mut xbar, &t, None, &ProgramOptions::default(), &mut rng())
+                .is_err()
+        );
     }
 }

@@ -212,8 +212,7 @@ mod tests {
         for &bg in &[1e-6, 5e-6, 2e-5, 1e-4] {
             let mut g = Matrix::filled(10, 6, bg);
             g[(4, 2)] = 1e-5;
-            let r =
-                sense_single_device(&na, &g, (4, 2), 1.0, SenseScheme::OthersFloating).unwrap();
+            let r = sense_single_device(&na, &g, (4, 2), 1.0, SenseScheme::OthersFloating).unwrap();
             assert!(
                 r.relative_error >= prev * 0.5,
                 "bg {bg}: error {} after {prev}",

@@ -43,9 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             redundant_rows: redundancy,
             ..AmpChipOptions::default()
         };
-        let eval = amp_evaluate(
-            &weights, &mean_abs, &opts, &env, &split.test, 3, &mut rng,
-        )?;
+        let eval = amp_evaluate(&weights, &mean_abs, &opts, &env, &split.test, 3, &mut rng)?;
         table.add_row(&[redundancy.to_string(), pct(eval.mean_test_rate)]);
     }
     println!("{table}");

@@ -40,7 +40,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut table = Table::new(
         "gamma scan (validation split, variation injected into W)",
-        &["gamma", "training rate", "valid (w/ var)", "valid (w/o var)"],
+        &[
+            "gamma",
+            "training rate",
+            "valid (w/ var)",
+            "valid (w/o var)",
+        ],
     );
     for p in &outcome.curve {
         table.add_row(&[
@@ -54,8 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("selected gamma: {:.2}", outcome.best_gamma);
 
     // Final check on the untouched test split.
-    let test_acc =
-        vortex_nn::metrics::accuracy_of_weights(&outcome.weights, &split.test);
-    println!("software test accuracy of the tuned weights: {}", pct(test_acc));
+    let test_acc = vortex_nn::metrics::accuracy_of_weights(&outcome.weights, &split.test);
+    println!(
+        "software test accuracy of the tuned weights: {}",
+        pct(test_acc)
+    );
     Ok(())
 }

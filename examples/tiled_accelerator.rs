@@ -57,10 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             3,
             &mut rng,
         )?;
-        table.add_row(&[
-            format!("{tile_rows}-row tiles"),
-            pct(tiled.mean_test_rate),
-        ]);
+        table.add_row(&[format!("{tile_rows}-row tiles"), pct(tiled.mean_test_rate)]);
     }
     println!("{table}");
 

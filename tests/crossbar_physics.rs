@@ -101,13 +101,10 @@ fn open_loop_error_statistics_match_the_variation_model() {
     let mut r = rng(9);
     let mut xbar = Crossbar::new(config, &mut r).expect("fabricate");
     let targets = Matrix::filled(40, 25, 3e-5);
-    xbar.program_open_loop(&targets, None, &mut r).expect("program");
+    xbar.program_open_loop(&targets, None, &mut r)
+        .expect("program");
     let g = xbar.conductances();
-    let logs: Vec<f64> = g
-        .as_slice()
-        .iter()
-        .map(|&gi| (gi / 3e-5).ln())
-        .collect();
+    let logs: Vec<f64> = g.as_slice().iter().map(|&gi| (gi / 3e-5).ln()).collect();
     let s = vortex_linalg::stats::std_dev(&logs);
     let mean = vortex_linalg::stats::mean(&logs);
     assert!(mean.abs() < 0.05, "log-ratio mean {mean}");
@@ -142,9 +139,7 @@ fn pretest_estimates_feed_correct_crossbar_state() {
         .map(|(x, y)| (x - ma) * (y - mb))
         .sum::<f64>();
     let corr = cov
-        / (vortex_linalg::stats::std_dev(a)
-            * vortex_linalg::stats::std_dev(b)
-            * a.len() as f64);
+        / (vortex_linalg::stats::std_dev(a) * vortex_linalg::stats::std_dev(b) * a.len() as f64);
     assert!(corr > 0.95, "pre-test correlation {corr}");
     for i in 0..16 {
         for j in 0..10 {
@@ -274,8 +269,14 @@ fn amp_mapping_gain_is_robust_across_variation_models() {
     }
     let mean_iid = gain_iid / trials as f64;
     let mean_row = gain_row / trials as f64;
-    assert!(mean_iid > 0.05, "i.i.d. mapping gain {mean_iid} should be real");
-    assert!(mean_row > 0.05, "row-correlated mapping gain {mean_row} should be real");
+    assert!(
+        mean_iid > 0.05,
+        "i.i.d. mapping gain {mean_iid} should be real"
+    );
+    assert!(
+        mean_row > 0.05,
+        "row-correlated mapping gain {mean_row} should be real"
+    );
     assert!(
         (mean_row - mean_iid).abs() < 0.15,
         "gains should be comparable: row {mean_row} vs iid {mean_iid}"

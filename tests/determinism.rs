@@ -1,0 +1,283 @@
+//! The determinism contract, enforced end to end: every Monte-Carlo loop
+//! in the workspace produces **bit-identical** results on any worker
+//! count. See `vortex_nn::executor` for the mechanism (pre-split seed
+//! streams, sharded execution, ordered reassembly).
+
+use std::time::{Duration, Instant};
+
+use vortex_bench::experiments::common::Scale;
+use vortex_bench::experiments::fig2;
+use vortex_core::amp::greedy::RowMapping;
+use vortex_core::amp::sensitivity::mean_abs_inputs;
+use vortex_core::pipeline::{evaluate_hardware_with, HardwareEnv};
+use vortex_core::vortex::{amp_evaluate_with, AmpChipOptions, VortexConfig, VortexPipeline};
+use vortex_linalg::rng::Xoshiro256PlusPlus;
+use vortex_nn::dataset::{Dataset, DatasetConfig, SynthDigits};
+use vortex_nn::executor::{run_trials, Parallelism, THREADS_ENV_VAR};
+use vortex_nn::gdt::GdtTrainer;
+use vortex_nn::montecarlo;
+use vortex_nn::split::stratified_split;
+
+/// Thread counts every assertion sweeps, per the contract.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn rng(seed: u64) -> Xoshiro256PlusPlus {
+    Xoshiro256PlusPlus::seed_from_u64(seed)
+}
+
+fn dataset(seed: u64) -> (Dataset, Dataset) {
+    let data = SynthDigits::generate(&DatasetConfig::tiny(), seed).expect("dataset");
+    let split = stratified_split(&data, 200, 100, &mut rng(seed)).expect("split");
+    (split.train, split.test)
+}
+
+// ---------------------------------------------------------------------------
+// Executor-level properties.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn executor_is_bit_exact_across_thread_counts_and_odd_trial_counts() {
+    let f = |k: usize, r: &mut Xoshiro256PlusPlus| (k as f64).mul_add(1e-9, r.next_f64());
+    // Odd, even, tiny and prime trial counts all round-trip identically.
+    for trials in [1usize, 2, 7, 37, 101] {
+        let baseline = run_trials(&mut rng(42), trials, Parallelism::Serial, f);
+        for threads in THREAD_COUNTS {
+            let got = run_trials(&mut rng(42), trials, Parallelism::Fixed(threads), f);
+            assert_eq!(baseline.len(), got.len());
+            for (k, (a, b)) in baseline.iter().zip(&got).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "trial {k}/{trials} diverged at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn results_stay_in_trial_order_under_skewed_workloads() {
+    // Early trials are given far more work than late ones, so on a real
+    // pool the *completion* order inverts — the output order must not.
+    let f = |k: usize, r: &mut Xoshiro256PlusPlus| {
+        let spins = if k < 8 { 20_000 } else { 10 };
+        let mut acc = 0u64;
+        for _ in 0..spins {
+            acc = acc.wrapping_add(r.next_u64());
+        }
+        (k, acc)
+    };
+    let out = run_trials(&mut rng(3), 33, Parallelism::Fixed(8), f);
+    let indices: Vec<usize> = out.iter().map(|&(k, _)| k).collect();
+    assert_eq!(indices, (0..33).collect::<Vec<_>>());
+    // And the values still match the serial loop exactly.
+    assert_eq!(out, run_trials(&mut rng(3), 33, Parallelism::Serial, f));
+}
+
+#[test]
+fn trials_are_prefix_stable_and_independent() {
+    // Child k is a pure function of (seed, k): adding more trials must not
+    // change the earlier ones, and no two children may share a stream.
+    let f = |_: usize, r: &mut Xoshiro256PlusPlus| r.next_u64();
+    let short = run_trials(&mut rng(11), 13, Parallelism::Fixed(2), f);
+    let long = run_trials(&mut rng(11), 41, Parallelism::Fixed(8), f);
+    assert_eq!(short[..], long[..13], "prefix changed when trials grew");
+    let mut uniq = long.clone();
+    uniq.sort_unstable();
+    uniq.dedup();
+    assert_eq!(uniq.len(), long.len(), "child streams collided");
+}
+
+#[test]
+fn parent_generator_continues_identically_after_fan_out() {
+    let mut serial = rng(8);
+    let _ = run_trials(&mut serial, 19, Parallelism::Serial, |_, r| r.next_f64());
+    for threads in THREAD_COUNTS {
+        let mut parallel = rng(8);
+        let _ = run_trials(&mut parallel, 19, Parallelism::Fixed(threads), |_, r| {
+            r.next_f64()
+        });
+        let mut s = serial.clone();
+        assert_eq!(
+            s.next_u64(),
+            parallel.next_u64(),
+            "parent stream diverged after {threads}-thread fan-out"
+        );
+    }
+}
+
+#[test]
+fn env_var_controls_auto_resolution() {
+    // Whatever Auto resolves to, results are bit-identical — this test
+    // only checks the *pool size* plumbing. The value is harmless to any
+    // concurrently-running test for exactly that reason.
+    std::env::set_var(THREADS_ENV_VAR, "3");
+    assert_eq!(Parallelism::Auto.resolve(), 3);
+    std::env::set_var(THREADS_ENV_VAR, "not a number");
+    assert!(Parallelism::Auto.resolve() >= 1);
+    std::env::remove_var(THREADS_ENV_VAR);
+    assert!(Parallelism::Auto.resolve() >= 1);
+}
+
+#[test]
+fn montecarlo_run_with_matches_serial_run() {
+    let f = |r: &mut Xoshiro256PlusPlus| r.next_f64();
+    let serial = montecarlo::run(77, 51, f);
+    for threads in THREAD_COUNTS {
+        let par = montecarlo::run_with(77, 51, Parallelism::Fixed(threads), f);
+        assert_eq!(serial, par, "montecarlo diverged at {threads} threads");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Experiment closures: three real pipelines, bit-exact across pools.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn hardware_evaluation_is_thread_invariant() {
+    let (train, test) = dataset(21);
+    let weights = GdtTrainer {
+        epochs: 6,
+        ..Default::default()
+    }
+    .train(&train)
+    .expect("training");
+    let mapping = RowMapping::identity(weights.rows());
+    let env = HardwareEnv::with_sigma(0.6).expect("env");
+
+    let mut serial_rng = rng(210);
+    let serial = evaluate_hardware_with(
+        &weights,
+        &mapping,
+        &env,
+        &test,
+        5,
+        &mut serial_rng,
+        Parallelism::Serial,
+    )
+    .expect("serial eval");
+    for threads in THREAD_COUNTS {
+        let mut par_rng = rng(210);
+        let par = evaluate_hardware_with(
+            &weights,
+            &mapping,
+            &env,
+            &test,
+            5,
+            &mut par_rng,
+            Parallelism::Fixed(threads),
+        )
+        .expect("parallel eval");
+        assert_eq!(serial.per_draw, par.per_draw, "{threads} threads");
+        assert_eq!(serial.mean_test_rate, par.mean_test_rate);
+        // The caller's generator must be reusable identically afterwards.
+        assert_eq!(serial_rng.clone().next_u64(), par_rng.next_u64());
+    }
+}
+
+#[test]
+fn amp_evaluation_is_thread_invariant() {
+    let (train, test) = dataset(22);
+    let weights = GdtTrainer {
+        epochs: 6,
+        ..Default::default()
+    }
+    .train(&train)
+    .expect("training");
+    let mean_abs = mean_abs_inputs(&train);
+    let opts = AmpChipOptions {
+        redundant_rows: 10,
+        ..AmpChipOptions::default()
+    };
+    let env = HardwareEnv::with_sigma(0.8).expect("env");
+
+    let serial = amp_evaluate_with(
+        &weights,
+        &mean_abs,
+        &opts,
+        &env,
+        &test,
+        5,
+        &mut rng(220),
+        Parallelism::Serial,
+    )
+    .expect("serial amp");
+    for threads in THREAD_COUNTS {
+        let par = amp_evaluate_with(
+            &weights,
+            &mean_abs,
+            &opts,
+            &env,
+            &test,
+            5,
+            &mut rng(220),
+            Parallelism::Fixed(threads),
+        )
+        .expect("parallel amp");
+        assert_eq!(serial.per_draw, par.per_draw, "{threads} threads");
+        assert_eq!(serial.mean_test_rate, par.mean_test_rate);
+    }
+}
+
+#[test]
+fn full_vortex_pipeline_is_thread_invariant() {
+    let (train, test) = dataset(23);
+    let env = HardwareEnv::with_sigma(0.7).expect("env");
+    let cfg = |parallelism| VortexConfig {
+        parallelism,
+        ..VortexConfig::fast()
+    };
+    let serial = VortexPipeline::new(cfg(Parallelism::Serial))
+        .run(&train, &test, &env, &mut rng(230))
+        .expect("serial vortex");
+    for threads in THREAD_COUNTS {
+        let par = VortexPipeline::new(cfg(Parallelism::Fixed(threads)))
+            .run(&train, &test, &env, &mut rng(230))
+            .expect("parallel vortex");
+        assert_eq!(serial.per_draw, par.per_draw, "{threads} threads");
+        assert_eq!(serial.best_gamma, par.best_gamma);
+        assert_eq!(serial.weights, par.weights);
+        assert_eq!(serial.rates, par.rates);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// End to end: Fig. 2 at bench scale — identical statistics, faster clock.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fig2_statistics_are_identical_on_any_pool_and_parallel_is_not_slower() {
+    let scale = Scale {
+        column_runs: 240,
+        ..Scale::bench()
+    };
+    let timed = |parallelism| {
+        let s = scale.with_parallelism(parallelism);
+        let start = Instant::now();
+        let result = fig2::run(&s);
+        (result, start.elapsed())
+    };
+
+    let (serial, serial_elapsed) = timed(Parallelism::Serial);
+    let mut parallel_elapsed = Duration::MAX;
+    for threads in THREAD_COUNTS {
+        let (par, elapsed) = timed(Parallelism::Fixed(threads));
+        assert_eq!(
+            serial, par,
+            "Fig. 2 statistics changed at {threads} threads"
+        );
+        if threads > 1 {
+            parallel_elapsed = parallel_elapsed.min(elapsed);
+        }
+    }
+
+    // Timing is soft-gated: only meaningful with real cores and a run long
+    // enough to swamp thread start-up. A loaded CI box still gets slack.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores >= 4 && serial_elapsed > Duration::from_millis(200) {
+        assert!(
+            parallel_elapsed < serial_elapsed.mul_f64(1.1),
+            "parallel Fig. 2 ({parallel_elapsed:?}) should not be slower than serial ({serial_elapsed:?})"
+        );
+    }
+}

@@ -23,7 +23,10 @@ fn fig2_old_grows_cld_flat() {
 fn fig3_skew_grows_and_crosses_two() {
     let r = fig3::run(&scale());
     let skews: Vec<f64> = r.points.iter().map(|p| p.update_rate_skew).collect();
-    assert!(skews.windows(2).all(|w| w[1] >= w[0] * 0.9), "roughly monotone");
+    assert!(
+        skews.windows(2).all(|w| w[1] >= w[0] * 0.9),
+        "roughly monotone"
+    );
     assert!(
         *skews.last().unwrap() > 2.0,
         "largest mesh must show >2 skew: {skews:?}"
@@ -77,7 +80,13 @@ fn fig9_vortex_leads_baselines() {
         r.old_baseline
     );
     // Components alone should not beat the combination by much.
-    assert!(p0.vortex >= p0.amp_only - 0.08);
+    assert!(
+        p0.vortex >= p0.amp_only - 0.08,
+        "Vortex {} vs AMP-only {} (tuned gamma {})",
+        p0.vortex,
+        p0.amp_only,
+        r.tuned_gamma
+    );
 }
 
 #[test]

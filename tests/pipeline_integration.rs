@@ -29,8 +29,12 @@ fn vortex_beats_old_and_cld_at_high_variation() {
     let env = HardwareEnv::with_sigma(1.0).expect("env");
     let mut r = rng(10);
 
-    let old = OldPipeline::fast().run(&train, &test, &env, &mut r).expect("old");
-    let cld = CldTrainer::fast().run(&train, &test, &env, &mut r).expect("cld");
+    let old = OldPipeline::fast()
+        .run(&train, &test, &env, &mut r)
+        .expect("old");
+    let cld = CldTrainer::fast()
+        .run(&train, &test, &env, &mut r)
+        .expect("cld");
     let vortex = VortexPipeline::new(VortexConfig {
         redundant_rows: 20,
         ..VortexConfig::fast()
@@ -116,8 +120,8 @@ fn programming_irdrop_compensation_matters_end_to_end() {
     let mut r = rng(30);
     let bad = evaluate_hardware(&weights, &mapping, &uncompensated, &test, 2, &mut r)
         .expect("uncompensated");
-    let good = evaluate_hardware(&weights, &mapping, &compensated, &test, 2, &mut r)
-        .expect("compensated");
+    let good =
+        evaluate_hardware(&weights, &mapping, &compensated, &test, 2, &mut r).expect("compensated");
     assert!(
         good.mean_test_rate > bad.mean_test_rate + 0.05,
         "compensated {} vs uncompensated {}",
@@ -150,8 +154,12 @@ fn whole_pipeline_is_reproducible() {
     let (train, test) = dataset(5);
     let env = HardwareEnv::with_sigma(0.6).expect("env");
     let pipeline = VortexPipeline::new(VortexConfig::fast());
-    let a = pipeline.run(&train, &test, &env, &mut rng(50)).expect("run a");
-    let b = pipeline.run(&train, &test, &env, &mut rng(50)).expect("run b");
+    let a = pipeline
+        .run(&train, &test, &env, &mut rng(50))
+        .expect("run a");
+    let b = pipeline
+        .run(&train, &test, &env, &mut rng(50))
+        .expect("run b");
     assert_eq!(a.per_draw, b.per_draw);
     assert_eq!(a.best_gamma, b.best_gamma);
     assert_eq!(a.weights, b.weights);
@@ -169,7 +177,11 @@ fn retune_after_amp_runs_and_stays_sane() {
     })
     .run(&train, &test, &env, &mut rng(60))
     .expect("vortex with retune");
-    assert!(out.rates.test_rate > 0.2, "test rate {}", out.rates.test_rate);
+    assert!(
+        out.rates.test_rate > 0.2,
+        "test rate {}",
+        out.rates.test_rate
+    );
     // AMP should report a reduced effective σ relative to the raw 0.8.
     assert!(
         out.effective_sigma_mean < 0.8,
