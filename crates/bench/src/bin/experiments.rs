@@ -1,16 +1,31 @@
 //! Command-line driver regenerating every table and figure of the paper.
 //!
 //! ```text
-//! experiments [fig2|fig3|fig4|fig7|fig8|fig9|table1|all] [--quick|--bench]
+//! experiments [fig2|fig3|…|table1|ext|runtime|all] [--quick|--bench] [--json]
 //! ```
 //!
 //! Without a scale flag the paper-scale configuration runs (minutes);
 //! `--quick` shrinks the workloads to seconds, `--bench` further still.
+//! With `--json`, each experiment also writes its tables to
+//! `BENCH_<name>.json` in the working directory. The `runtime`
+//! experiment always writes `BENCH_runtime.json` (its throughput numbers
+//! are the point of running it).
 
 use std::time::Instant;
 
-use vortex_bench::experiments::{extensions, fig1, fig2, fig3, fig4, fig7, fig8, fig9, table1};
+use vortex_bench::experiments::common::tables_to_json;
+use vortex_bench::experiments::{
+    extensions, fig1, fig2, fig3, fig4, fig7, fig8, fig9, runtime, table1,
+};
 use vortex_bench::Scale;
+
+fn write_json(name: &str, payload: &str) {
+    let path = format!("BENCH_{name}.json");
+    match std::fs::write(&path, payload) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,6 +36,7 @@ fn main() {
     } else {
         Scale::paper()
     };
+    let json = args.iter().any(|a| a == "--json");
     let which: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -28,7 +44,7 @@ fn main() {
         .collect();
     let which: Vec<&str> = if which.is_empty() || which.contains(&"all") {
         vec![
-            "fig1", "fig2", "fig3", "fig4", "fig7", "fig8", "fig9", "table1", "ext",
+            "fig1", "fig2", "fig3", "fig4", "fig7", "fig8", "fig9", "table1", "ext", "runtime",
         ]
     } else {
         which
@@ -36,11 +52,23 @@ fn main() {
 
     for name in which {
         let start = Instant::now();
-        let output = match name {
-            "fig1" => fig1::run(&scale).render(),
-            "fig2" => fig2::run(&scale).render(),
-            "fig3" => fig3::run(&scale).render(),
-            "fig4" => fig4::run(&scale).render(),
+        let (output, tables) = match name {
+            "fig1" => {
+                let r = fig1::run(&scale);
+                (r.render(), r.tables())
+            }
+            "fig2" => {
+                let r = fig2::run(&scale);
+                (r.render(), r.tables())
+            }
+            "fig3" => {
+                let r = fig3::run(&scale);
+                (r.render(), r.tables())
+            }
+            "fig4" => {
+                let r = fig4::run(&scale);
+                (r.render(), r.tables())
+            }
             "fig7" => {
                 let r = fig7::run(&scale);
                 let mut s = r.render();
@@ -49,25 +77,43 @@ fn main() {
                     r.best_gamma_before(),
                     r.best_gamma_after()
                 ));
-                s
+                (s, r.tables())
             }
-            "fig8" => fig8::run(&scale).render(),
+            "fig8" => {
+                let r = fig8::run(&scale);
+                (r.render(), r.tables())
+            }
             "fig9" => {
                 let r = fig9::run(&scale);
                 let mut s = r.render();
                 s.push_str(&format!("tuned gamma: {:.2}\n", r.tuned_gamma));
-                s
+                (s, r.tables())
             }
-            "table1" => table1::run(&scale).render(),
-            "ext" => extensions::run(&scale).render(),
+            "table1" => {
+                let r = table1::run(&scale);
+                (r.render(), r.tables())
+            }
+            "ext" => {
+                let r = extensions::run(&scale);
+                (r.render(), r.tables())
+            }
+            "runtime" => {
+                let r = runtime::run(&scale);
+                write_json("runtime", &r.to_json());
+                (r.render(), r.tables())
+            }
             other => {
                 eprintln!("unknown experiment `{other}`");
                 eprintln!(
-                    "usage: experiments [fig1|fig2|fig3|fig4|fig7|fig8|fig9|table1|ext|all] [--quick|--bench]"
+                    "usage: experiments [fig1|fig2|fig3|fig4|fig7|fig8|fig9|table1|ext|runtime|all] [--quick|--bench] [--json]"
                 );
                 std::process::exit(2);
             }
         };
+        // `runtime` already wrote its richer flat-field payload above.
+        if json && name != "runtime" {
+            write_json(name, &tables_to_json(&tables));
+        }
         println!("{output}");
         println!("[{name} finished in {:.1?}]\n", start.elapsed());
     }

@@ -1,5 +1,6 @@
 //! Shared experiment scaffolding: scales, dataset preparation, trainers.
 
+use vortex_core::report::Table;
 use vortex_core::vat::VatTrainer;
 use vortex_linalg::rng::Xoshiro256PlusPlus;
 use vortex_nn::dataset::{Dataset, DatasetConfig, SynthDigits};
@@ -143,6 +144,30 @@ impl Scale {
     pub fn rng(&self, tag: u64) -> Xoshiro256PlusPlus {
         Xoshiro256PlusPlus::seed_from_u64(self.seed.wrapping_mul(0x9E37).wrapping_add(tag))
     }
+}
+
+/// Renders a sequence of tables separated by blank lines — the standard
+/// text layout of every experiment's `render()`.
+pub fn render_tables(tables: &[Table]) -> String {
+    tables
+        .iter()
+        .map(Table::render)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Serializes a sequence of tables as a JSON array (see
+/// [`Table::to_json`]).
+pub fn tables_to_json(tables: &[Table]) -> String {
+    let mut out = String::from("[");
+    for (i, t) in tables.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&t.to_json());
+    }
+    out.push(']');
+    out
 }
 
 #[cfg(test)]

@@ -26,31 +26,33 @@ pub struct ExtensionsResult {
     pub amp_compensated: f64,
     /// σ used for the compensation comparison.
     pub sigma: f64,
-    /// Scheme cost table rendered as text.
-    pub cost_table: String,
+    /// Scheme cost comparison (closed-form estimates).
+    pub cost_table: Table,
 }
 
 impl ExtensionsResult {
-    /// Renders the suite as text tables.
-    pub fn render(&self) -> String {
+    /// The suite as structured tables (headline + cost comparison).
+    pub fn tables(&self) -> Vec<Table> {
         let mut t = Table::new(
             "Extensions beyond the paper",
             &["experiment", "baseline", "extension"],
         );
-        t.add_row(&[
+        t.add_row([
             format!("tiling ({}-row tiles) under heavy IR-drop", self.tile_rows),
             pct(self.monolithic_irdrop),
             pct(self.tiled_irdrop),
         ]);
-        t.add_row(&[
+        t.add_row([
             format!("pre-test target compensation (sigma = {})", self.sigma),
             pct(self.amp_plain),
             pct(self.amp_compensated),
         ]);
-        let mut out = t.render();
-        out.push('\n');
-        out.push_str(&self.cost_table);
-        out
+        vec![t, self.cost_table.clone()]
+    }
+
+    /// Renders the suite as text tables.
+    pub fn render(&self) -> String {
+        super::common::render_tables(&self.tables())
     }
 }
 
@@ -147,7 +149,7 @@ pub fn run(scale: &Scale) -> ExtensionsResult {
         ],
     );
     for (name, c) in [("OLD", old), ("CLD", cld), ("Vortex", vortex)] {
-        ct.add_row(&[
+        ct.add_row([
             name.to_string(),
             c.pulse_count.to_string(),
             format!("{:.2e} s", c.program_time_s),
@@ -163,7 +165,7 @@ pub fn run(scale: &Scale) -> ExtensionsResult {
         amp_plain: plain,
         amp_compensated: compensated,
         sigma,
-        cost_table: ct.render(),
+        cost_table: ct,
     }
 }
 

@@ -39,8 +39,8 @@ pub struct Fig1Result {
 }
 
 impl Fig1Result {
-    /// Renders both panels as text tables.
-    pub fn render(&self) -> String {
+    /// Both panels as structured tables.
+    pub fn tables(&self) -> Vec<Table> {
         let mut a = Table::new(
             format!(
                 "Fig. 1(a) — resistance vs programming voltage at {:.1} us (RESET from LRS)",
@@ -49,7 +49,7 @@ impl Fig1Result {
             &["voltage (V)", "landed resistance (kohm)"],
         );
         for p in &self.characteristic {
-            a.add_row(&[fixed(p.voltage, 2), fixed(p.resistance_ohms / 1e3, 1)]);
+            a.add_row([fixed(p.voltage, 2), fixed(p.resistance_ohms / 1e3, 1)]);
         }
         let mut c = Table::new(
             format!(
@@ -59,12 +59,14 @@ impl Fig1Result {
             &["log10(R/ohm) bin center", "count"],
         );
         for (center, count) in self.lrs_bin_centers.iter().zip(&self.lrs_histogram) {
-            c.add_row(&[fixed(*center, 2), count.to_string()]);
+            c.add_row([fixed(*center, 2), count.to_string()]);
         }
-        let mut out = a.render();
-        out.push('\n');
-        out.push_str(&c.render());
-        out
+        vec![a, c]
+    }
+
+    /// Renders both panels as text tables.
+    pub fn render(&self) -> String {
+        super::common::render_tables(&self.tables())
     }
 
     /// The resistance ratio between two voltages of panel (a).

@@ -31,20 +31,25 @@ pub struct Fig2Result {
 }
 
 impl Fig2Result {
-    /// Renders the figure as a text table.
-    pub fn render(&self) -> String {
+    /// The figure as a structured table.
+    pub fn tables(&self) -> Vec<Table> {
         let mut t = Table::new(
             "Fig. 2 — column output discrepancy vs sigma (CLD vs OLD)",
             &["sigma", "OLD mean |dI|/I", "CLD mean |dI|/I"],
         );
         for p in &self.points {
-            t.add_row(&[
+            t.add_row([
                 fixed(p.sigma, 2),
                 fixed(p.old_discrepancy, 4),
                 fixed(p.cld_discrepancy, 4),
             ]);
         }
-        t.render()
+        vec![t]
+    }
+
+    /// Renders the figure as a text table.
+    pub fn render(&self) -> String {
+        super::common::render_tables(&self.tables())
     }
 }
 

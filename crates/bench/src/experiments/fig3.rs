@@ -47,8 +47,8 @@ pub struct Fig3Result {
 }
 
 impl Fig3Result {
-    /// Renders the figure as a text table.
-    pub fn render(&self) -> String {
+    /// The figure as a structured table.
+    pub fn tables(&self) -> Vec<Table> {
         let mut t = Table::new(
             format!(
                 "Fig. 3 — IR-drop degradation, all-LRS worst case (r_wire = {} ohm)",
@@ -64,7 +64,7 @@ impl Fig3Result {
             ],
         );
         for p in &self.points {
-            t.add_row(&[
+            t.add_row([
                 p.rows.to_string(),
                 fixed(p.worst_voltage_factor, 3),
                 fixed(p.voltage_skew, 3),
@@ -81,7 +81,12 @@ impl Fig3Result {
                 },
             ]);
         }
-        t.render()
+        vec![t]
+    }
+
+    /// Renders the figure as a text table.
+    pub fn render(&self) -> String {
+        super::common::render_tables(&self.tables())
     }
 }
 

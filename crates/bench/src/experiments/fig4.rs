@@ -48,8 +48,8 @@ impl Fig4Result {
             .map_or(0.0, |p| p.gamma)
     }
 
-    /// Renders the figure as a text table.
-    pub fn render(&self) -> String {
+    /// The figure as a structured table.
+    pub fn tables(&self) -> Vec<Table> {
         let mut t = Table::new(
             format!("Fig. 4 — gamma tradeoff at sigma = {}", self.sigma),
             &[
@@ -60,14 +60,19 @@ impl Fig4Result {
             ],
         );
         for p in &self.points {
-            t.add_row(&[
+            t.add_row([
                 fixed(p.gamma, 2),
                 pct(p.training_rate),
                 pct(p.test_rate_without_variation),
                 pct(p.test_rate_with_variation),
             ]);
         }
-        t.render()
+        vec![t]
+    }
+
+    /// Renders the figure as a text table.
+    pub fn render(&self) -> String {
+        super::common::render_tables(&self.tables())
     }
 }
 

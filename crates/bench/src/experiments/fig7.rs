@@ -47,8 +47,8 @@ impl Fig7Result {
         best_gamma(&self.points, |p| p.test_rate_after_amp)
     }
 
-    /// Renders the figure as a text table.
-    pub fn render(&self) -> String {
+    /// The figure as a structured table.
+    pub fn tables(&self) -> Vec<Table> {
         let mut t = Table::new(
             format!("Fig. 7 — AMP effectiveness at sigma = {}", self.sigma),
             &[
@@ -59,14 +59,19 @@ impl Fig7Result {
             ],
         );
         for p in &self.points {
-            t.add_row(&[
+            t.add_row([
                 fixed(p.gamma, 2),
                 pct(p.training_rate),
                 pct(p.test_rate_before_amp),
                 pct(p.test_rate_after_amp),
             ]);
         }
-        t.render()
+        vec![t]
+    }
+
+    /// Renders the figure as a text table.
+    pub fn render(&self) -> String {
+        super::common::render_tables(&self.tables())
     }
 }
 

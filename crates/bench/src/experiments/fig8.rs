@@ -43,8 +43,8 @@ impl Fig8Result {
             .map(|p| p.test_rate)
     }
 
-    /// Renders the figure as a text table (one row per bit count).
-    pub fn render(&self) -> String {
+    /// The figure as a structured table (one row per bit count).
+    pub fn tables(&self) -> Vec<Table> {
         let headers: Vec<String> = std::iter::once("ADC bits".to_string())
             .chain(self.sigmas.iter().map(|s| format!("sigma={s}")))
             .collect();
@@ -58,9 +58,14 @@ impl Fig8Result {
             for &sigma in &self.sigmas {
                 row.push(self.at(bits, sigma).map_or("-".into(), pct));
             }
-            t.add_row(&row);
+            t.add_row(row);
         }
-        t.render()
+        vec![t]
+    }
+
+    /// Renders the figure as a text table.
+    pub fn render(&self) -> String {
+        super::common::render_tables(&self.tables())
     }
 }
 

@@ -47,8 +47,8 @@ pub struct Fig9Result {
 }
 
 impl Fig9Result {
-    /// Renders the figure as a text table.
-    pub fn render(&self) -> String {
+    /// The figure as a structured table.
+    pub fn tables(&self) -> Vec<Table> {
         let mut t = Table::new(
             format!(
                 "Fig. 9 — redundancy vs test rate at sigma = {} (OLD {} / CLD {})",
@@ -59,14 +59,19 @@ impl Fig9Result {
             &["extra rows p", "Vortex", "VAT only", "AMP only"],
         );
         for p in &self.points {
-            t.add_row(&[
+            t.add_row([
                 p.redundant_rows.to_string(),
                 pct(p.vortex),
                 pct(p.vat_only),
                 pct(p.amp_only),
             ]);
         }
-        t.render()
+        vec![t]
+    }
+
+    /// Renders the figure as a text table.
+    pub fn render(&self) -> String {
+        super::common::render_tables(&self.tables())
     }
 }
 

@@ -46,8 +46,8 @@ pub struct Table1Result {
 }
 
 impl Table1Result {
-    /// Renders the table in the paper's layout.
-    pub fn render(&self) -> String {
+    /// The table in the paper's layout, structured.
+    pub fn tables(&self) -> Vec<Table> {
         let headers: Vec<String> = std::iter::once("scheme".to_string())
             .chain(self.columns.iter().map(|c| format!("{} rows", c.rows)))
             .collect();
@@ -64,25 +64,30 @@ impl Table1Result {
             cells.extend(self.columns.iter().map(|c| pct(f(c))));
             cells
         };
-        t.add_row(&row("test: CLD w/ IR-drop", &|c| {
+        t.add_row(row("test: CLD w/ IR-drop", &|c| {
             c.cld_with_irdrop.test_rate
         }));
-        t.add_row(&row("test: Vortex w/ IR-drop", &|c| {
+        t.add_row(row("test: Vortex w/ IR-drop", &|c| {
             c.vortex_with_irdrop.test_rate
         }));
-        t.add_row(&row("test: CLD w/o IR-drop", &|c| {
+        t.add_row(row("test: CLD w/o IR-drop", &|c| {
             c.cld_without_irdrop.test_rate
         }));
-        t.add_row(&row("train: CLD w/ IR-drop", &|c| {
+        t.add_row(row("train: CLD w/ IR-drop", &|c| {
             c.cld_with_irdrop.training_rate
         }));
-        t.add_row(&row("train: Vortex w/ IR-drop", &|c| {
+        t.add_row(row("train: Vortex w/ IR-drop", &|c| {
             c.vortex_with_irdrop.training_rate
         }));
-        t.add_row(&row("train: CLD w/o IR-drop", &|c| {
+        t.add_row(row("train: CLD w/o IR-drop", &|c| {
             c.cld_without_irdrop.training_rate
         }));
-        t.render()
+        vec![t]
+    }
+
+    /// Renders the table in the paper's layout.
+    pub fn render(&self) -> String {
+        super::common::render_tables(&self.tables())
     }
 }
 

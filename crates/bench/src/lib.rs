@@ -17,6 +17,7 @@
 //! | Fig. 8 (ADC resolution) | [`experiments::fig8`] |
 //! | Fig. 9 (design redundancy) | [`experiments::fig9`] |
 //! | Table 1 (crossbar sizes) | [`experiments::table1`] |
+//! | Runtime throughput (extension) | [`experiments::runtime`] |
 
 #![warn(missing_docs)]
 

@@ -78,6 +78,8 @@ pub enum CoreError {
     Xbar(vortex_xbar::XbarError),
     /// An underlying NN-substrate operation failed.
     Nn(vortex_nn::NnError),
+    /// An underlying inference-runtime operation failed.
+    Runtime(vortex_runtime::RuntimeError),
 }
 
 impl std::fmt::Display for CoreError {
@@ -90,6 +92,7 @@ impl std::fmt::Display for CoreError {
             CoreError::Device(e) => write!(f, "device error: {e}"),
             CoreError::Xbar(e) => write!(f, "crossbar error: {e}"),
             CoreError::Nn(e) => write!(f, "nn error: {e}"),
+            CoreError::Runtime(e) => write!(f, "runtime error: {e}"),
         }
     }
 }
@@ -101,6 +104,7 @@ impl std::error::Error for CoreError {
             CoreError::Device(e) => Some(e),
             CoreError::Xbar(e) => Some(e),
             CoreError::Nn(e) => Some(e),
+            CoreError::Runtime(e) => Some(e),
             CoreError::InvalidParameter { .. } => None,
         }
     }
@@ -127,6 +131,12 @@ impl From<vortex_xbar::XbarError> for CoreError {
 impl From<vortex_nn::NnError> for CoreError {
     fn from(e: vortex_nn::NnError) -> Self {
         CoreError::Nn(e)
+    }
+}
+
+impl From<vortex_runtime::RuntimeError> for CoreError {
+    fn from(e: vortex_runtime::RuntimeError) -> Self {
+        CoreError::Runtime(e)
     }
 }
 

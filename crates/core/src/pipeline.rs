@@ -1,23 +1,30 @@
-//! Shared hardware-evaluation harness: fabricate → map → program → read →
-//! score.
+//! Shared hardware-evaluation harness: fabricate → map → program →
+//! compile → infer.
 //!
 //! Every training scheme in this crate (OLD, CLD, Vortex) is ultimately
 //! judged the same way the paper judges them: program the trained weights
 //! into a (simulated) crossbar pair and measure the fraction of *test*
 //! samples the hardware classifies correctly, averaged over Monte-Carlo
 //! fabrication draws.
+//!
+//! Since the runtime split, the read path lives in `vortex_runtime`: each
+//! draw is compiled **once** into an immutable
+//! [`CompiledModel`] ([`compile_model`]) — fabricate, program and
+//! calibrate happen there — and scoring is a pure batched inference over
+//! the test set. The compiled read is bit-exact with the live
+//! [`DifferentialPair::read`], so evaluation numbers are unchanged.
 
 use serde::{Deserialize, Serialize};
 use vortex_device::defects::DefectModel;
 use vortex_device::{DeviceParams, VariationModel};
 use vortex_linalg::rng::Xoshiro256PlusPlus;
 use vortex_linalg::Matrix;
-use vortex_nn::classifier::accuracy_with;
 use vortex_nn::dataset::Dataset;
 use vortex_nn::executor::{run_trials, Parallelism};
+use vortex_runtime::{CompiledModel, Fidelity, ReadOptions};
 use vortex_xbar::crossbar::CrossbarConfig;
 use vortex_xbar::irdrop::ProgramVoltageMap;
-use vortex_xbar::pair::{DifferentialPair, ReadCircuit, WeightMapping};
+use vortex_xbar::pair::{DifferentialPair, WeightMapping};
 use vortex_xbar::program::{program_with_protocol, ProgramOptions};
 use vortex_xbar::sensing::Adc;
 
@@ -152,6 +159,24 @@ impl HardwareEnv {
             )),
         }
     }
+
+    /// The runtime read-path options for an array with `rows` physical
+    /// rows: fidelity plus the sized peripheral converters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates converter construction errors.
+    pub fn read_options(&self, rows: usize) -> Result<ReadOptions> {
+        Ok(ReadOptions {
+            fidelity: match self.read_fidelity {
+                ReadFidelity::Ideal => Fidelity::Ideal,
+                ReadFidelity::FastIrDrop => Fidelity::Calibrated,
+                ReadFidelity::ExactIrDrop => Fidelity::Exact,
+            },
+            adc: self.read_adc(rows)?,
+            dac: self.input_dac()?,
+        })
+    }
 }
 
 /// Outcome of one hardware evaluation.
@@ -226,9 +251,12 @@ pub fn evaluate_hardware_with(
             requirement: "logical row count must match the weight matrix",
         });
     }
+    let calibration = test.mean_input();
     let draws = run_trials(rng, mc_draws, parallelism, |_, draw_rng| {
-        let pair = program_pair(weights, mapping, env, draw_rng)?;
-        score_pair(&pair, mapping, env, test)
+        // Compile once per fabrication draw, then batch-infer the test
+        // set through the frozen read path.
+        let model = compile_model(weights, mapping, env, &calibration, draw_rng)?;
+        score_model(&model, test)
     });
     let per_draw = draws.into_iter().collect::<Result<Vec<f64>>>()?;
     let mean_test_rate = per_draw.iter().sum::<f64>() / per_draw.len() as f64;
@@ -303,7 +331,65 @@ pub fn program_pair(
     Ok(pair)
 }
 
+/// Freezes a programmed pair into an immutable [`CompiledModel`] under
+/// the environment's read path. `calibration` is the logical-space
+/// reference input used for IR-drop calibration (conventionally the mean
+/// test input); it is ignored at other fidelities.
+///
+/// # Errors
+///
+/// Propagates calibration and configuration errors.
+pub fn freeze_pair(
+    pair: &DifferentialPair,
+    mapping: &RowMapping,
+    env: &HardwareEnv,
+    calibration: &[f64],
+) -> Result<CompiledModel> {
+    let options = env.read_options(pair.rows())?;
+    CompiledModel::compile(
+        &pair.freeze(),
+        mapping.assignment(),
+        &options,
+        Some(calibration),
+    )
+    .map_err(CoreError::Runtime)
+}
+
+/// Fabricates, programs and freezes in one step: the full compile path
+/// from trained weights to a servable [`CompiledModel`].
+///
+/// # Errors
+///
+/// Propagates fabrication, programming and calibration errors.
+pub fn compile_model(
+    weights: &Matrix,
+    mapping: &RowMapping,
+    env: &HardwareEnv,
+    calibration: &[f64],
+    rng: &mut Xoshiro256PlusPlus,
+) -> Result<CompiledModel> {
+    let pair = program_pair(weights, mapping, env, rng)?;
+    freeze_pair(&pair, mapping, env, calibration)
+}
+
+/// Scores a compiled model on `test` (serial batched inference).
+fn score_model(model: &CompiledModel, test: &Dataset) -> Result<f64> {
+    model.accuracy(test).map_err(|e| match e {
+        // Shape problems are caller bugs and surface as such; read-path
+        // failures keep the historical error shape of this harness.
+        vortex_runtime::RuntimeError::InvalidParameter { .. } => CoreError::Runtime(e),
+        _ => CoreError::InvalidParameter {
+            name: "readout",
+            requirement: "hardware read failed during scoring",
+        },
+    })
+}
+
 /// Scores a programmed pair on `test` under the environment's read path.
+///
+/// The pair is frozen into a [`CompiledModel`] (compile-once) and the
+/// test set is batch-inferred through it — bit-exact with the historical
+/// per-sample live read.
 ///
 /// # Errors
 ///
@@ -314,37 +400,8 @@ pub fn score_pair(
     env: &HardwareEnv,
     test: &Dataset,
 ) -> Result<f64> {
-    let adc = env.read_adc(pair.rows())?;
-    let circuit = match env.read_fidelity {
-        ReadFidelity::Ideal => ReadCircuit::Ideal,
-        ReadFidelity::FastIrDrop => {
-            let reference = mapping.route_input(&test.mean_input());
-            ReadCircuit::fast_for(pair, &reference).map_err(CoreError::Xbar)?
-        }
-        ReadFidelity::ExactIrDrop => ReadCircuit::exact_for(pair).map_err(CoreError::Xbar)?,
-    };
-    let dac = env.input_dac()?;
-    let mut failed = false;
-    let acc = accuracy_with(test, |x| {
-        let mut routed = mapping.route_input(x);
-        if let Some(dac) = &dac {
-            routed = dac.convert_vec(&routed);
-        }
-        match pair.read(&routed, &circuit, adc.as_ref()) {
-            Ok(y) => y,
-            Err(_) => {
-                failed = true;
-                vec![0.0; pair.cols()]
-            }
-        }
-    });
-    if failed {
-        return Err(CoreError::InvalidParameter {
-            name: "readout",
-            requirement: "hardware read failed during scoring",
-        });
-    }
-    Ok(acc)
+    let model = freeze_pair(pair, mapping, env, &test.mean_input())?;
+    score_model(&model, test)
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@
 //! aligned text table; this module is the tiny formatter behind that.
 
 /// A fixed-column text table.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Table {
     title: String,
     header: Vec<String>,
@@ -21,14 +21,20 @@ impl Table {
         }
     }
 
-    /// Appends a row of cells.
+    /// Appends a row of cells from anything yielding string-convertible
+    /// items (owned arrays, vectors, iterators, `&[String]`, …).
     ///
     /// # Panics
     ///
     /// Panics if the cell count differs from the header.
-    pub fn add_row(&mut self, cells: &[String]) {
+    pub fn add_row<I>(&mut self, cells: I)
+    where
+        I: IntoIterator,
+        I::Item: Into<String>,
+    {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
         assert_eq!(cells.len(), self.header.len(), "table row width mismatch");
-        self.rows.push(cells.to_vec());
+        self.rows.push(cells);
     }
 
     /// Convenience: appends a row from display values.
@@ -36,9 +42,12 @@ impl Table {
     /// # Panics
     ///
     /// Panics if the cell count differs from the header.
-    pub fn add_display_row(&mut self, cells: &[&dyn std::fmt::Display]) {
-        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
-        self.add_row(&cells);
+    pub fn add_display_row<I>(&mut self, cells: I)
+    where
+        I: IntoIterator,
+        I::Item: std::fmt::Display,
+    {
+        self.add_row(cells.into_iter().map(|c| c.to_string()));
     }
 
     /// Number of data rows.
@@ -49,6 +58,51 @@ impl Table {
     /// Whether the table has no data rows.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Serializes the table as a self-describing JSON object:
+    /// `{"title": …, "header": […], "rows": [[…], …]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"title\":");
+        out.push_str(&json_string(&self.title));
+        out.push_str(",\"header\":[");
+        for (i, h) in self.header.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(h));
+        }
+        out.push_str("],\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (j, cell) in row.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_string(cell));
+            }
+            out.push(']');
+        }
+        out.push_str("]}");
+        out
     }
 
     /// Renders the table with aligned columns.
@@ -91,6 +145,25 @@ impl std::fmt::Display for Table {
     }
 }
 
+/// Escapes a string as a JSON string literal (with surrounding quotes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 /// Formats a rate as a percentage with one decimal.
 pub fn pct(x: f64) -> String {
     format!("{:.1}%", 100.0 * x)
@@ -108,8 +181,8 @@ mod tests {
     #[test]
     fn render_aligns_columns() {
         let mut t = Table::new("Demo", &["name", "value"]);
-        t.add_row(&["a".to_string(), "1.0".to_string()]);
-        t.add_row(&["longer".to_string(), "2".to_string()]);
+        t.add_row(["a", "1.0"]);
+        t.add_row(["longer".to_string(), "2".to_string()]);
         let s = t.render();
         assert!(s.contains("== Demo =="));
         assert!(s.contains("name"));
@@ -121,10 +194,21 @@ mod tests {
     }
 
     #[test]
+    fn add_row_accepts_borrowed_and_iterator_inputs() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        let owned = vec!["1".to_string(), "2".to_string()];
+        t.add_row(&owned); // borrowed slice of Strings still works
+        t.add_row(owned); // and so does the owned vector
+        t.add_row((0..2).map(|i| i.to_string()));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.rows()[0], t.rows()[1]);
+    }
+
+    #[test]
     #[should_panic(expected = "width mismatch")]
     fn row_width_checked() {
         let mut t = Table::new("x", &["a", "b"]);
-        t.add_row(&["only one".to_string()]);
+        t.add_row(["only one"]);
     }
 
     #[test]
@@ -136,7 +220,25 @@ mod tests {
     #[test]
     fn display_row() {
         let mut t = Table::new("d", &["a", "b"]);
-        t.add_display_row(&[&1.5_f64, &"x"]);
+        t.add_display_row([&1.5_f64 as &dyn std::fmt::Display, &"x"]);
+        t.add_display_row([1, 2]);
         assert!(t.render().contains("1.5"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn json_escapes_and_structures() {
+        assert_eq!(json_string("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(json_string("\u{1}"), r#""\u0001""#);
+        let mut t = Table::new("T \"quoted\"", &["h1", "h2"]);
+        t.add_row(["x", "1"]);
+        let j = t.to_json();
+        assert_eq!(
+            j,
+            r#"{"title":"T \"quoted\"","header":["h1","h2"],"rows":[["x","1"]]}"#
+        );
+        assert!(Table::new("empty", &["a"])
+            .to_json()
+            .contains("\"rows\":[]"));
     }
 }

@@ -136,10 +136,18 @@ impl TiledEvaluator {
         test: &Dataset,
         rng: &mut Xoshiro256PlusPlus,
     ) -> Result<f64> {
-        use vortex_xbar::pair::ReadCircuit;
+        use vortex_runtime::{CompiledModel, Fidelity, ReadOptions};
 
         let cols = weights.cols();
         let mean_input = test.mean_input();
+        // Tiles share one ADC sized for the tile row count; the tile
+        // inputs are already digital, so no per-tile DAC.
+        let mut options = ReadOptions::new(match env.read_fidelity {
+            ReadFidelity::Ideal => Fidelity::Ideal,
+            ReadFidelity::FastIrDrop => Fidelity::Calibrated,
+            ReadFidelity::ExactIrDrop => Fidelity::Exact,
+        });
+        options.adc = env.read_adc(self.tile_rows)?;
         let mut tiles = Vec::with_capacity(ranges.len());
         for range in ranges {
             let rows: Vec<usize> = range.clone().collect();
@@ -172,27 +180,23 @@ impl TiledEvaluator {
                 env,
                 rng,
             )?;
-            let circuit = match env.read_fidelity {
-                ReadFidelity::Ideal => ReadCircuit::Ideal,
-                ReadFidelity::FastIrDrop => {
-                    let tile_ref: Vec<f64> = range.clone().map(|i| mean_input[i]).collect();
-                    ReadCircuit::fast_for(&pair, &mapping.route_input(&tile_ref))
-                        .map_err(CoreError::Xbar)?
-                }
-                ReadFidelity::ExactIrDrop => {
-                    ReadCircuit::exact_for(&pair).map_err(CoreError::Xbar)?
-                }
-            };
-            tiles.push((range.clone(), pair, mapping, circuit));
+            let tile_ref: Vec<f64> = range.clone().map(|i| mean_input[i]).collect();
+            let model = CompiledModel::compile(
+                &pair.freeze(),
+                mapping.assignment(),
+                &options,
+                Some(&tile_ref),
+            )
+            .map_err(CoreError::Runtime)?;
+            tiles.push((range.clone(), model));
         }
 
-        let adc = env.read_adc(self.tile_rows)?;
         let mut failed = false;
         let acc = accuracy_with(test, |x| {
             let mut y = vec![0.0; cols];
-            for (range, pair, mapping, circuit) in &tiles {
+            for (range, model) in &tiles {
                 let x_tile: Vec<f64> = range.clone().map(|i| x[i]).collect();
-                match pair.read(&mapping.route_input(&x_tile), circuit, adc.as_ref()) {
+                match model.scores(&x_tile) {
                     Ok(part) => {
                         for (acc_j, p) in y.iter_mut().zip(&part) {
                             *acc_j += p;

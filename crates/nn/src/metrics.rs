@@ -23,6 +23,33 @@ pub fn accuracy_of_weights(weights: &Matrix, data: &Dataset) -> f64 {
     }
 }
 
+/// Fraction of `data` whose label matches the given per-sample
+/// predictions (0 for an empty dataset).
+///
+/// The arithmetic (`correct / len`) is identical to
+/// [`crate::classifier::accuracy_with`], so scoring through a prediction
+/// vector is bit-exact with scoring inline.
+///
+/// # Panics
+///
+/// Panics if `predictions.len() != data.len()`.
+pub fn accuracy_of_predictions(predictions: &[u8], data: &Dataset) -> f64 {
+    assert_eq!(
+        predictions.len(),
+        data.len(),
+        "accuracy_of_predictions: length mismatch"
+    );
+    if data.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions
+        .iter()
+        .enumerate()
+        .filter(|&(i, &p)| p == data.label(i))
+        .count();
+    correct as f64 / data.len() as f64
+}
+
 /// Confusion matrix (`true class × predicted class`, counts).
 ///
 /// # Errors

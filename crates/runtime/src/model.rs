@@ -1,0 +1,716 @@
+//! The immutable compiled model: a frozen crossbar read path.
+//!
+//! Compilation happens once — [`CompiledModel::compile`] takes the
+//! snapshot of a programmed differential pair, the logical→physical row
+//! routing, and the read-path options, performs the (expensive) IR-drop
+//! calibration if requested, and freezes everything the read needs:
+//!
+//! * the two conductance matrices as programmed,
+//! * the differential scale `s` with `w = (i⁺ − i⁻)/s`,
+//! * the calibrated per-cell attenuation folded into *effective*
+//!   conductance matrices (`g∘a`, computed once instead of per sample),
+//! * converter resolutions (ADC on the columns, DAC on the rows),
+//! * the row routing.
+//!
+//! Inference is then a pure function of the input: no fabrication state,
+//! no solver except in [`Fidelity::Exact`] mode, and no per-sample
+//! conductance-matrix rebuilds. The per-sample arithmetic is kept
+//! bit-identical to the live read of
+//! [`vortex_xbar::pair::DifferentialPair::read`] — same values, same
+//! floating-point operation order — so a compiled model reproduces the
+//! training-side evaluation numbers exactly.
+
+use vortex_linalg::rng::Xoshiro256PlusPlus;
+use vortex_linalg::{vector, Matrix};
+use vortex_nn::dataset::Dataset;
+use vortex_nn::executor::{run_trials, Parallelism};
+use vortex_xbar::circuit::NodalAnalysis;
+use vortex_xbar::irdrop::ComputeAttenuationMap;
+use vortex_xbar::pair::FrozenPairState;
+use vortex_xbar::sensing::{Adc, Dac};
+
+use crate::{Result, RuntimeError};
+
+/// Samples per executor chunk in [`CompiledModel::infer_batch`]: large
+/// enough to amortize channel traffic, small enough to keep a 100-sample
+/// test set parallel.
+const BATCH_CHUNK: usize = 32;
+
+/// Read-path fidelity of a compiled model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Perfect wires: `i = gᵀx`.
+    Ideal,
+    /// Calibrated IR-drop: per-cell attenuation from one exact mesh solve
+    /// at compile time, folded into effective conductances.
+    Calibrated,
+    /// Full nodal solve per sample (small arrays only).
+    Exact,
+}
+
+impl Fidelity {
+    /// Stable wire code used by the artifact codec.
+    pub(crate) fn code(self) -> u8 {
+        match self {
+            Fidelity::Ideal => 0,
+            Fidelity::Calibrated => 1,
+            Fidelity::Exact => 2,
+        }
+    }
+
+    pub(crate) fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(Fidelity::Ideal),
+            1 => Some(Fidelity::Calibrated),
+            2 => Some(Fidelity::Exact),
+            _ => None,
+        }
+    }
+}
+
+/// Peripheral configuration of the read path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadOptions {
+    /// Circuit fidelity.
+    pub fidelity: Fidelity,
+    /// Column ADC (`None` = ideal sensing).
+    pub adc: Option<Adc>,
+    /// Row driver DAC (`None` = ideal drivers).
+    pub dac: Option<Dac>,
+}
+
+impl ReadOptions {
+    /// Ideal periphery at the given fidelity.
+    pub fn new(fidelity: Fidelity) -> Self {
+        Self {
+            fidelity,
+            adc: None,
+            dac: None,
+        }
+    }
+}
+
+/// Per-thread scratch buffers for the batched read.
+struct Scratch {
+    routed: Vec<f64>,
+    i_pos: Vec<f64>,
+    i_neg: Vec<f64>,
+    scores: Vec<f64>,
+}
+
+/// An immutable, servable model: compile once, infer many.
+#[derive(Debug, Clone)]
+pub struct CompiledModel {
+    // --- persisted state (the artifact codec serializes exactly this) ---
+    pub(crate) fidelity: Fidelity,
+    pub(crate) r_wire: f64,
+    pub(crate) scale: f64,
+    pub(crate) adc: Option<Adc>,
+    pub(crate) dac: Option<Dac>,
+    pub(crate) physical_rows: usize,
+    pub(crate) assignment: Vec<usize>,
+    pub(crate) g_pos: Matrix,
+    pub(crate) g_neg: Matrix,
+    pub(crate) att_pos: Option<Matrix>,
+    pub(crate) att_neg: Option<Matrix>,
+    // --- derived state, rebuilt on load ---
+    eff_pos: Matrix,
+    eff_neg: Matrix,
+    exact: Option<NodalAnalysis>,
+}
+
+impl CompiledModel {
+    /// Compiles a programmed pair snapshot into a servable model.
+    ///
+    /// `assignment[p]` is the physical row carrying logical input `p`
+    /// (unassigned physical rows receive zero drive). For
+    /// [`Fidelity::Calibrated`], `calibration` must hold a logical-space
+    /// reference input (typically the mean test input); the one exact mesh
+    /// solve per crossbar happens here, never at inference time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidParameter`] for inconsistent shapes
+    /// or routing, and propagates calibration solver errors.
+    pub fn compile(
+        state: &FrozenPairState,
+        assignment: &[usize],
+        options: &ReadOptions,
+        calibration: Option<&[f64]>,
+    ) -> Result<Self> {
+        let (att_pos, att_neg) = match options.fidelity {
+            Fidelity::Calibrated => {
+                let reference = match calibration {
+                    Some(c) => route(assignment, state.rows(), c)?,
+                    None => {
+                        return Err(RuntimeError::InvalidParameter {
+                            name: "calibration",
+                            requirement: "calibrated fidelity needs a reference input",
+                        })
+                    }
+                };
+                let na = NodalAnalysis::new(state.rows(), state.cols(), state.r_wire)?;
+                let pos = ComputeAttenuationMap::calibrate(&na, &state.g_pos, &reference)?;
+                let neg = ComputeAttenuationMap::calibrate(&na, &state.g_neg, &reference)?;
+                (
+                    Some(pos.attenuation().clone()),
+                    Some(neg.attenuation().clone()),
+                )
+            }
+            Fidelity::Ideal | Fidelity::Exact => (None, None),
+        };
+        Self::from_parts(
+            options.fidelity,
+            state.r_wire,
+            state.scale,
+            options.adc,
+            options.dac,
+            state.rows(),
+            assignment.to_vec(),
+            state.g_pos.clone(),
+            state.g_neg.clone(),
+            att_pos,
+            att_neg,
+        )
+    }
+
+    /// Assembles a model from its persisted parts, validating and
+    /// rebuilding the derived read state. This is the single constructor
+    /// both [`Self::compile`] and the artifact decoder go through.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        fidelity: Fidelity,
+        r_wire: f64,
+        scale: f64,
+        adc: Option<Adc>,
+        dac: Option<Dac>,
+        physical_rows: usize,
+        assignment: Vec<usize>,
+        g_pos: Matrix,
+        g_neg: Matrix,
+        att_pos: Option<Matrix>,
+        att_neg: Option<Matrix>,
+    ) -> Result<Self> {
+        if g_pos.rows() == 0 || g_pos.cols() == 0 {
+            return Err(RuntimeError::InvalidParameter {
+                name: "g_pos",
+                requirement: "conductance matrices must be non-empty",
+            });
+        }
+        if g_pos.shape() != g_neg.shape() || g_pos.rows() != physical_rows {
+            return Err(RuntimeError::InvalidParameter {
+                name: "g_neg",
+                requirement: "conductance matrices must share the physical shape",
+            });
+        }
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(RuntimeError::InvalidParameter {
+                name: "scale",
+                requirement: "must be finite and positive",
+            });
+        }
+        if !(r_wire.is_finite() && r_wire >= 0.0) {
+            return Err(RuntimeError::InvalidParameter {
+                name: "r_wire",
+                requirement: "must be finite and non-negative",
+            });
+        }
+        let mut seen = vec![false; physical_rows];
+        for &q in &assignment {
+            if q >= physical_rows || seen[q] {
+                return Err(RuntimeError::InvalidParameter {
+                    name: "assignment",
+                    requirement: "must map logical rows to distinct physical rows in range",
+                });
+            }
+            seen[q] = true;
+        }
+        match fidelity {
+            Fidelity::Calibrated => {
+                for att in [&att_pos, &att_neg] {
+                    match att {
+                        Some(a) if a.shape() == g_pos.shape() => {}
+                        _ => {
+                            return Err(RuntimeError::InvalidParameter {
+                                name: "attenuation",
+                                requirement:
+                                    "calibrated models need attenuation maps of the array shape",
+                            })
+                        }
+                    }
+                }
+            }
+            Fidelity::Ideal | Fidelity::Exact => {
+                if att_pos.is_some() || att_neg.is_some() {
+                    return Err(RuntimeError::InvalidParameter {
+                        name: "attenuation",
+                        requirement: "only calibrated models carry attenuation maps",
+                    });
+                }
+            }
+        }
+        // Derived read state: effective conductances (the per-sample
+        // hadamard of the live read, done once), and the solver for the
+        // exact path.
+        let (eff_pos, eff_neg) = match fidelity {
+            Fidelity::Calibrated => {
+                let ap = att_pos.as_ref().expect("validated above");
+                let an = att_neg.as_ref().expect("validated above");
+                (g_pos.hadamard(ap), g_neg.hadamard(an))
+            }
+            Fidelity::Ideal | Fidelity::Exact => (g_pos.clone(), g_neg.clone()),
+        };
+        let exact = match fidelity {
+            Fidelity::Exact => Some(NodalAnalysis::new(g_pos.rows(), g_pos.cols(), r_wire)?),
+            _ => None,
+        };
+        Ok(Self {
+            fidelity,
+            r_wire,
+            scale,
+            adc,
+            dac,
+            physical_rows,
+            assignment,
+            g_pos,
+            g_neg,
+            att_pos,
+            att_neg,
+            eff_pos,
+            eff_neg,
+            exact,
+        })
+    }
+
+    /// Number of physical crossbar rows.
+    pub fn rows(&self) -> usize {
+        self.physical_rows
+    }
+
+    /// Number of logical input features.
+    pub fn logical_rows(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of output classes (crossbar columns).
+    pub fn classes(&self) -> usize {
+        self.g_pos.cols()
+    }
+
+    /// Read-path fidelity.
+    pub fn fidelity(&self) -> Fidelity {
+        self.fidelity
+    }
+
+    /// Conductance per unit weight.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Wire resistance per segment (Ω).
+    pub fn r_wire(&self) -> f64 {
+        self.r_wire
+    }
+
+    /// The logical→physical row assignment.
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Column ADC, if sensing is quantized.
+    pub fn adc(&self) -> Option<&Adc> {
+        self.adc.as_ref()
+    }
+
+    /// Row driver DAC, if input quantization is modeled.
+    pub fn dac(&self) -> Option<&Dac> {
+        self.dac.as_ref()
+    }
+
+    /// The weight matrix the frozen pair realizes under ideal readout.
+    pub fn realized_weights(&self) -> Matrix {
+        self.g_pos.sub(&self.g_neg).scaled(1.0 / self.scale)
+    }
+
+    fn scratch(&self) -> Scratch {
+        Scratch {
+            routed: vec![0.0; self.physical_rows],
+            i_pos: vec![0.0; self.classes()],
+            i_neg: vec![0.0; self.classes()],
+            scores: vec![0.0; self.classes()],
+        }
+    }
+
+    /// One frozen read into `s.scores`, bit-exact with the live pair read.
+    fn score_into(&self, x: &[f64], s: &mut Scratch) -> Result<()> {
+        if x.len() != self.assignment.len() {
+            return Err(RuntimeError::InvalidParameter {
+                name: "x",
+                requirement: "input length must match the logical row count",
+            });
+        }
+        s.routed.fill(0.0);
+        for (p, &q) in self.assignment.iter().enumerate() {
+            s.routed[q] = x[p];
+        }
+        if let Some(dac) = &self.dac {
+            for v in &mut s.routed {
+                *v = dac.convert(*v);
+            }
+        }
+        match &self.exact {
+            None => {
+                vecmat_into(&self.eff_pos, &s.routed, &mut s.i_pos);
+                vecmat_into(&self.eff_neg, &s.routed, &mut s.i_neg);
+            }
+            Some(na) => {
+                let ip = na.compute(&self.g_pos, &s.routed)?.column_currents;
+                let in_ = na.compute(&self.g_neg, &s.routed)?.column_currents;
+                s.i_pos.copy_from_slice(&ip);
+                s.i_neg.copy_from_slice(&in_);
+            }
+        }
+        if let Some(adc) = &self.adc {
+            for v in &mut s.i_pos {
+                *v = adc.quantize(*v);
+            }
+            for v in &mut s.i_neg {
+                *v = adc.quantize(*v);
+            }
+        }
+        for ((out, &p), &n) in s.scores.iter_mut().zip(&s.i_pos).zip(&s.i_neg) {
+            *out = (p - n) / self.scale;
+        }
+        Ok(())
+    }
+
+    /// Class scores for one logical input vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidParameter`] for a wrong input length
+    /// and propagates exact-solver errors.
+    pub fn scores(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let mut s = self.scratch();
+        self.score_into(x, &mut s)?;
+        Ok(s.scores)
+    }
+
+    /// Predicted class of one sample (argmax of [`Self::scores`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::scores`].
+    pub fn infer(&self, x: &[f64]) -> Result<u8> {
+        let mut s = self.scratch();
+        self.score_into(x, &mut s)?;
+        Ok(vector::argmax(&s.scores).unwrap_or(0) as u8)
+    }
+
+    /// Predicted classes for a batch of samples, fanned out over the
+    /// deterministic executor.
+    ///
+    /// Samples are split into fixed-size chunks; each chunk reuses one set
+    /// of scratch buffers. Predictions are **bit-identical** for every
+    /// [`Parallelism`] setting, and arrive in sample order. When several
+    /// samples fail, the error of the earliest one is returned.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::scores`].
+    pub fn infer_batch(&self, samples: &[&[f64]], parallelism: Parallelism) -> Result<Vec<u8>> {
+        let chunks = samples.len().div_ceil(BATCH_CHUNK);
+        // Inference is pure — the executor's seed streams are unused, so
+        // any fixed parent generator preserves determinism.
+        let mut parent = Xoshiro256PlusPlus::seed_from_u64(0);
+        let per_chunk = run_trials(&mut parent, chunks, parallelism, |k, _rng| {
+            let lo = k * BATCH_CHUNK;
+            let hi = (lo + BATCH_CHUNK).min(samples.len());
+            let mut s = self.scratch();
+            let mut out = Vec::with_capacity(hi - lo);
+            for x in &samples[lo..hi] {
+                self.score_into(x, &mut s)?;
+                out.push(vector::argmax(&s.scores).unwrap_or(0) as u8);
+            }
+            Ok::<Vec<u8>, RuntimeError>(out)
+        });
+        let mut predictions = Vec::with_capacity(samples.len());
+        for chunk in per_chunk {
+            predictions.extend(chunk?);
+        }
+        Ok(predictions)
+    }
+
+    /// Predicted classes for every sample of a dataset, in sample order.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::infer_batch`].
+    pub fn infer_dataset(&self, data: &Dataset, parallelism: Parallelism) -> Result<Vec<u8>> {
+        let samples: Vec<&[f64]> = (0..data.len()).map(|i| data.image(i)).collect();
+        self.infer_batch(&samples, parallelism)
+    }
+
+    /// Fraction of `data` classified correctly (0 for an empty dataset).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::infer_batch`].
+    pub fn accuracy(&self, data: &Dataset) -> Result<f64> {
+        self.accuracy_with(data, Parallelism::Serial)
+    }
+
+    /// [`Self::accuracy`] with an explicit executor configuration — the
+    /// result is identical for every setting.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::infer_batch`].
+    pub fn accuracy_with(&self, data: &Dataset, parallelism: Parallelism) -> Result<f64> {
+        let predictions = self.infer_dataset(data, parallelism)?;
+        Ok(vortex_nn::metrics::accuracy_of_predictions(
+            &predictions,
+            data,
+        ))
+    }
+}
+
+/// `y = mᵀx` replicating [`Matrix::vecmat`] exactly (same zero-skip, same
+/// accumulation order) without the output allocation.
+fn vecmat_into(m: &Matrix, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), m.rows());
+    debug_assert_eq!(y.len(), m.cols());
+    y.fill(0.0);
+    for (i, &xi) in x.iter().enumerate() {
+        if xi == 0.0 {
+            continue;
+        }
+        vector::axpy(xi, m.row(i), y);
+    }
+}
+
+/// Routes a logical input onto the physical rows (unassigned rows get
+/// zero drive), validating the length.
+fn route(assignment: &[usize], physical_rows: usize, x: &[f64]) -> Result<Vec<f64>> {
+    if x.len() != assignment.len() {
+        return Err(RuntimeError::InvalidParameter {
+            name: "calibration",
+            requirement: "reference length must match the logical row count",
+        });
+    }
+    let mut out = vec![0.0; physical_rows];
+    for (p, &q) in assignment.iter().enumerate() {
+        out[q] = x[p];
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vortex_device::DeviceParams;
+    use vortex_linalg::rng::Xoshiro256PlusPlus;
+    use vortex_xbar::crossbar::CrossbarConfig;
+    use vortex_xbar::pair::{DifferentialPair, ReadCircuit, WeightMapping};
+
+    fn rng(seed: u64) -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::seed_from_u64(seed)
+    }
+
+    fn programmed_pair(rows: usize, cols: usize, r_wire: f64, seed: u64) -> DifferentialPair {
+        let device = DeviceParams::default();
+        let config = CrossbarConfig {
+            r_wire,
+            ..CrossbarConfig::ideal(rows, cols, device)
+        };
+        let mapping = WeightMapping::new(&device, 1.0).unwrap();
+        let mut pair = DifferentialPair::fabricate(config, mapping, &mut rng(seed)).unwrap();
+        let w = Matrix::from_fn(rows, cols, |i, j| {
+            ((i * cols + j) as f64 * 0.53).sin() * 0.8
+        });
+        pair.program_open_loop(&w, None, &mut rng(seed + 1))
+            .unwrap();
+        pair
+    }
+
+    fn identity(n: usize) -> Vec<usize> {
+        (0..n).collect()
+    }
+
+    #[test]
+    fn ideal_model_matches_live_read_bit_for_bit() {
+        let pair = programmed_pair(6, 3, 0.0, 5);
+        let model = CompiledModel::compile(
+            &pair.freeze(),
+            &identity(6),
+            &ReadOptions::new(Fidelity::Ideal),
+            None,
+        )
+        .unwrap();
+        let x = [0.3, 0.0, 1.0, 0.7, 0.2, 0.9];
+        let live = pair.read(&x, &ReadCircuit::Ideal, None).unwrap();
+        let frozen = model.scores(&x).unwrap();
+        for (a, b) in live.iter().zip(&frozen) {
+            assert_eq!(a.to_bits(), b.to_bits(), "live {a} vs frozen {b}");
+        }
+    }
+
+    #[test]
+    fn calibrated_model_matches_live_fast_read_bit_for_bit() {
+        let pair = programmed_pair(8, 3, 8.0, 9);
+        let reference = vec![0.5; 8];
+        let live_circuit = ReadCircuit::fast_for(&pair, &reference).unwrap();
+        let model = CompiledModel::compile(
+            &pair.freeze(),
+            &identity(8),
+            &ReadOptions::new(Fidelity::Calibrated),
+            Some(&reference),
+        )
+        .unwrap();
+        let x = [1.0, 0.0, 0.5, 0.25, 0.8, 0.0, 0.4, 1.0];
+        let live = pair.read(&x, &live_circuit, None).unwrap();
+        let frozen = model.scores(&x).unwrap();
+        for (a, b) in live.iter().zip(&frozen) {
+            assert_eq!(a.to_bits(), b.to_bits(), "live {a} vs frozen {b}");
+        }
+    }
+
+    #[test]
+    fn exact_model_matches_live_exact_read_bit_for_bit() {
+        let pair = programmed_pair(5, 2, 12.0, 13);
+        let model = CompiledModel::compile(
+            &pair.freeze(),
+            &identity(5),
+            &ReadOptions::new(Fidelity::Exact),
+            None,
+        )
+        .unwrap();
+        let x = [0.9, 0.1, 0.0, 0.6, 0.3];
+        let live = pair
+            .read(&x, &ReadCircuit::exact_for(&pair).unwrap(), None)
+            .unwrap();
+        let frozen = model.scores(&x).unwrap();
+        for (a, b) in live.iter().zip(&frozen) {
+            assert_eq!(a.to_bits(), b.to_bits(), "live {a} vs frozen {b}");
+        }
+    }
+
+    #[test]
+    fn converters_apply_in_the_live_order() {
+        let pair = programmed_pair(6, 3, 0.0, 21);
+        let adc = Adc::new(6, 6.0 * DeviceParams::default().g_on()).unwrap();
+        let dac = Dac::new(4, 1.0).unwrap();
+        let options = ReadOptions {
+            fidelity: Fidelity::Ideal,
+            adc: Some(adc),
+            dac: Some(dac),
+        };
+        let model = CompiledModel::compile(&pair.freeze(), &identity(6), &options, None).unwrap();
+        let x = [0.31, 0.77, 0.0, 0.52, 0.93, 0.18];
+        let routed = dac.convert_vec(&x);
+        let live = pair.read(&routed, &ReadCircuit::Ideal, Some(&adc)).unwrap();
+        let frozen = model.scores(&x).unwrap();
+        for (a, b) in live.iter().zip(&frozen) {
+            assert_eq!(a.to_bits(), b.to_bits(), "live {a} vs frozen {b}");
+        }
+    }
+
+    #[test]
+    fn routing_redirects_and_zero_fills() {
+        let pair = programmed_pair(4, 2, 0.0, 33);
+        // Logical 0 → physical 2, logical 1 → physical 0; rows 1 and 3 idle.
+        let model = CompiledModel::compile(
+            &pair.freeze(),
+            &[2, 0],
+            &ReadOptions::new(Fidelity::Ideal),
+            None,
+        )
+        .unwrap();
+        assert_eq!(model.logical_rows(), 2);
+        let frozen = model.scores(&[0.4, 0.9]).unwrap();
+        let live = pair
+            .read(&[0.9, 0.0, 0.4, 0.0], &ReadCircuit::Ideal, None)
+            .unwrap();
+        for (a, b) in live.iter().zip(&frozen) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_is_bit_exact_across_parallelism() {
+        let pair = programmed_pair(8, 4, 0.0, 41);
+        let model = CompiledModel::compile(
+            &pair.freeze(),
+            &identity(8),
+            &ReadOptions::new(Fidelity::Ideal),
+            None,
+        )
+        .unwrap();
+        let inputs: Vec<Vec<f64>> = (0..101)
+            .map(|k| {
+                (0..8)
+                    .map(|i| ((k * 8 + i) as f64 * 0.17).sin().abs())
+                    .collect()
+            })
+            .collect();
+        let samples: Vec<&[f64]> = inputs.iter().map(Vec::as_slice).collect();
+        let serial = model.infer_batch(&samples, Parallelism::Serial).unwrap();
+        assert_eq!(serial.len(), samples.len());
+        for threads in [1, 2, 8] {
+            let par = model
+                .infer_batch(&samples, Parallelism::Fixed(threads))
+                .unwrap();
+            assert_eq!(serial, par, "{threads} threads changed predictions");
+        }
+    }
+
+    #[test]
+    fn compile_validates_inputs() {
+        let pair = programmed_pair(4, 2, 0.0, 55);
+        let state = pair.freeze();
+        // Out-of-range physical row.
+        assert!(
+            CompiledModel::compile(&state, &[0, 9], &ReadOptions::new(Fidelity::Ideal), None)
+                .is_err()
+        );
+        // Duplicate physical row.
+        assert!(
+            CompiledModel::compile(&state, &[1, 1], &ReadOptions::new(Fidelity::Ideal), None)
+                .is_err()
+        );
+        // Calibrated without a reference.
+        assert!(CompiledModel::compile(
+            &state,
+            &[0, 1, 2, 3],
+            &ReadOptions::new(Fidelity::Calibrated),
+            None
+        )
+        .is_err());
+        // Wrong input length at inference time.
+        let model = CompiledModel::compile(
+            &state,
+            &[0, 1, 2, 3],
+            &ReadOptions::new(Fidelity::Ideal),
+            None,
+        )
+        .unwrap();
+        assert!(model.infer(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn realized_weights_round_trip() {
+        let pair = programmed_pair(5, 3, 0.0, 77);
+        let model = CompiledModel::compile(
+            &pair.freeze(),
+            &identity(5),
+            &ReadOptions::new(Fidelity::Ideal),
+            None,
+        )
+        .unwrap();
+        let a = pair.realized_weights();
+        let b = model.realized_weights();
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Artifact codec integration tests: round-trips, corruption handling,
+//! and cross-worker determinism of the serving path.
+
+use proptest::prelude::*;
+use vortex_device::DeviceParams;
+use vortex_linalg::rng::Xoshiro256PlusPlus;
+use vortex_linalg::Matrix;
+use vortex_nn::executor::Parallelism;
+use vortex_runtime::artifact::{ArtifactError, FORMAT_VERSION, MAGIC};
+use vortex_runtime::{CompiledModel, Fidelity, ReadOptions, RuntimeError};
+use vortex_xbar::crossbar::CrossbarConfig;
+use vortex_xbar::pair::{DifferentialPair, WeightMapping};
+use vortex_xbar::sensing::{Adc, Dac};
+
+fn compiled(rows: usize, cols: usize, r_wire: f64, fidelity: Fidelity, seed: u64) -> CompiledModel {
+    let device = DeviceParams::default();
+    let config = CrossbarConfig {
+        r_wire,
+        ..CrossbarConfig::ideal(rows, cols, device)
+    };
+    let mapping = WeightMapping::new(&device, 1.0).unwrap();
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+    let mut pair = DifferentialPair::fabricate(config, mapping, &mut rng).unwrap();
+    let w = Matrix::from_fn(rows, cols, |i, j| {
+        ((i * cols + j) as f64 * 0.37).sin() * 0.7
+    });
+    pair.program_open_loop(&w, None, &mut rng).unwrap();
+    let assignment: Vec<usize> = (0..rows).collect();
+    let mut options = ReadOptions::new(fidelity);
+    options.adc = Some(Adc::new(8, 1e-3).unwrap());
+    options.dac = Some(Dac::new(6, 1.0).unwrap());
+    let reference = vec![0.4; rows];
+    CompiledModel::compile(&pair.freeze(), &assignment, &options, Some(&reference)).unwrap()
+}
+
+fn artifact_err(r: vortex_runtime::Result<CompiledModel>) -> ArtifactError {
+    match r {
+        Err(RuntimeError::Artifact(e)) => e,
+        other => panic!("expected an artifact error, got {other:?}"),
+    }
+}
+
+fn probe_inputs(rows: usize) -> Vec<Vec<f64>> {
+    (0..7)
+        .map(|k| {
+            (0..rows)
+                .map(|i| (((i + 3 * k) % 5) as f64) / 4.0)
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn saved_then_loaded_model_predicts_identically() {
+    let model = compiled(9, 4, 6.0, Fidelity::Calibrated, 77);
+    let path = std::env::temp_dir().join(format!("vxrt-roundtrip-{}.bin", std::process::id()));
+    model.save(&path).unwrap();
+    let loaded = CompiledModel::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    for x in probe_inputs(9) {
+        let a = model.scores(&x).unwrap();
+        let b = loaded.scores(&x).unwrap();
+        for (u, v) in a.iter().zip(&b) {
+            assert_eq!(u.to_bits(), v.to_bits(), "saved/loaded scores diverge");
+        }
+        assert_eq!(model.infer(&x).unwrap(), loaded.infer(&x).unwrap());
+    }
+}
+
+#[test]
+fn load_missing_file_is_a_typed_io_error() {
+    let path = std::env::temp_dir().join("vxrt-does-not-exist.bin");
+    match artifact_err(CompiledModel::load(&path)) {
+        ArtifactError::Io { kind, .. } => {
+            assert_eq!(kind, std::io::ErrorKind::NotFound);
+        }
+        other => panic!("expected Io error, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_bytes_yield_truncated_or_checksum_errors() {
+    let bytes = compiled(6, 3, 0.0, Fidelity::Ideal, 5).to_bytes();
+    // Every proper prefix must fail loudly — never decode to a model.
+    for cut in 0..bytes.len() {
+        let err = artifact_err(CompiledModel::from_bytes(&bytes[..cut]));
+        assert!(
+            matches!(
+                err,
+                ArtifactError::Truncated { .. }
+                    | ArtifactError::ChecksumMismatch { .. }
+                    | ArtifactError::BadMagic
+            ),
+            "prefix of {cut} bytes gave {err:?}"
+        );
+    }
+}
+
+#[test]
+fn flipped_byte_yields_checksum_mismatch() {
+    let bytes = compiled(6, 3, 0.0, Fidelity::Ideal, 5).to_bytes();
+    // Flip one byte in the section region (past magic + version, before
+    // the trailing CRC); the CRC check must catch it before decoding.
+    let mut corrupt = bytes.clone();
+    let idx = 20;
+    corrupt[idx] ^= 0x40;
+    match artifact_err(CompiledModel::from_bytes(&corrupt)) {
+        ArtifactError::ChecksumMismatch { stored, computed } => {
+            assert_ne!(stored, computed);
+        }
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn wrong_version_yields_unsupported_version() {
+    let mut bytes = compiled(6, 3, 0.0, Fidelity::Ideal, 5).to_bytes();
+    // The version field sits right after the magic.
+    bytes[MAGIC.len()..MAGIC.len() + 4].copy_from_slice(&99u32.to_le_bytes());
+    match artifact_err(CompiledModel::from_bytes(&bytes)) {
+        ArtifactError::UnsupportedVersion { found, supported } => {
+            assert_eq!(found, 99);
+            assert_eq!(supported, FORMAT_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn wrong_magic_yields_bad_magic() {
+    let mut bytes = compiled(6, 3, 0.0, Fidelity::Ideal, 5).to_bytes();
+    bytes[0] = b'X';
+    assert_eq!(
+        artifact_err(CompiledModel::from_bytes(&bytes)),
+        ArtifactError::BadMagic
+    );
+}
+
+#[test]
+fn infer_batch_is_bit_exact_across_worker_counts() {
+    let model = compiled(11, 4, 4.0, Fidelity::Calibrated, 31);
+    let inputs: Vec<Vec<f64>> = (0..103)
+        .map(|k| {
+            (0..11)
+                .map(|i| (((i * 7 + k * 13) % 9) as f64) / 8.0)
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[f64]> = inputs.iter().map(Vec::as_slice).collect();
+    let serial = model.infer_batch(&refs, Parallelism::Serial).unwrap();
+    for workers in [1, 2, 8] {
+        let parallel = model
+            .infer_batch(&refs, Parallelism::Fixed(workers))
+            .unwrap();
+        assert_eq!(serial, parallel, "{workers} workers diverged from serial");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn byte_roundtrip_preserves_inference_bits(rows in 2usize..10,
+                                               cols in 2usize..5,
+                                               seed in proptest::num::u64::ANY) {
+        let fidelity = if seed % 2 == 0 { Fidelity::Exact } else { Fidelity::Calibrated };
+        let model = compiled(rows, cols, 3.0, fidelity, seed);
+        let revived = CompiledModel::from_bytes(&model.to_bytes()).unwrap();
+        prop_assert_eq!(revived.fidelity(), model.fidelity());
+        prop_assert_eq!(revived.rows(), model.rows());
+        prop_assert_eq!(revived.classes(), model.classes());
+        for x in probe_inputs(rows) {
+            let a = model.scores(&x).unwrap();
+            let b = revived.scores(&x).unwrap();
+            for (u, v) in a.iter().zip(&b) {
+                prop_assert_eq!(u.to_bits(), v.to_bits());
+            }
+        }
+    }
+}

@@ -224,6 +224,19 @@ impl ComputeAttenuationMap {
         self.attenuation[(i, j)]
     }
 
+    /// The full per-cell attenuation matrix.
+    pub fn attenuation(&self) -> &Matrix {
+        &self.attenuation
+    }
+
+    /// Rebuilds a map from a raw attenuation matrix (values clamped to
+    /// `[0, 1]`), e.g. one thawed from a persisted artifact.
+    pub fn from_attenuation(attenuation: Matrix) -> Self {
+        Self {
+            attenuation: attenuation.map(|a| a.clamp(0.0, 1.0)),
+        }
+    }
+
     /// Effective conductance matrix `g_ij·a_ij` to use with the ideal MVM.
     pub fn effective_conductances(&self, g: &Matrix) -> Matrix {
         g.hadamard(&self.attenuation)

@@ -51,7 +51,7 @@ pub mod sensing;
 pub mod sneak;
 
 pub use crossbar::{Crossbar, CrossbarConfig};
-pub use pair::DifferentialPair;
+pub use pair::{DifferentialPair, FrozenPairState};
 pub use sensing::Adc;
 
 /// Errors produced by the crossbar simulator.

@@ -169,6 +169,37 @@ impl ReadCircuit {
     }
 }
 
+/// Immutable snapshot of a programmed pair's read-relevant state.
+///
+/// Everything a read needs, decoupled from the live device lattice: the
+/// two conductance matrices as they stand after programming, the
+/// weight-reconstruction scale, and the wire resistance that fixes the
+/// IR-drop behavior. [`DifferentialPair::freeze`] produces one; the
+/// inference runtime builds its compiled models from it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrozenPairState {
+    /// Conductances of the positive crossbar.
+    pub g_pos: Matrix,
+    /// Conductances of the negative crossbar.
+    pub g_neg: Matrix,
+    /// Conductance per unit weight ([`WeightMapping::scale`]).
+    pub scale: f64,
+    /// Wire resistance per segment (Ω); 0 means ideal wires.
+    pub r_wire: f64,
+}
+
+impl FrozenPairState {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.g_pos.rows()
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.g_pos.cols()
+    }
+}
+
 /// A positive/negative crossbar pair realizing a signed weight matrix.
 #[derive(Debug, Clone)]
 pub struct DifferentialPair {
@@ -251,6 +282,17 @@ impl DifferentialPair {
         self.pos.program_open_loop(&tp, program_irdrop, rng)?;
         self.neg.program_open_loop(&tn, program_irdrop, rng)?;
         Ok(())
+    }
+
+    /// Snapshots the pair's current read-relevant state (conductances,
+    /// scale, wire resistance) into an immutable [`FrozenPairState`].
+    pub fn freeze(&self) -> FrozenPairState {
+        FrozenPairState {
+            g_pos: self.pos.conductances(),
+            g_neg: self.neg.conductances(),
+            scale: self.mapping.scale(),
+            r_wire: self.config().r_wire,
+        }
     }
 
     /// The weight matrix the pair currently realizes (including variation

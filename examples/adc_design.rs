@@ -65,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             )?;
             row.push(pct(eval.mean_test_rate));
         }
-        table.add_row(&row);
+        table.add_row(row);
     }
     println!("{table}");
     println!("expected shape: 4–5 bit pre-testing limits AMP; ~6 bits saturates.");

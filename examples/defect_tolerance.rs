@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ..AmpChipOptions::default()
         };
         let eval = amp_evaluate(&weights, &mean_abs, &opts, &env, &split.test, 3, &mut rng)?;
-        table.add_row(&[redundancy.to_string(), pct(eval.mean_test_rate)]);
+        table.add_row([redundancy.to_string(), pct(eval.mean_test_rate)]);
     }
     println!("{table}");
     println!(

@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ],
     );
     for p in &outcome.curve {
-        table.add_row(&[
+        table.add_row([
             fixed(p.gamma, 1),
             pct(p.training_rate),
             pct(p.validation_with_variation),

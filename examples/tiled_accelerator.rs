@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         3,
         &mut rng,
     )?;
-    table.add_row(&["monolithic 196-row".to_string(), pct(mono.mean_test_rate)]);
+    table.add_row(["monolithic 196-row".to_string(), pct(mono.mean_test_rate)]);
     for tile_rows in [98usize, 49, 28] {
         let tiled = TiledEvaluator::new(tile_rows)?.evaluate(
             &weights,
@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             3,
             &mut rng,
         )?;
-        table.add_row(&[format!("{tile_rows}-row tiles"), pct(tiled.mean_test_rate)]);
+        table.add_row([format!("{tile_rows}-row tiles"), pct(tiled.mean_test_rate)]);
     }
     println!("{table}");
 
@@ -80,7 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("Vortex", cost.vortex_cost()?),
         ("CLD", cost.cld_cost()?),
     ] {
-        ledger.add_row(&[
+        ledger.add_row([
             name.to_string(),
             c.pulse_count.to_string(),
             c.adc_conversions.to_string(),
