@@ -1,0 +1,72 @@
+//! CI benchmark regression gate.
+//!
+//! ```text
+//! check_bench <current BENCH_runtime.json> <baseline.json> [--max-regression <frac>]
+//! ```
+//!
+//! Compares the gated throughput keys (see `vortex_bench::gate`) of a
+//! fresh benchmark payload against the checked-in baseline and exits
+//! non-zero if any regresses more than the allowed fraction
+//! (default 0.30). Exit codes: 0 pass, 1 regression or malformed input,
+//! 2 usage error.
+
+use vortex_bench::gate;
+
+fn usage_exit() -> ! {
+    eprintln!("usage: check_bench <current.json> <baseline.json> [--max-regression <frac>]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<String> = Vec::new();
+    let mut max_regression = 0.30;
+    let mut iter = args.into_iter();
+    while let Some(a) = iter.next() {
+        if a == "--max-regression" {
+            match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) => max_regression = v,
+                None => {
+                    eprintln!("--max-regression requires a numeric fraction");
+                    usage_exit();
+                }
+            }
+        } else if a.starts_with("--") {
+            eprintln!("unknown flag `{a}`");
+            usage_exit();
+        } else {
+            paths.push(a);
+        }
+    }
+    let [current_path, baseline_path] = paths.as_slice() else {
+        usage_exit();
+    };
+
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("failed to read {path}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let current = read(current_path);
+    let baseline = read(baseline_path);
+
+    match gate::check(&current, &baseline, max_regression) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.pass() {
+                println!("bench gate: ok");
+            } else {
+                eprintln!(
+                    "bench gate: throughput regressed beyond {:.0}%",
+                    100.0 * max_regression
+                );
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("bench gate: {e}");
+            std::process::exit(1);
+        }
+    }
+}

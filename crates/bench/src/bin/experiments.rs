@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! experiments [fig2|fig3|…|table1|ext|runtime|all] [--quick|--bench] [--json]
+//!             [--metrics <path>]
 //! ```
 //!
 //! Without a scale flag the paper-scale configuration runs (minutes);
@@ -9,7 +10,11 @@
 //! With `--json`, each experiment also writes its tables to
 //! `BENCH_<name>.json` in the working directory. The `runtime`
 //! experiment always writes `BENCH_runtime.json` (its throughput numbers
-//! are the point of running it).
+//! are the point of running it). With `--metrics <path>`, the
+//! `vortex_obs` registry snapshot — span timings, counters and gauges
+//! collected from every hot path the run touched — is written to `<path>`
+//! after all experiments finish, so each benchmark run carries its own
+//! profile.
 
 use std::time::Instant;
 
@@ -27,8 +32,32 @@ fn write_json(name: &str, payload: &str) {
     }
 }
 
+fn usage_exit() -> ! {
+    eprintln!(
+        "usage: experiments [fig1|fig2|fig3|fig4|fig7|fig8|fig9|table1|ext|runtime|all] [--quick|--bench] [--json] [--metrics <path>]"
+    );
+    std::process::exit(2);
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // Pull out `--metrics <path>` before flag scanning.
+    let mut metrics_path: Option<String> = None;
+    let mut args: Vec<String> = Vec::with_capacity(raw.len());
+    let mut iter = raw.into_iter();
+    while let Some(a) = iter.next() {
+        if a == "--metrics" {
+            match iter.next() {
+                Some(path) => metrics_path = Some(path),
+                None => {
+                    eprintln!("--metrics requires a path argument");
+                    usage_exit();
+                }
+            }
+        } else {
+            args.push(a);
+        }
+    }
     let scale = if args.iter().any(|a| a == "--bench") {
         Scale::bench()
     } else if args.iter().any(|a| a == "--quick") {
@@ -104,10 +133,7 @@ fn main() {
             }
             other => {
                 eprintln!("unknown experiment `{other}`");
-                eprintln!(
-                    "usage: experiments [fig1|fig2|fig3|fig4|fig7|fig8|fig9|table1|ext|runtime|all] [--quick|--bench] [--json]"
-                );
-                std::process::exit(2);
+                usage_exit();
             }
         };
         // `runtime` already wrote its richer flat-field payload above.
@@ -116,5 +142,17 @@ fn main() {
         }
         println!("{output}");
         println!("[{name} finished in {:.1?}]\n", start.elapsed());
+    }
+
+    // The snapshot is taken once, after every experiment has reported, so
+    // the profile covers the whole invocation.
+    if let Some(path) = metrics_path {
+        match std::fs::write(&path, vortex_obs::snapshot().to_json()) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("failed to write metrics snapshot {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

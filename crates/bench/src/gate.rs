@@ -1,0 +1,186 @@
+//! The CI benchmark regression gate behind the `check_bench` binary.
+//!
+//! CI's `bench-smoke` job runs `experiments runtime --quick --json`, then
+//! compares the fresh `BENCH_runtime.json` against the checked-in
+//! `bench/baseline.json`: any gated throughput key regressing more than
+//! the allowed fraction fails the build. The baseline is intentionally
+//! conservative (set well below a warm local run) so ordinary runner
+//! noise passes while a genuine hot-path regression — a serialized
+//! executor, an accidentally-quadratic read — still trips the gate.
+//!
+//! The workspace has no JSON parser dependency, so [`extract_number`]
+//! performs the one extraction this gate needs: finding a numeric field
+//! by key in a flat JSON object.
+
+/// The throughput keys the gate compares (higher is better, samples/sec).
+pub const GATED_KEYS: [&str; 2] = ["serial_samples_per_sec", "parallel_samples_per_sec"];
+
+/// Extracts the numeric value of `"key":<number>` from a JSON document.
+///
+/// Matches the first occurrence of the exact quoted key; returns `None`
+/// if the key is absent or its value does not parse as a finite number.
+pub fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = json.find(&needle)? + needle.len();
+    let rest = json[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '+' | '-' | '.' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse::<f64>().ok().filter(|v| v.is_finite())
+}
+
+/// One gated comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateCheck {
+    /// The JSON key compared.
+    pub key: String,
+    /// Baseline value (samples/sec).
+    pub baseline: f64,
+    /// Current value (samples/sec).
+    pub current: f64,
+    /// Fractional regression versus baseline (negative = improvement).
+    pub regression: f64,
+    /// Whether the check passed the threshold.
+    pub pass: bool,
+}
+
+/// The gate verdict over all gated keys.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateReport {
+    /// Per-key comparisons, in [`GATED_KEYS`] order.
+    pub checks: Vec<GateCheck>,
+    /// The regression fraction that fails a check (e.g. `0.30`).
+    pub max_regression: f64,
+}
+
+impl GateReport {
+    /// Whether every check passed.
+    pub fn pass(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+
+    /// A human-readable per-key summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for c in &self.checks {
+            out.push_str(&format!(
+                "{}: baseline {:.1}, current {:.1}, regression {:+.1}% (limit {:.0}%) — {}\n",
+                c.key,
+                c.baseline,
+                c.current,
+                100.0 * c.regression,
+                100.0 * self.max_regression,
+                if c.pass { "ok" } else { "FAIL" }
+            ));
+        }
+        out
+    }
+}
+
+/// Compares `current_json` against `baseline_json` over [`GATED_KEYS`].
+///
+/// Keys missing from the baseline are skipped (the baseline opts keys in);
+/// a gated baseline key missing from the current payload is an error, as
+/// is a non-positive baseline.
+///
+/// # Errors
+///
+/// Returns a description of the malformed input.
+pub fn check(
+    current_json: &str,
+    baseline_json: &str,
+    max_regression: f64,
+) -> Result<GateReport, String> {
+    if !(max_regression.is_finite() && (0.0..1.0).contains(&max_regression)) {
+        return Err(format!(
+            "max regression must lie in [0, 1), got {max_regression}"
+        ));
+    }
+    let mut checks = Vec::new();
+    for key in GATED_KEYS {
+        let Some(baseline) = extract_number(baseline_json, key) else {
+            continue;
+        };
+        if baseline <= 0.0 {
+            return Err(format!("baseline `{key}` must be positive, got {baseline}"));
+        }
+        let current = extract_number(current_json, key)
+            .ok_or_else(|| format!("current payload is missing gated key `{key}`"))?;
+        let regression = 1.0 - current / baseline;
+        checks.push(GateCheck {
+            key: key.to_string(),
+            baseline,
+            current,
+            regression,
+            pass: regression <= max_regression,
+        });
+    }
+    if checks.is_empty() {
+        return Err("baseline contains no gated throughput keys".to_string());
+    }
+    Ok(GateReport {
+        checks,
+        max_regression,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extract_number_finds_flat_fields() {
+        let json = r#"{"a":1,"serial_samples_per_sec":1234.5,"b":-2e3}"#;
+        assert_eq!(extract_number(json, "serial_samples_per_sec"), Some(1234.5));
+        assert_eq!(extract_number(json, "a"), Some(1.0));
+        assert_eq!(extract_number(json, "b"), Some(-2000.0));
+        assert_eq!(extract_number(json, "missing"), None);
+        assert_eq!(extract_number(r#"{"a":"text"}"#, "a"), None);
+        assert_eq!(
+            extract_number(r#"{"a": 7}"#, "a"),
+            Some(7.0),
+            "space after colon"
+        );
+        assert_eq!(extract_number(r#"{"a":3}"#, "b"), None);
+    }
+
+    #[test]
+    fn gate_passes_within_threshold_and_fails_beyond() {
+        let baseline = r#"{"serial_samples_per_sec":1000.0,"parallel_samples_per_sec":4000.0}"#;
+        let ok = r#"{"serial_samples_per_sec":800.0,"parallel_samples_per_sec":4100.0}"#;
+        let report = check(ok, baseline, 0.30).unwrap();
+        assert!(report.pass());
+        assert_eq!(report.checks.len(), 2);
+        assert!((report.checks[0].regression - 0.2).abs() < 1e-12);
+        assert!(report.checks[1].regression < 0.0, "improvement is negative");
+
+        let bad = r#"{"serial_samples_per_sec":600.0,"parallel_samples_per_sec":4000.0}"#;
+        let report = check(bad, baseline, 0.30).unwrap();
+        assert!(!report.pass());
+        assert!(report.render().contains("FAIL"));
+        assert!(report.render().contains("serial_samples_per_sec"));
+    }
+
+    #[test]
+    fn gate_rejects_malformed_inputs() {
+        let baseline = r#"{"serial_samples_per_sec":1000.0}"#;
+        assert!(check("{}", baseline, 0.30).is_err(), "missing current key");
+        assert!(check(baseline, "{}", 0.30).is_err(), "no gated keys");
+        assert!(
+            check(baseline, r#"{"serial_samples_per_sec":0.0}"#, 0.30).is_err(),
+            "non-positive baseline"
+        );
+        assert!(check(baseline, baseline, 1.5).is_err(), "bad threshold");
+        assert!(check(baseline, baseline, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn baseline_opts_keys_in() {
+        // A baseline that only gates the serial path skips the parallel key.
+        let baseline = r#"{"serial_samples_per_sec":100.0,"_note":"serial only"}"#;
+        let current = r#"{"serial_samples_per_sec":95.0}"#;
+        let report = check(current, baseline, 0.30).unwrap();
+        assert_eq!(report.checks.len(), 1);
+        assert!(report.pass());
+    }
+}

@@ -54,3 +54,59 @@ fn multiple_experiments_in_one_invocation() {
     assert!(stdout.contains("Fig. 2"));
     assert!(stdout.contains("Fig. 3"));
 }
+
+#[test]
+fn metrics_flag_requires_a_path() {
+    let (_, stderr, ok) = run(&["fig2", "--bench", "--metrics"]);
+    assert!(!ok);
+    assert!(stderr.contains("--metrics requires a path"));
+    assert!(stderr.contains("usage"));
+}
+
+#[test]
+fn metrics_flag_writes_a_snapshot_covering_every_instrumented_layer() {
+    // fig9 exercises the self-tuner and the OLD/VAT pipeline; runtime
+    // exercises compiled-model batched inference. Between them every
+    // span family the obs layer instruments must show up non-zero.
+    let dir = std::env::temp_dir().join(format!("vortex-cli-metrics-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args([
+            "fig9",
+            "runtime",
+            "--bench",
+            "--json",
+            "--metrics",
+            "METRICS_cli.json",
+        ])
+        .current_dir(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "experiments failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("wrote METRICS_cli.json"));
+
+    let json = std::fs::read_to_string(dir.join("METRICS_cli.json")).expect("snapshot written");
+    for name in [
+        "executor.run_seconds",
+        "pipeline.evaluate_seconds",
+        "tuning.tune_seconds",
+        "runtime.batch_seconds",
+    ] {
+        let needle = format!("\"{name}\":{{\"count\":");
+        let at = json
+            .find(&needle)
+            .unwrap_or_else(|| panic!("{name} missing from snapshot"));
+        let count: u64 = json[at + needle.len()..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .expect("count parses");
+        assert!(count > 0, "{name} recorded no spans");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

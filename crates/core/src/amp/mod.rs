@@ -65,6 +65,7 @@ pub fn plan(
             requirement: "length must match the weight-matrix row count",
         });
     }
+    let _span = vortex_obs::span!("pipeline.amp_plan_seconds");
     let sens = sensitivity::row_sensitivity(weights, mean_abs_input);
     let swv = swv::swv_matrix_pair(weights, mult_pos, mult_neg)?;
     let mapping = greedy_map(&sens, &swv)?;

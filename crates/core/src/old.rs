@@ -92,6 +92,7 @@ impl OldPipeline {
         env: &HardwareEnv,
         rng: &mut Xoshiro256PlusPlus,
     ) -> Result<PipelineOutcome> {
+        let _span = vortex_obs::span!("pipeline.old_seconds");
         let weights = self.trainer.train(train)?;
         let training_rate = accuracy_of_weights(&weights, train);
         let mapping = RowMapping::identity(weights.rows());

@@ -65,7 +65,7 @@ pub struct HardwareEnv {
     pub program_irdrop: bool,
     /// Whether the open-loop programmer compensates its pulse widths with
     /// the analytic IR-drop estimate (Liu et al., ICCAD'14 — reference
-    /// [10] of the paper).
+    /// \[10\] of the paper).
     pub compensate_program_irdrop: bool,
     /// Largest weight magnitude the conductance mapping must represent.
     pub w_max: f64,
@@ -251,6 +251,9 @@ pub fn evaluate_hardware_with(
             requirement: "logical row count must match the weight matrix",
         });
     }
+    let _span = vortex_obs::span!("pipeline.evaluate_seconds");
+    vortex_obs::counter!("pipeline.evaluations").incr();
+    vortex_obs::counter!("pipeline.draws").add(mc_draws as u64);
     let calibration = test.mean_input();
     let draws = run_trials(rng, mc_draws, parallelism, |_, draw_rng| {
         // Compile once per fabrication draw, then batch-infer the test
@@ -368,12 +371,14 @@ pub fn compile_model(
     calibration: &[f64],
     rng: &mut Xoshiro256PlusPlus,
 ) -> Result<CompiledModel> {
+    let _span = vortex_obs::span!("pipeline.compile_seconds");
     let pair = program_pair(weights, mapping, env, rng)?;
     freeze_pair(&pair, mapping, env, calibration)
 }
 
 /// Scores a compiled model on `test` (serial batched inference).
 fn score_model(model: &CompiledModel, test: &Dataset) -> Result<f64> {
+    let _span = vortex_obs::span!("pipeline.score_seconds");
     model.accuracy(test).map_err(|e| match e {
         // Shape problems are caller bugs and surface as such; read-path
         // failures keep the historical error shape of this harness.

@@ -145,24 +145,10 @@ impl std::fmt::Display for Table {
     }
 }
 
-/// Escapes a string as a JSON string literal (with surrounding quotes).
-pub fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
+// The JSON string escaper lives in `vortex_obs::json` so experiment
+// tables and metric snapshots escape identically; re-exported here to
+// keep this module the report-side home of the API.
+pub use vortex_obs::json::json_string;
 
 /// Formats a rate as a percentage with one decimal.
 pub fn pct(x: f64) -> String {
@@ -240,5 +226,20 @@ mod tests {
         assert!(Table::new("empty", &["a"])
             .to_json()
             .contains("\"rows\":[]"));
+    }
+
+    #[test]
+    fn table_json_escapes_control_characters_and_passes_non_ascii() {
+        // Control characters anywhere in a table must come out as \uXXXX
+        // escapes; non-ASCII text passes through untouched (JSON is UTF-8).
+        let mut t = Table::new("\u{7}bell σ-sweep", &["col\n1", "β"]);
+        t.add_row(["\u{1}ctl\u{1f}", "λ → ∞"]);
+        let j = t.to_json();
+        assert!(j.contains("\\u0007bell σ-sweep"));
+        assert!(j.contains("col\\n1"));
+        assert!(j.contains("\\u0001ctl\\u001f"));
+        assert!(j.contains("λ → ∞"));
+        // No raw control bytes may survive into the payload.
+        assert!(j.chars().all(|c| (c as u32) >= 0x20));
     }
 }

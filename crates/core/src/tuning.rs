@@ -154,6 +154,9 @@ impl SelfTuner {
     pub fn tune(&self, base: &VatTrainer, train: &Dataset) -> Result<TuningOutcome> {
         self.validate()?;
         base.validate()?;
+        let _span = vortex_obs::span!("tuning.tune_seconds");
+        vortex_obs::counter!("tuning.scans").incr();
+        vortex_obs::counter!("tuning.candidates").add(self.gamma_grid.len() as u64);
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(self.seed);
         let split = tuning_split(train, self.validation_fraction, &mut rng)?;
 
@@ -208,6 +211,7 @@ impl SelfTuner {
             .iter()
             .find(|p| p.validation_with_variation >= top - selection_margin)
             .map_or(self.gamma_grid[0], |p| p.gamma);
+        vortex_obs::gauge!("tuning.best_gamma").set(best_gamma);
         // Final pass on every training sample with the winning γ.
         let weights = base.with_gamma(best_gamma).train(train)?;
         Ok(TuningOutcome {

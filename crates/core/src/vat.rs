@@ -165,6 +165,7 @@ impl VatTrainer {
     /// Returns [`CoreError::InvalidParameter`] for invalid configuration
     /// or an empty dataset.
     pub fn train(&self, data: &Dataset) -> Result<Matrix> {
+        let _span = vortex_obs::span!("pipeline.vat_train_seconds");
         self.validate()?;
         if data.is_empty() {
             return Err(CoreError::InvalidParameter {

@@ -149,6 +149,7 @@ impl VortexPipeline {
         env: &HardwareEnv,
         rng: &mut Xoshiro256PlusPlus,
     ) -> Result<VortexOutcome> {
+        let _span = vortex_obs::span!("pipeline.vortex_seconds");
         let cfg = &self.config;
         let sigma = env.variation.sigma();
         let base_vat = cfg.vat.with_sigma(sigma);

@@ -213,7 +213,7 @@ impl Dataset {
     /// Returns [`NnError::InvalidParameter`] if `factor` does not divide
     /// the side.
     pub fn downsample(&self, factor: usize) -> Result<Dataset> {
-        if factor == 0 || !self.side.is_multiple_of(factor) {
+        if factor == 0 || self.side % factor != 0 {
             return Err(NnError::InvalidParameter {
                 name: "factor",
                 requirement: "must divide the image side",

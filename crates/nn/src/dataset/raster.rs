@@ -66,10 +66,7 @@ fn stamp(img: &mut [f64], side: usize, px: f64, py: f64, sigma: f64, radius: isi
 /// Panics if `factor` does not divide `side` or the image length is not
 /// `side²`.
 pub fn downsample(img: &[f64], side: usize, factor: usize) -> Vec<f64> {
-    assert!(
-        factor > 0 && side.is_multiple_of(factor),
-        "factor must divide side"
-    );
+    assert!(factor > 0 && side % factor == 0, "factor must divide side");
     assert_eq!(img.len(), side * side, "image length mismatch");
     let out_side = side / factor;
     let mut out = vec![0.0; out_side * out_side];

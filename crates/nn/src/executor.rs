@@ -25,8 +25,20 @@
 //! loop, `Fixed(n)` pins `n` workers, and `Auto` (the default everywhere)
 //! honors the `VORTEX_MC_THREADS` environment variable, falling back to
 //! [`std::thread::available_parallelism`].
+//!
+//! # Observability
+//!
+//! Every [`run_trials`] call reports to the `vortex_obs` global registry:
+//! `executor.runs` / `executor.trials` (counters), `executor.workers`
+//! (gauge), and the histograms `executor.run_seconds` (whole fan-out),
+//! `executor.split_seconds` (serial pre-split), `executor.collect_seconds`
+//! (time the collector waits on the result queue) and
+//! `executor.worker_tasks` (per-worker task counts). Metrics observe
+//! timing only — no RNG, no control flow — so they cannot perturb the
+//! bit-exactness contract above.
 
 use std::sync::mpsc;
+use std::time::Instant;
 use vortex_linalg::rng::Xoshiro256PlusPlus;
 
 /// Name of the environment variable that overrides the `Auto` pool size.
@@ -93,9 +105,16 @@ where
     T: Send,
     F: Fn(usize, &mut Xoshiro256PlusPlus) -> T + Sync,
 {
+    let _run_span = vortex_obs::span!("executor.run_seconds");
+    vortex_obs::counter!("executor.runs").incr();
+    vortex_obs::counter!("executor.trials").add(trials as u64);
+
     // Step 1 of the contract: split every child serially, up front.
+    let split_start = Instant::now();
     let children: Vec<Xoshiro256PlusPlus> = (0..trials).map(|_| parent.split()).collect();
+    vortex_obs::histogram!("executor.split_seconds").record(split_start.elapsed().as_secs_f64());
     let workers = parallelism.resolve().min(trials.max(1));
+    vortex_obs::gauge!("executor.workers").set(workers as f64);
     if workers <= 1 {
         return children
             .into_iter()
@@ -112,6 +131,9 @@ where
         .collect();
     for (k, child) in children.into_iter().enumerate() {
         shards[k % workers].push((k, child));
+    }
+    for shard in &shards {
+        vortex_obs::histogram!("executor.worker_tasks").record(shard.len() as f64);
     }
 
     // Step 3: fan out, stream (index, value) pairs back, reassemble by
@@ -134,9 +156,14 @@ where
             });
         }
         drop(tx);
+        // Queue wait: how long the collector spends draining the result
+        // channel — from first recv to pool exhaustion.
+        let collect_start = Instant::now();
         for (k, value) in rx {
             slots[k] = Some(value);
         }
+        vortex_obs::histogram!("executor.collect_seconds")
+            .record(collect_start.elapsed().as_secs_f64());
     });
     slots
         .into_iter()

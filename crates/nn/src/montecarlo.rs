@@ -41,6 +41,8 @@ pub fn run<F>(seed: u64, trials: usize, mut f: F) -> MonteCarloResult
 where
     F: FnMut(&mut Xoshiro256PlusPlus) -> f64,
 {
+    let _span = vortex_obs::span!("montecarlo.run_seconds");
+    vortex_obs::counter!("montecarlo.trials").add(trials as u64);
     let mut parent = Xoshiro256PlusPlus::seed_from_u64(seed);
     let mut values = Vec::with_capacity(trials);
     for _ in 0..trials {
@@ -59,6 +61,8 @@ pub fn run_with<F>(seed: u64, trials: usize, parallelism: Parallelism, f: F) -> 
 where
     F: Fn(&mut Xoshiro256PlusPlus) -> f64 + Sync,
 {
+    let _span = vortex_obs::span!("montecarlo.run_seconds");
+    vortex_obs::counter!("montecarlo.trials").add(trials as u64);
     let mut parent = Xoshiro256PlusPlus::seed_from_u64(seed);
     let values = run_trials(&mut parent, trials, parallelism, |_, child| f(child));
     MonteCarloResult { values }

@@ -1,0 +1,69 @@
+//! Minimal JSON emission helpers shared across the workspace.
+//!
+//! The workspace builds without a registry (no `serde_json`), so every
+//! JSON producer hand-assembles its output. This module holds the one
+//! string escaper they all share — `vortex_core::report` re-exports
+//! [`json_string`] so tables and metric snapshots escape identically —
+//! plus a number formatter that never emits invalid JSON.
+
+/// Escapes a string as a JSON string literal (with surrounding quotes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as a JSON value.
+///
+/// Finite values use Rust's shortest round-trip representation (always a
+/// valid JSON number); NaN and infinities — which JSON cannot represent —
+/// become `null` rather than corrupting the document.
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_backslashes_and_control_characters() {
+        assert_eq!(json_string("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(json_string("\u{1}\u{1f}"), r#""\u0001\u001f""#);
+        assert_eq!(json_string("\r\t"), r#""\r\t""#);
+    }
+
+    #[test]
+    fn passes_non_ascii_through_unescaped() {
+        assert_eq!(json_string("σ=0.3 →"), "\"σ=0.3 →\"");
+        assert_eq!(json_string("日本語"), "\"日本語\"");
+    }
+
+    #[test]
+    fn numbers_round_trip_and_non_finite_becomes_null() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(0.0), "0.0");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(f64::NEG_INFINITY), "null");
+        // Shortest representation still parses back exactly.
+        let v = 0.1 + 0.2;
+        assert_eq!(json_f64(v).parse::<f64>().unwrap(), v);
+    }
+}

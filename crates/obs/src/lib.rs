@@ -1,0 +1,124 @@
+//! `vortex-obs` — zero-dependency structured observability for the Vortex
+//! workspace.
+//!
+//! The serving stack's hot paths (Monte-Carlo fan-out, pipeline stages,
+//! batched inference) are instrumented with three metric kinds behind one
+//! process-global, thread-safe [`Registry`]:
+//!
+//! * [`Counter`] — monotonically increasing `u64` (trials executed,
+//!   models compiled, samples inferred);
+//! * [`Gauge`] — last-write-wins `f64` (worker-pool size, samples/sec);
+//! * [`Histogram`] — fixed log₂-scale buckets over non-negative `f64`
+//!   observations (span durations, per-worker task counts). NaN,
+//!   infinities and negative values are rejected, never aggregated.
+//!
+//! [`SpanTimer`] wraps a histogram into a drop guard: one line at the top
+//! of a function records its wall-clock time on every exit path.
+//!
+//! # Cost model
+//!
+//! Recording is lock-free: counters and buckets are relaxed atomic adds,
+//! gauges are atomic stores, histogram sums a bit-CAS loop. The registry
+//! mutex is touched only when a *handle* is looked up by name; the
+//! [`counter!`], [`gauge!`], [`histogram!`] and [`span!`] macros cache the
+//! handle in a per-call-site `OnceLock` static, so steady-state
+//! instrumentation never takes a lock. Metrics observe timing and counts
+//! only — no RNG, no control flow — so instrumentation cannot perturb the
+//! workspace's bit-exact determinism contract (enforced end to end by
+//! `tests/determinism.rs` in the bench crate).
+//!
+//! # Export
+//!
+//! [`snapshot`] copies the registry into a [`Snapshot`], whose
+//! [`to_json`](Snapshot::to_json) emits a deterministic, name-sorted JSON
+//! document using the same string escaper as `vortex_core::report` (this
+//! crate is the escaper's home; `report` re-exports it). The experiments
+//! binary dumps a snapshot next to its `BENCH_*.json` payloads via
+//! `--metrics <path>`.
+//!
+//! # Example
+//!
+//! ```
+//! fn hot_path(batch: &[f64]) -> f64 {
+//!     let _span = vortex_obs::span!("example.hot_path_seconds");
+//!     vortex_obs::counter!("example.samples").add(batch.len() as u64);
+//!     batch.iter().sum()
+//! }
+//!
+//! assert_eq!(hot_path(&[1.0, 2.0]), 3.0);
+//! let snap = vortex_obs::snapshot();
+//! assert_eq!(snap.counter("example.samples"), Some(2));
+//! assert_eq!(snap.histogram("example.hot_path_seconds").unwrap().count, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod json;
+mod metrics;
+mod registry;
+mod span;
+
+pub use metrics::{
+    bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS, BUCKET_MAX_EXP,
+    BUCKET_MIN_EXP,
+};
+pub use registry::{counter, gauge, histogram, registry, snapshot, Registry, Snapshot};
+pub use span::SpanTimer;
+
+/// The global [`Counter`] named `$name`, with the registry lookup cached
+/// in a per-call-site static. Evaluates to `&'static Counter`.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::Counter> = ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::counter($name))
+    }};
+}
+
+/// The global [`Gauge`] named `$name`, with the registry lookup cached in
+/// a per-call-site static. Evaluates to `&'static Gauge`.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::Gauge> = ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::gauge($name))
+    }};
+}
+
+/// The global [`Histogram`] named `$name`, with the registry lookup
+/// cached in a per-call-site static. Evaluates to `&'static Histogram`.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::Histogram> = ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::histogram($name))
+    }};
+}
+
+/// A [`SpanTimer`] recording into the global histogram named `$name` when
+/// the returned guard drops. Bind it: `let _span = span!("x_seconds");`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanTimer::start($crate::histogram!($name).clone())
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn macros_cache_handles_per_call_site() {
+        for _ in 0..3 {
+            counter!("obs.macro.calls").incr();
+        }
+        assert_eq!(counter!("obs.macro.calls").get(), 3);
+        gauge!("obs.macro.level").set(4.0);
+        assert_eq!(gauge!("obs.macro.level").get(), 4.0);
+        histogram!("obs.macro.values").record(2.0);
+        assert!(histogram!("obs.macro.values").count() >= 1);
+        {
+            let _span = span!("obs.macro.span_seconds");
+        }
+        assert!(histogram!("obs.macro.span_seconds").count() >= 1);
+    }
+}

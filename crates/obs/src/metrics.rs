@@ -1,0 +1,317 @@
+//! The metric primitives: atomic counters, gauges and log-scale
+//! histograms.
+//!
+//! Every handle is a cheap [`Arc`] clone around atomic storage, so the
+//! record path is lock-free: a counter bump is one `fetch_add`, a gauge
+//! update one `store`, and a histogram observation two `fetch_add`s plus
+//! a compare-exchange loop for the running sum. Handles obtained from the
+//! registry can be cached in `OnceLock` statics (the `counter!`/`gauge!`/
+//! `histogram!` macros do exactly that), after which instrumented code
+//! never touches a lock again.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Smallest bucket exponent: bucket 0 collects every observation below
+/// `2^(BUCKET_MIN_EXP + 1)`, including zero and subnormals. At seconds
+/// granularity this is ~1.8 ps — far below a timer tick.
+pub const BUCKET_MIN_EXP: i32 = -40;
+
+/// Largest bucket exponent: the top bucket collects everything at or
+/// above `2^BUCKET_MAX_EXP` (~97 days in seconds).
+pub const BUCKET_MAX_EXP: i32 = 23;
+
+/// Number of histogram buckets (one per power of two in range).
+pub const BUCKETS: usize = (BUCKET_MAX_EXP - BUCKET_MIN_EXP + 1) as usize;
+
+/// A monotonically increasing `u64` counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins `f64` gauge (stored as bits in an atomic).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Replaces the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value (`0.0` before the first `set` — the default bits are
+    /// exactly `0.0_f64`).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    count: AtomicU64,
+    rejected: AtomicU64,
+    sum_bits: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0_f64.to_bits()),
+            buckets: [(); BUCKETS].map(|()| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A fixed-layout log-scale histogram of non-negative `f64` observations.
+///
+/// Bucket `k` covers `[2^(k + BUCKET_MIN_EXP), 2^(k + 1 + BUCKET_MIN_EXP))`;
+/// the bottom and top buckets additionally absorb under- and overflow, so
+/// zero, subnormal and astronomically large observations are all counted
+/// (never dropped, never panicking). NaN, infinities and negative values
+/// are **rejected**: they increment a separate rejection counter and leave
+/// `count`/`sum`/buckets untouched, so a single corrupted measurement
+/// cannot poison the aggregate.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Records one observation. Returns `false` (and counts a rejection)
+    /// for NaN, infinite or negative values.
+    pub fn record(&self, v: f64) -> bool {
+        let Some(bucket) = bucket_index(v) else {
+            self.0.rejected.fetch_add(1, Ordering::Relaxed);
+            return false;
+        };
+        self.0.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        // Lock-free f64 accumulation: retry the bit-CAS until our add
+        // lands. Contention here is rare (histograms are written from
+        // worker fan-out joins, not inner loops).
+        let mut current = self.0.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + v).to_bits();
+            match self.0.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Number of accepted observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Number of rejected (NaN / infinite / negative) observations.
+    pub fn rejected(&self) -> u64 {
+        self.0.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Sum of accepted observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// A point-in-time copy of the histogram state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .0
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(k, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((k as i32 + BUCKET_MIN_EXP, n))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count(),
+            rejected: self.rejected(),
+            sum: self.sum(),
+            buckets,
+        }
+    }
+}
+
+/// The bucket index for an observation, or `None` if it must be rejected.
+///
+/// Uses the IEEE-754 exponent field directly — exact `floor(log2(v))` for
+/// normal values, with zero and subnormals clamped into bucket 0 — so
+/// bucketing costs no transcendental call.
+pub fn bucket_index(v: f64) -> Option<usize> {
+    if !v.is_finite() || v.is_sign_negative() && v != 0.0 {
+        return None;
+    }
+    let exponent_field = ((v.to_bits() >> 52) & 0x7ff) as i32;
+    if exponent_field == 0 {
+        // Zero and subnormals: below every normal bucket.
+        return Some(0);
+    }
+    let exponent = exponent_field - 1023;
+    Some((exponent.clamp(BUCKET_MIN_EXP, BUCKET_MAX_EXP) - BUCKET_MIN_EXP) as usize)
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Accepted observations.
+    pub count: u64,
+    /// Rejected observations (NaN / infinite / negative).
+    pub rejected: u64,
+    /// Sum of accepted observations.
+    pub sum: f64,
+    /// Non-empty buckets as `(exponent, count)`: the bucket covers
+    /// `[2^exponent, 2^(exponent+1))`, modulo the clamp at both ends.
+    pub buckets: Vec<(i32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean of accepted observations (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::default();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Clones share storage.
+        let c2 = c.clone();
+        c2.incr();
+        assert_eq!(c.get(), 6);
+    }
+
+    #[test]
+    fn gauge_is_last_write_wins() {
+        let g = Gauge::default();
+        assert_eq!(g.get(), 0.0);
+        g.set(2.5);
+        g.set(-1.25);
+        assert_eq!(g.get(), -1.25);
+    }
+
+    #[test]
+    fn bucket_zero_absorbs_zero_and_subnormals() {
+        assert_eq!(bucket_index(0.0), Some(0));
+        assert_eq!(bucket_index(-0.0), Some(0));
+        assert_eq!(bucket_index(f64::MIN_POSITIVE / 2.0), Some(0)); // subnormal
+        assert_eq!(bucket_index(2.0_f64.powi(BUCKET_MIN_EXP - 7)), Some(0)); // normal underflow
+    }
+
+    #[test]
+    fn top_bucket_absorbs_huge_values() {
+        let top = BUCKETS - 1;
+        assert_eq!(bucket_index(2.0_f64.powi(BUCKET_MAX_EXP)), Some(top));
+        assert_eq!(bucket_index(1e300), Some(top));
+        assert_eq!(bucket_index(f64::MAX), Some(top));
+    }
+
+    #[test]
+    fn normal_values_land_on_their_exponent() {
+        // 1.0 = 2^0 → bucket -BUCKET_MIN_EXP.
+        assert_eq!(bucket_index(1.0), Some((-BUCKET_MIN_EXP) as usize));
+        assert_eq!(bucket_index(1.5), bucket_index(1.0));
+        assert_eq!(
+            bucket_index(2.0),
+            Some((-BUCKET_MIN_EXP + 1) as usize),
+            "bucket boundary is inclusive on the left"
+        );
+        assert_eq!(bucket_index(0.5), Some((-BUCKET_MIN_EXP - 1) as usize));
+    }
+
+    #[test]
+    fn nan_infinity_and_negative_are_rejected() {
+        assert_eq!(bucket_index(f64::NAN), None);
+        assert_eq!(bucket_index(f64::INFINITY), None);
+        assert_eq!(bucket_index(f64::NEG_INFINITY), None);
+        assert_eq!(bucket_index(-1.0), None);
+
+        let h = Histogram::default();
+        assert!(!h.record(f64::NAN));
+        assert!(!h.record(-3.0));
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0.0);
+        assert_eq!(h.rejected(), 2);
+        assert!(h.snapshot().buckets.is_empty());
+    }
+
+    #[test]
+    fn histogram_snapshot_reports_sparse_buckets_and_mean() {
+        let h = Histogram::default();
+        assert!(h.record(1.0));
+        assert!(h.record(1.75));
+        assert!(h.record(8.0));
+        assert!(h.record(0.0)); // underflow bucket
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.rejected, 0);
+        assert!((s.sum - 10.75).abs() < 1e-12);
+        assert!((s.mean() - 2.6875).abs() < 1e-12);
+        assert_eq!(
+            s.buckets,
+            vec![(BUCKET_MIN_EXP, 1), (0, 2), (3, 1)],
+            "sparse (exponent, count) pairs in exponent order"
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_mean_is_zero() {
+        assert_eq!(Histogram::default().snapshot().mean(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::default();
+        let c = Counter::default();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let h = h.clone();
+                let c = c.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        h.record(1.0);
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 8000);
+        assert_eq!(c.get(), 8000);
+        assert_eq!(h.sum(), 8000.0);
+    }
+}

@@ -1,0 +1,276 @@
+//! The thread-safe metric registry and its JSON snapshot exporter.
+//!
+//! One process-global [`Registry`] hands out metric handles by name.
+//! Lookup takes a short mutex (name → handle map); the handles themselves
+//! are lock-free, and instrumented call sites cache them in `OnceLock`
+//! statics via the [`counter!`](crate::counter!)/[`gauge!`](crate::gauge!)/
+//! [`histogram!`](crate::histogram!) macros, so the registry lock is paid
+//! once per call site, not per observation.
+//!
+//! [`Snapshot`] is a point-in-time copy of everything registered, sorted
+//! by name (the backing maps are `BTreeMap`s), so its
+//! [`to_json`](Snapshot::to_json) output is byte-deterministic for a given
+//! metric state.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+use crate::json::{json_f64, json_string};
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+/// A named collection of metrics.
+///
+/// Most code uses the process-global registry through the free functions
+/// ([`counter`], [`gauge`], [`histogram`], [`snapshot`]); a local
+/// `Registry` is useful in tests that need isolation.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter registered under `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        lookup(&self.counters, name)
+    }
+
+    /// The gauge registered under `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        lookup(&self.gauges, name)
+    }
+
+    /// The histogram registered under `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        lookup(&self.histograms, name)
+    }
+
+    /// A point-in-time copy of every registered metric, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("metric registry poisoned")
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("metric registry poisoned")
+            .iter()
+            .map(|(name, g)| (name.clone(), g.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("metric registry poisoned")
+            .iter()
+            .map(|(name, h)| (name.clone(), h.snapshot()))
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+fn lookup<M: Clone + Default>(map: &Mutex<BTreeMap<String, M>>, name: &str) -> M {
+    let mut map = map.lock().expect("metric registry poisoned");
+    if let Some(existing) = map.get(name) {
+        return existing.clone();
+    }
+    let created = M::default();
+    map.insert(name.to_string(), created.clone());
+    created
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-global registry.
+pub fn registry() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// The global counter registered under `name`, created on first use.
+pub fn counter(name: &str) -> Counter {
+    registry().counter(name)
+}
+
+/// The global gauge registered under `name`, created on first use.
+pub fn gauge(name: &str) -> Gauge {
+    registry().gauge(name)
+}
+
+/// The global histogram registered under `name`, created on first use.
+pub fn histogram(name: &str) -> Histogram {
+    registry().histogram(name)
+}
+
+/// A point-in-time copy of the global registry.
+pub fn snapshot() -> Snapshot {
+    registry().snapshot()
+}
+
+/// A point-in-time copy of a registry's metrics, sorted by name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram states by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// The snapshotted value of a counter, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The snapshotted value of a gauge, if registered.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The snapshotted state of a histogram, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Whether nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Serializes the snapshot as a self-describing JSON object:
+    ///
+    /// ```json
+    /// {"counters":{"name":n,…},
+    ///  "gauges":{"name":v,…},
+    ///  "histograms":{"name":{"count":n,"rejected":n,"sum":s,"mean":m,
+    ///                        "buckets":[{"exp":e,"count":n},…]},…}}
+    /// ```
+    ///
+    /// Histogram buckets are sparse `(exponent, count)` pairs — the bucket
+    /// spans `[2^exp, 2^(exp+1))`. Strings are escaped by the same escaper
+    /// `vortex_core::report` uses for experiment tables.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(name));
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(name));
+            out.push(':');
+            out.push_str(&json_f64(*v));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(name));
+            out.push_str(&format!(
+                ":{{\"count\":{},\"rejected\":{},\"sum\":{},\"mean\":{},\"buckets\":[",
+                h.count,
+                h.rejected,
+                json_f64(h.sum),
+                json_f64(h.mean())
+            ));
+            for (j, (exp, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{{\"exp\":{exp},\"count\":{n}}}"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_returns_shared_storage() {
+        let r = Registry::new();
+        r.counter("a").add(2);
+        r.counter("a").incr();
+        assert_eq!(r.counter("a").get(), 3);
+        r.gauge("g").set(1.5);
+        assert_eq!(r.gauge("g").get(), 1.5);
+        r.histogram("h").record(0.25);
+        assert_eq!(r.histogram("h").count(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_queryable() {
+        let r = Registry::new();
+        r.counter("z.last").incr();
+        r.counter("a.first").add(7);
+        r.gauge("mid").set(2.0);
+        let s = r.snapshot();
+        assert_eq!(s.counters[0].0, "a.first");
+        assert_eq!(s.counters[1].0, "z.last");
+        assert_eq!(s.counter("a.first"), Some(7));
+        assert_eq!(s.counter("missing"), None);
+        assert_eq!(s.gauge("mid"), Some(2.0));
+        assert!(s.histogram("none").is_none());
+        assert!(!s.is_empty());
+        assert!(Registry::new().snapshot().is_empty());
+    }
+
+    #[test]
+    fn snapshot_json_is_well_formed_and_deterministic() {
+        let r = Registry::new();
+        r.counter("runs").add(3);
+        r.gauge("rate \"x\"").set(0.5);
+        r.histogram("lat").record(1.0);
+        r.histogram("lat").record(f64::NAN);
+        let json = r.snapshot().to_json();
+        assert_eq!(json, r.snapshot().to_json(), "snapshot JSON must be stable");
+        assert!(json.starts_with("{\"counters\":{"));
+        assert!(json.contains("\"runs\":3"));
+        assert!(json.contains("\"rate \\\"x\\\"\":0.5"));
+        assert!(json.contains("\"count\":1,\"rejected\":1,\"sum\":1.0,\"mean\":1.0"));
+        assert!(json.contains("\"buckets\":[{\"exp\":0,\"count\":1}]"));
+        assert!(json.ends_with("}}"));
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        counter("obs.registry.test").add(5);
+        assert_eq!(
+            snapshot().counter("obs.registry.test"),
+            Some(counter("obs.registry.test").get())
+        );
+        assert!(std::ptr::eq(registry(), registry()));
+    }
+}

@@ -1,0 +1,90 @@
+//! Scoped span timers.
+//!
+//! A [`SpanTimer`] measures the wall-clock lifetime of a scope and records
+//! it (in seconds) into a histogram when dropped — including on early
+//! returns and `?` propagation, so instrumented functions need exactly one
+//! line. Timing observes the code without participating in it: no RNG is
+//! touched, no control flow depends on the measurement, which is how the
+//! instrumented Monte-Carlo paths stay bit-exact (see `tests/determinism.rs`
+//! in the bench crate).
+
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+
+/// A guard that records its lifetime into a histogram on drop.
+#[derive(Debug)]
+pub struct SpanTimer {
+    histogram: Histogram,
+    start: Instant,
+}
+
+impl SpanTimer {
+    /// Starts timing into the given histogram (typically a cached handle —
+    /// the [`span!`](crate::span!) macro arranges that).
+    pub fn start(histogram: Histogram) -> Self {
+        Self {
+            histogram,
+            start: Instant::now(),
+        }
+    }
+
+    /// Starts timing into the global histogram registered under `name`.
+    ///
+    /// Convenience for one-off spans; hot paths should prefer
+    /// [`span!`](crate::span!), which caches the registry lookup.
+    pub fn named(name: &str) -> Self {
+        Self::start(crate::registry::histogram(name))
+    }
+
+    /// Seconds elapsed so far (the value `drop` will record).
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        self.histogram.record(self.elapsed_seconds());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_once_on_drop() {
+        let h = Histogram::default();
+        {
+            let _span = SpanTimer::start(h.clone());
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= 0.001, "slept ≥ 1ms, recorded {}", h.sum());
+    }
+
+    #[test]
+    fn span_records_on_early_return() {
+        let h = Histogram::default();
+        let f = |fail: bool| -> Result<(), ()> {
+            let _span = SpanTimer::start(h.clone());
+            if fail {
+                return Err(());
+            }
+            Ok(())
+        };
+        let _ = f(true);
+        let _ = f(false);
+        assert_eq!(h.count(), 2, "both paths must record");
+    }
+
+    #[test]
+    fn named_span_lands_in_the_global_registry() {
+        {
+            let _span = SpanTimer::named("obs.span.test_seconds");
+        }
+        let snap = crate::registry::snapshot();
+        assert!(snap.histogram("obs.span.test_seconds").unwrap().count >= 1);
+    }
+}

@@ -243,7 +243,7 @@ pub mod collection {
     use std::fmt::Debug;
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: an exact `usize` or a half-open
+    /// Length specification for [`vec()`]: an exact `usize` or a half-open
     /// `Range<usize>`.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {

@@ -138,6 +138,8 @@ impl CompiledModel {
         options: &ReadOptions,
         calibration: Option<&[f64]>,
     ) -> Result<Self> {
+        let _span = vortex_obs::span!("runtime.compile_seconds");
+        vortex_obs::counter!("runtime.compiles").incr();
         let (att_pos, att_neg) = match options.fidelity {
             Fidelity::Calibrated => {
                 let reference = match calibration {
@@ -419,6 +421,7 @@ impl CompiledModel {
     ///
     /// See [`Self::scores`].
     pub fn infer_batch(&self, samples: &[&[f64]], parallelism: Parallelism) -> Result<Vec<u8>> {
+        let batch_start = std::time::Instant::now();
         let chunks = samples.len().div_ceil(BATCH_CHUNK);
         // Inference is pure — the executor's seed streams are unused, so
         // any fixed parent generator preserves determinism.
@@ -437,6 +440,12 @@ impl CompiledModel {
         let mut predictions = Vec::with_capacity(samples.len());
         for chunk in per_chunk {
             predictions.extend(chunk?);
+        }
+        let elapsed = batch_start.elapsed().as_secs_f64();
+        vortex_obs::histogram!("runtime.batch_seconds").record(elapsed);
+        vortex_obs::counter!("runtime.samples").add(samples.len() as u64);
+        if !samples.is_empty() && elapsed > 0.0 {
+            vortex_obs::gauge!("runtime.samples_per_sec").set(samples.len() as f64 / elapsed);
         }
         Ok(predictions)
     }

@@ -242,6 +242,43 @@ fn full_vortex_pipeline_is_thread_invariant() {
 }
 
 // ---------------------------------------------------------------------------
+// Observability: metrics keep recording, results do not move.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn metrics_collection_does_not_perturb_results_across_env_thread_counts() {
+    // The obs layer watches the executor from the outside — atomics and
+    // wall-clock timers only — so flipping `VORTEX_MC_THREADS` between 1
+    // and 8 must leave Monte-Carlo output bit-identical while the
+    // instrumentation stays live. (As with `env_var_controls_auto_resolution`,
+    // mutating the variable is harmless to concurrent tests precisely
+    // because results never depend on the pool size.)
+    let f = |r: &mut Xoshiro256PlusPlus| r.next_f64();
+    let mut runs = Vec::new();
+    for threads in ["1", "8"] {
+        std::env::set_var(THREADS_ENV_VAR, threads);
+        runs.push(montecarlo::run_with(515, 64, Parallelism::Auto, f).values);
+    }
+    std::env::remove_var(THREADS_ENV_VAR);
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(
+        bits(&runs[0]),
+        bits(&runs[1]),
+        "instrumented runs diverged between 1 and 8 threads"
+    );
+
+    // And the metrics were actively recording during those runs, not
+    // compiled out or short-circuited.
+    let snap = vortex_obs::snapshot();
+    assert!(snap.counter("montecarlo.trials").unwrap_or(0) >= 128);
+    assert!(
+        snap.histogram("executor.run_seconds")
+            .map_or(0, |h| h.count)
+            >= 2
+    );
+}
+
+// ---------------------------------------------------------------------------
 // End to end: Fig. 2 at bench scale — identical statistics, faster clock.
 // ---------------------------------------------------------------------------
 
