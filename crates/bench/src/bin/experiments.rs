@@ -1,16 +1,17 @@
 //! Command-line driver regenerating every table and figure of the paper.
 //!
 //! ```text
-//! experiments [fig2|fig3|…|table1|ext|runtime|all] [--quick|--bench] [--json]
+//! experiments [fig2|fig3|…|table1|ext|runtime|serve|all] [--quick|--bench] [--json]
 //!             [--metrics <path>]
 //! ```
 //!
 //! Without a scale flag the paper-scale configuration runs (minutes);
 //! `--quick` shrinks the workloads to seconds, `--bench` further still.
 //! With `--json`, each experiment also writes its tables to
-//! `BENCH_<name>.json` in the working directory. The `runtime`
-//! experiment always writes `BENCH_runtime.json` (its throughput numbers
-//! are the point of running it). With `--metrics <path>`, the
+//! `BENCH_<name>.json` in the working directory. The `runtime` and
+//! `serve` experiments always write `BENCH_runtime.json` /
+//! `BENCH_serve.json` (their throughput numbers are the point of running
+//! them). With `--metrics <path>`, the
 //! `vortex_obs` registry snapshot — span timings, counters and gauges
 //! collected from every hot path the run touched — is written to `<path>`
 //! after all experiments finish, so each benchmark run carries its own
@@ -20,7 +21,7 @@ use std::time::Instant;
 
 use vortex_bench::experiments::common::tables_to_json;
 use vortex_bench::experiments::{
-    extensions, fig1, fig2, fig3, fig4, fig7, fig8, fig9, runtime, table1,
+    extensions, fig1, fig2, fig3, fig4, fig7, fig8, fig9, runtime, serve, table1,
 };
 use vortex_bench::Scale;
 
@@ -34,7 +35,7 @@ fn write_json(name: &str, payload: &str) {
 
 fn usage_exit() -> ! {
     eprintln!(
-        "usage: experiments [fig1|fig2|fig3|fig4|fig7|fig8|fig9|table1|ext|runtime|all] [--quick|--bench] [--json] [--metrics <path>]"
+        "usage: experiments [fig1|fig2|fig3|fig4|fig7|fig8|fig9|table1|ext|runtime|serve|all] [--quick|--bench] [--json] [--metrics <path>]"
     );
     std::process::exit(2);
 }
@@ -74,6 +75,7 @@ fn main() {
     let which: Vec<&str> = if which.is_empty() || which.contains(&"all") {
         vec![
             "fig1", "fig2", "fig3", "fig4", "fig7", "fig8", "fig9", "table1", "ext", "runtime",
+            "serve",
         ]
     } else {
         which
@@ -131,13 +133,19 @@ fn main() {
                 write_json("runtime", &r.to_json());
                 (r.render(), r.tables())
             }
+            "serve" => {
+                let r = serve::run(&scale);
+                write_json("serve", &r.to_json());
+                (r.render(), r.tables())
+            }
             other => {
                 eprintln!("unknown experiment `{other}`");
                 usage_exit();
             }
         };
-        // `runtime` already wrote its richer flat-field payload above.
-        if json && name != "runtime" {
+        // `runtime` and `serve` already wrote their richer flat-field
+        // payloads above.
+        if json && name != "runtime" && name != "serve" {
             write_json(name, &tables_to_json(&tables));
         }
         println!("{output}");

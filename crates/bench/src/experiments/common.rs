@@ -4,7 +4,6 @@ use vortex_core::report::Table;
 use vortex_core::vat::VatTrainer;
 use vortex_linalg::rng::Xoshiro256PlusPlus;
 use vortex_nn::dataset::{Dataset, DatasetConfig, SynthDigits};
-use vortex_nn::executor::Parallelism;
 use vortex_nn::gdt::GdtTrainer;
 use vortex_nn::split::stratified_split;
 
@@ -32,10 +31,6 @@ pub struct Scale {
     pub gamma_points: usize,
     /// Master seed.
     pub seed: u64,
-    /// Worker pool for Monte-Carlo fan-outs. Every setting produces
-    /// bit-identical results (see `vortex_nn::executor`); only wall-clock
-    /// time changes.
-    pub parallelism: Parallelism,
 }
 
 impl Scale {
@@ -50,7 +45,6 @@ impl Scale {
             epochs: 30,
             gamma_points: 11,
             seed: 2015,
-            parallelism: Parallelism::Auto,
         }
     }
 
@@ -65,7 +59,6 @@ impl Scale {
             epochs: 10,
             gamma_points: 5,
             seed: 2015,
-            parallelism: Parallelism::Auto,
         }
     }
 
@@ -80,15 +73,6 @@ impl Scale {
             epochs: 4,
             gamma_points: 3,
             seed: 2015,
-            parallelism: Parallelism::Auto,
-        }
-    }
-
-    /// The same scale with an explicit worker-pool setting.
-    pub fn with_parallelism(self, parallelism: Parallelism) -> Self {
-        Self {
-            parallelism,
-            ..self
         }
     }
 

@@ -8,7 +8,7 @@
 use vortex_core::column::ColumnExperiment;
 use vortex_core::report::{fixed, Table};
 use vortex_device::VariationModel;
-use vortex_nn::executor::run_trials;
+use vortex_nn::executor::{run_trials, Parallelism};
 
 use super::common::Scale;
 
@@ -53,12 +53,24 @@ impl Fig2Result {
     }
 }
 
-/// Runs the experiment.
+/// Runs the experiment on the default worker pool
+/// ([`Parallelism::Auto`]).
 ///
 /// # Panics
 ///
 /// Panics only on internal configuration errors (the defaults are valid).
 pub fn run(scale: &Scale) -> Fig2Result {
+    run_with(scale, Parallelism::Auto)
+}
+
+/// [`run`] with an explicit worker-pool setting. Every setting produces
+/// bit-identical statistics (the determinism harness asserts this); only
+/// wall-clock time changes.
+///
+/// # Panics
+///
+/// Panics only on internal configuration errors (the defaults are valid).
+pub fn run_with(scale: &Scale, parallelism: Parallelism) -> Fig2Result {
     let experiment = ColumnExperiment::default();
     let sigmas = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
     let mut rng = scale.rng(2);
@@ -68,20 +80,15 @@ pub fn run(scale: &Scale) -> Fig2Result {
         // Each Monte-Carlo run draws its OLD and CLD columns from its own
         // pre-split stream, so the sweep is bit-identical on any worker
         // count (see `vortex_nn::executor`).
-        let runs = run_trials(
-            &mut rng,
-            scale.column_runs,
-            scale.parallelism,
-            |_, run_rng| {
-                let old = experiment
-                    .old_discrepancy(&variation, run_rng)
-                    .expect("valid column experiment");
-                let cld = experiment
-                    .cld_discrepancy(&variation, run_rng)
-                    .expect("valid column experiment");
-                (old, cld)
-            },
-        );
+        let runs = run_trials(&mut rng, scale.column_runs, parallelism, |_, run_rng| {
+            let old = experiment
+                .old_discrepancy(&variation, run_rng)
+                .expect("valid column experiment");
+            let cld = experiment
+                .cld_discrepancy(&variation, run_rng)
+                .expect("valid column experiment");
+            (old, cld)
+        });
         let (old_acc, cld_acc) = runs
             .iter()
             .fold((0.0, 0.0), |(o, c), &(old, cld)| (o + old, c + cld));

@@ -11,7 +11,7 @@
 use vortex_core::report::{fixed, Table};
 use vortex_device::DeviceParams;
 use vortex_linalg::Matrix;
-use vortex_nn::executor::run_trials;
+use vortex_nn::executor::{run_trials, Parallelism};
 use vortex_xbar::circuit::NodalAnalysis;
 use vortex_xbar::irdrop::{decompose_beta_d, skewness, update_rate_profile, ProgramVoltageMap};
 
@@ -113,7 +113,7 @@ pub fn run_with_wire(scale: &Scale, r_wire: f64) -> Fig3Result {
     // over the worker pool; output order and values are identical to the
     // serial loop.
     let mut rng = scale.rng(3);
-    let points = run_trials(&mut rng, sizes.len(), scale.parallelism, |k, _| {
+    let points = run_trials(&mut rng, sizes.len(), Parallelism::Auto, |k, _| {
         let rows = sizes[k];
         let g = Matrix::filled(rows, cols, device.g_on()); // all LRS
         let map =

@@ -9,6 +9,7 @@
 use vortex_core::amp::greedy::RowMapping;
 use vortex_core::pipeline::{evaluate_hardware_with, HardwareEnv};
 use vortex_core::report::{fixed, pct, Table};
+use vortex_nn::executor::Parallelism;
 use vortex_nn::metrics::accuracy_of_weights;
 
 use super::common::Scale;
@@ -105,7 +106,7 @@ pub fn run_with_sigma(scale: &Scale, sigma: f64) -> Fig4Result {
             &test,
             scale.mc_draws,
             &mut rng,
-            scale.parallelism,
+            Parallelism::Auto,
         )
         .expect("hardware evaluation");
         points.push(Fig4Point {

@@ -9,6 +9,7 @@ use vortex_core::amp::sensitivity::mean_abs_inputs;
 use vortex_core::pipeline::{evaluate_hardware_with, HardwareEnv};
 use vortex_core::report::{fixed, pct, Table};
 use vortex_core::vortex::{amp_evaluate_with, AmpChipOptions};
+use vortex_nn::executor::Parallelism;
 use vortex_nn::metrics::accuracy_of_weights;
 
 use super::common::Scale;
@@ -112,7 +113,7 @@ pub fn run_with_sigma(scale: &Scale, sigma: f64) -> Fig7Result {
             &test,
             scale.mc_draws,
             &mut rng,
-            scale.parallelism,
+            Parallelism::Auto,
         )
         .expect("hardware evaluation");
         let after = amp_evaluate_with(
@@ -123,7 +124,7 @@ pub fn run_with_sigma(scale: &Scale, sigma: f64) -> Fig7Result {
             &test,
             scale.mc_draws,
             &mut rng,
-            scale.parallelism,
+            Parallelism::Auto,
         )
         .expect("AMP evaluation");
         points.push(Fig7Point {

@@ -11,6 +11,7 @@ use vortex_core::report::{pct, Table};
 use vortex_core::vortex::{amp_evaluate_with, AmpChipOptions};
 
 use super::common::Scale;
+use vortex_nn::executor::Parallelism;
 
 /// One (bits, σ) measurement.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -100,7 +101,7 @@ pub fn run(scale: &Scale) -> Fig8Result {
                 &test,
                 scale.mc_draws,
                 &mut rng,
-                scale.parallelism,
+                Parallelism::Auto,
             )
             .expect("AMP evaluation");
             points.push(Fig8Point {

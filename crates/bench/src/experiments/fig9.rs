@@ -14,6 +14,7 @@ use vortex_core::pipeline::{evaluate_hardware_with, HardwareEnv};
 use vortex_core::report::{pct, Table};
 use vortex_core::tuning::SelfTuner;
 use vortex_core::vortex::{amp_evaluate_with, AmpChipOptions};
+use vortex_nn::executor::Parallelism;
 use vortex_nn::metrics::accuracy_of_weights;
 
 use super::common::Scale;
@@ -97,7 +98,7 @@ pub fn run_with_sigma(scale: &Scale, sigma: f64) -> Fig9Result {
     let tuner = SelfTuner {
         gamma_grid: scale.gamma_grid(),
         mc_draws: scale.mc_draws.max(3),
-        parallelism: scale.parallelism,
+        parallelism: Parallelism::Auto,
         ..SelfTuner::default()
     };
     let tuned = tuner
@@ -136,7 +137,7 @@ pub fn run_with_sigma(scale: &Scale, sigma: f64) -> Fig9Result {
         &test,
         scale.mc_draws,
         &mut rng,
-        scale.parallelism,
+        Parallelism::Auto,
     )
     .expect("VAT-only evaluation")
     .mean_test_rate;
@@ -153,7 +154,7 @@ pub fn run_with_sigma(scale: &Scale, sigma: f64) -> Fig9Result {
             &test,
             scale.mc_draws,
             &mut rng,
-            scale.parallelism,
+            Parallelism::Auto,
         )
         .expect("Vortex evaluation")
         .mean_test_rate;
@@ -165,7 +166,7 @@ pub fn run_with_sigma(scale: &Scale, sigma: f64) -> Fig9Result {
             &test,
             scale.mc_draws,
             &mut rng,
-            scale.parallelism,
+            Parallelism::Auto,
         )
         .expect("AMP-only evaluation")
         .mean_test_rate;

@@ -11,4 +11,5 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod runtime;
+pub mod serve;
 pub mod table1;

@@ -10,7 +10,7 @@
 use std::time::Instant;
 
 use vortex_core::amp::greedy::RowMapping;
-use vortex_core::pipeline::{compile_model, HardwareEnv};
+use vortex_core::pipeline::HardwareEnv;
 use vortex_core::report::{fixed, json_string, Table};
 use vortex_nn::executor::Parallelism;
 use vortex_runtime::CompiledModel;
@@ -142,14 +142,11 @@ pub fn run(scale: &Scale) -> RuntimeResult {
         .expect("valid sigma")
         .with_ir_drop(5.0);
     let mut rng = scale.rng(42);
-    let model = compile_model(
-        &weights,
-        &RowMapping::identity(weights.rows()),
-        &env,
-        &test.mean_input(),
-        &mut rng,
-    )
-    .expect("model compiles");
+    let model = env
+        .compiler()
+        .with_calibration(&test.mean_input())
+        .compile(&weights, &RowMapping::identity(weights.rows()), &mut rng)
+        .expect("model compiles");
 
     let samples: Vec<&[f64]> = (0..test.len()).map(|i| test.image(i)).collect();
     let threads = 8;

@@ -17,6 +17,7 @@ use vortex_core::pipeline::HardwareEnv;
 use vortex_core::report::{pct, Table};
 use vortex_core::tuning::SelfTuner;
 use vortex_core::vortex::{VortexConfig, VortexPipeline};
+use vortex_nn::executor::Parallelism;
 use vortex_nn::metrics::Rates;
 
 use super::common::Scale;
@@ -146,12 +147,12 @@ pub fn run_with(scale: &Scale, r_wire: f64, sigma: f64) -> Table1Result {
             tuner: SelfTuner {
                 gamma_grid: scale.gamma_grid(),
                 mc_draws: scale.mc_draws.max(3),
-                parallelism: scale.parallelism,
+                parallelism: Parallelism::Auto,
                 ..SelfTuner::default()
             },
             redundant_rows: redundant,
             mc_draws: scale.mc_draws,
-            parallelism: scale.parallelism,
+            parallelism: Parallelism::Auto,
             ..VortexConfig::default()
         };
         let vortex_with_irdrop = VortexPipeline::new(vortex_cfg)

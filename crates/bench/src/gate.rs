@@ -1,8 +1,9 @@
 //! The CI benchmark regression gate behind the `check_bench` binary.
 //!
-//! CI's `bench-smoke` job runs `experiments runtime --quick --json`, then
-//! compares the fresh `BENCH_runtime.json` against the checked-in
-//! `bench/baseline.json`: any gated throughput key regressing more than
+//! CI's `bench-smoke` job runs `experiments serve runtime --quick
+//! --json`, then compares the fresh `BENCH_runtime.json` /
+//! `BENCH_serve.json` against the checked-in `bench/baseline.json` /
+//! `bench/baseline_serve.json`: any gated throughput key regressing more than
 //! the allowed fraction fails the build. The baseline is intentionally
 //! conservative (set well below a warm local run) so ordinary runner
 //! noise passes while a genuine hot-path regression — a serialized
@@ -13,7 +14,14 @@
 //! by key in a flat JSON object.
 
 /// The throughput keys the gate compares (higher is better, samples/sec).
-pub const GATED_KEYS: [&str; 2] = ["serial_samples_per_sec", "parallel_samples_per_sec"];
+/// Baselines opt keys in: `bench/baseline.json` gates the runtime
+/// experiment's serial/parallel pair, `bench/baseline_serve.json` gates
+/// the serve experiment's serial/pooled pair.
+pub const GATED_KEYS: [&str; 3] = [
+    "serial_samples_per_sec",
+    "parallel_samples_per_sec",
+    "pooled_samples_per_sec",
+];
 
 /// Extracts the numeric value of `"key":<number>` from a JSON document.
 ///

@@ -56,6 +56,39 @@ fn multiple_experiments_in_one_invocation() {
 }
 
 #[test]
+fn serve_writes_a_gateable_json_payload() {
+    let dir = std::env::temp_dir().join(format!("vortex-cli-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["serve", "--bench"])
+        .current_dir(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "experiments failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Serving throughput"));
+    assert!(stdout.contains("Degradation ladder"));
+    assert!(stdout.contains("wrote BENCH_serve.json"));
+
+    // The payload must carry the keys the CI gate compares, with sane
+    // values, so `check_bench BENCH_serve.json bench/baseline_serve.json`
+    // has something to gate.
+    let json = std::fs::read_to_string(dir.join("BENCH_serve.json")).expect("payload written");
+    for key in ["serial_samples_per_sec", "pooled_samples_per_sec"] {
+        let v = vortex_bench::gate::extract_number(&json, key)
+            .unwrap_or_else(|| panic!("{key} missing from payload"));
+        assert!(v > 0.0, "{key} must be positive, got {v}");
+    }
+    assert!(vortex_bench::gate::extract_number(&json, "recovered").is_none());
+    assert!(json.contains("\"recovered\":true"), "ladder must recover");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn metrics_flag_requires_a_path() {
     let (_, stderr, ok) = run(&["fig2", "--bench", "--metrics"]);
     assert!(!ok);

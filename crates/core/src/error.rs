@@ -1,0 +1,192 @@
+//! The workspace-level error facade.
+//!
+//! Seven crates each carry their own error enum — sensible inside the
+//! workspace, noisy at its boundary: every binary and example ends up
+//! threading a different error type (or `Box<dyn Error>`) per call site.
+//! [`Error`] is the one type an application needs: every workspace error
+//! converts into it via `From`, so `?` works uniformly across the whole
+//! pipeline, and [`std::io::Error`] converts too so binaries that read
+//! datasets or write artifacts need nothing else.
+//!
+//! ```
+//! use vortex_core::error::Error;
+//!
+//! fn main_like() -> Result<(), Error> {
+//!     let mapping = vortex_xbar::pair::WeightMapping::new(
+//!         &vortex_device::DeviceParams::default(),
+//!         1.0,
+//!     )?; // XbarError → Error
+//!     let _ = mapping;
+//!     Ok(())
+//! }
+//! ```
+//!
+//! All workspace error enums (this one included) are `#[non_exhaustive]`:
+//! downstream matches must carry a wildcard arm, which lets the workspace
+//! add failure modes without a major version bump.
+
+/// Convenience alias over the workspace-level [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Any error the Vortex workspace can produce, plus I/O.
+///
+/// One variant per workspace crate, mirroring the dependency layering;
+/// [`Error::Io`] covers the filesystem work that binaries and examples do
+/// around the library calls.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Training/evaluation pipeline error (`vortex-core`).
+    Core(crate::CoreError),
+    /// Device-model error (`vortex-device`).
+    Device(vortex_device::DeviceError),
+    /// Numerical-kernel error (`vortex-linalg`).
+    Linalg(vortex_linalg::LinalgError),
+    /// NN-substrate error (`vortex-nn`).
+    Nn(vortex_nn::NnError),
+    /// Crossbar-simulator error (`vortex-xbar`).
+    Xbar(vortex_xbar::XbarError),
+    /// Inference-runtime error (`vortex-runtime`).
+    Runtime(vortex_runtime::RuntimeError),
+    /// Model-artifact encode/decode error (`vortex-runtime`).
+    Artifact(vortex_runtime::ArtifactError),
+    /// Filesystem/stream error, flattened to keep [`Error`] `Clone`.
+    Io {
+        /// The [`std::io::ErrorKind`] of the underlying error.
+        kind: std::io::ErrorKind,
+        /// The rendered error message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Core(e) => write!(f, "core: {e}"),
+            Error::Device(e) => write!(f, "device: {e}"),
+            Error::Linalg(e) => write!(f, "linalg: {e}"),
+            Error::Nn(e) => write!(f, "nn: {e}"),
+            Error::Xbar(e) => write!(f, "xbar: {e}"),
+            Error::Runtime(e) => write!(f, "runtime: {e}"),
+            Error::Artifact(e) => write!(f, "artifact: {e}"),
+            Error::Io { kind, message } => write!(f, "io ({kind:?}): {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Core(e) => Some(e),
+            Error::Device(e) => Some(e),
+            Error::Linalg(e) => Some(e),
+            Error::Nn(e) => Some(e),
+            Error::Xbar(e) => Some(e),
+            Error::Runtime(e) => Some(e),
+            Error::Artifact(e) => Some(e),
+            Error::Io { .. } => None,
+        }
+    }
+}
+
+impl From<crate::CoreError> for Error {
+    fn from(e: crate::CoreError) -> Self {
+        Error::Core(e)
+    }
+}
+
+impl From<vortex_device::DeviceError> for Error {
+    fn from(e: vortex_device::DeviceError) -> Self {
+        Error::Device(e)
+    }
+}
+
+impl From<vortex_linalg::LinalgError> for Error {
+    fn from(e: vortex_linalg::LinalgError) -> Self {
+        Error::Linalg(e)
+    }
+}
+
+impl From<vortex_nn::NnError> for Error {
+    fn from(e: vortex_nn::NnError) -> Self {
+        Error::Nn(e)
+    }
+}
+
+impl From<vortex_xbar::XbarError> for Error {
+    fn from(e: vortex_xbar::XbarError) -> Self {
+        Error::Xbar(e)
+    }
+}
+
+impl From<vortex_runtime::RuntimeError> for Error {
+    fn from(e: vortex_runtime::RuntimeError) -> Self {
+        Error::Runtime(e)
+    }
+}
+
+impl From<vortex_runtime::ArtifactError> for Error {
+    fn from(e: vortex_runtime::ArtifactError) -> Self {
+        Error::Artifact(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io {
+            kind: e.kind(),
+            message: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_workspace_error_converts() {
+        let cases: Vec<Error> = vec![
+            crate::CoreError::InvalidParameter {
+                name: "x",
+                requirement: "y",
+            }
+            .into(),
+            vortex_linalg::LinalgError::Singular { pivot: 0 }.into(),
+            vortex_nn::NnError::InvalidParameter {
+                name: "x",
+                requirement: "y",
+            }
+            .into(),
+            vortex_runtime::RuntimeError::InvalidParameter {
+                name: "x",
+                requirement: "y",
+            }
+            .into(),
+            std::io::Error::new(std::io::ErrorKind::NotFound, "missing").into(),
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn io_errors_flatten_and_stay_clone() {
+        let e: Error = std::io::Error::new(std::io::ErrorKind::NotFound, "missing file").into();
+        let copy = e.clone();
+        assert_eq!(e, copy);
+        match e {
+            Error::Io { kind, ref message } => {
+                assert_eq!(kind, std::io::ErrorKind::NotFound);
+                assert!(message.contains("missing file"));
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

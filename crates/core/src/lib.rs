@@ -47,8 +47,10 @@ pub mod amp;
 pub mod cld;
 pub mod column;
 pub mod config;
+pub mod error;
 pub mod old;
 pub mod pipeline;
+pub mod prelude;
 pub mod report;
 pub mod retention;
 pub mod rho;
@@ -62,6 +64,7 @@ pub use vat::VatTrainer;
 
 /// Errors produced by the Vortex core.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum CoreError {
     /// A parameter was outside its valid domain.
     InvalidParameter {

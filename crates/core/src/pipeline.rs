@@ -8,8 +8,8 @@
 //! fabrication draws.
 //!
 //! Since the runtime split, the read path lives in `vortex_runtime`: each
-//! draw is compiled **once** into an immutable
-//! [`CompiledModel`] ([`compile_model`]) — fabricate, program and
+//! draw is compiled **once** into an immutable [`CompiledModel`] by a
+//! [`ModelCompiler`] ([`HardwareEnv::compiler`]) — fabricate, program and
 //! calibrate happen there — and scoring is a pure batched inference over
 //! the test set. The compiled read is bit-exact with the live
 //! [`DifferentialPair::read`], so evaluation numbers are unchanged.
@@ -254,11 +254,11 @@ pub fn evaluate_hardware_with(
     let _span = vortex_obs::span!("pipeline.evaluate_seconds");
     vortex_obs::counter!("pipeline.evaluations").incr();
     vortex_obs::counter!("pipeline.draws").add(mc_draws as u64);
-    let calibration = test.mean_input();
+    let compiler = env.compiler().with_calibration(&test.mean_input());
     let draws = run_trials(rng, mc_draws, parallelism, |_, draw_rng| {
         // Compile once per fabrication draw, then batch-infer the test
         // set through the frozen read path.
-        let model = compile_model(weights, mapping, env, &calibration, draw_rng)?;
+        let model = compiler.compile(weights, mapping, draw_rng)?;
         score_model(&model, test)
     });
     let per_draw = draws.into_iter().collect::<Result<Vec<f64>>>()?;
@@ -269,101 +269,212 @@ pub fn evaluate_hardware_with(
     })
 }
 
+/// The compile path from trained weights to a servable [`CompiledModel`],
+/// as a builder: fabricate → program → freeze, on one [`HardwareEnv`].
+///
+/// Obtained from [`HardwareEnv::compiler`]. The builder owns its
+/// substrate (a `Copy` of the env) and the optional IR-drop calibration
+/// input, so the three pipeline stages — [`program`](Self::program),
+/// [`freeze`](Self::freeze), [`compile`](Self::compile) — need only the
+/// per-model arguments.
+///
+/// ```no_run
+/// # use vortex_core::pipeline::HardwareEnv;
+/// # use vortex_core::amp::greedy::RowMapping;
+/// # use vortex_linalg::{Matrix, Xoshiro256PlusPlus};
+/// # fn demo(weights: &Matrix, mapping: &RowMapping, calibration: &[f64],
+/// #         rng: &mut Xoshiro256PlusPlus) -> vortex_core::Result<()> {
+/// let env = HardwareEnv::ideal().with_ir_drop(4.0);
+/// let model = env
+///     .compiler()
+///     .with_calibration(calibration)
+///     .compile(weights, mapping, rng)?;
+/// # let _ = model; Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelCompiler {
+    env: HardwareEnv,
+    calibration: Option<Vec<f64>>,
+}
+
+impl HardwareEnv {
+    /// A [`ModelCompiler`] over this substrate.
+    pub fn compiler(&self) -> ModelCompiler {
+        ModelCompiler::new(*self)
+    }
+}
+
+impl ModelCompiler {
+    /// A compiler over `env`, with no calibration input yet.
+    pub fn new(env: HardwareEnv) -> Self {
+        Self {
+            env,
+            calibration: None,
+        }
+    }
+
+    /// Sets the logical-space reference input used for IR-drop
+    /// calibration (conventionally the mean test input). Ignored at
+    /// fidelities that do not calibrate.
+    pub fn with_calibration(mut self, calibration: &[f64]) -> Self {
+        self.calibration = Some(calibration.to_vec());
+        self
+    }
+
+    /// The substrate this compiler programs onto.
+    pub fn env(&self) -> &HardwareEnv {
+        &self.env
+    }
+
+    /// Fabricates a pair and open-loop programs `weights` through
+    /// `mapping` (the physical array has `mapping.physical_rows()` rows).
+    ///
+    /// # Errors
+    ///
+    /// Propagates fabrication and programming errors.
+    pub fn program(
+        &self,
+        weights: &Matrix,
+        mapping: &RowMapping,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> Result<DifferentialPair> {
+        let env = &self.env;
+        let cols = weights.cols();
+        let physical_rows = mapping.physical_rows();
+        let config = env.crossbar_config(physical_rows, cols);
+        let wm = WeightMapping::new(&env.device, env.w_max).map_err(CoreError::Xbar)?;
+        let mut pair = DifferentialPair::fabricate(config, wm, rng).map_err(CoreError::Xbar)?;
+
+        let physical_weights = mapping.apply_to_rows(weights, 0.0);
+        let (targets_pos, targets_neg) = pair.mapping().weights_to_targets(&physical_weights);
+
+        let (actual_pos, actual_neg, estimate_pos, estimate_neg) =
+            if env.program_irdrop && env.r_wire > 0.0 {
+                let v = env.device.v_program();
+                let ap = ProgramVoltageMap::analytic(&targets_pos, env.r_wire, v)
+                    .map_err(CoreError::Xbar)?;
+                let an = ProgramVoltageMap::analytic(&targets_neg, env.r_wire, v)
+                    .map_err(CoreError::Xbar)?;
+                let (ep, en) = if env.compensate_program_irdrop {
+                    (Some(ap.clone()), Some(an.clone()))
+                } else {
+                    (None, None)
+                };
+                (Some(ap), Some(an), ep, en)
+            } else {
+                (None, None, None, None)
+            };
+
+        let opts_pos = ProgramOptions {
+            compensation: estimate_pos,
+            half_select_disturb: false,
+        };
+        let opts_neg = ProgramOptions {
+            compensation: estimate_neg,
+            half_select_disturb: false,
+        };
+        program_with_protocol(
+            pair.pos_mut(),
+            &targets_pos,
+            actual_pos.as_ref(),
+            &opts_pos,
+            rng,
+        )
+        .map_err(CoreError::Xbar)?;
+        program_with_protocol(
+            pair.neg_mut(),
+            &targets_neg,
+            actual_neg.as_ref(),
+            &opts_neg,
+            rng,
+        )
+        .map_err(CoreError::Xbar)?;
+        Ok(pair)
+    }
+
+    /// Freezes a programmed pair into an immutable [`CompiledModel`]
+    /// under the substrate's read path, using the calibration input set
+    /// via [`with_calibration`](Self::with_calibration) (if any).
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration and configuration errors.
+    pub fn freeze(&self, pair: &DifferentialPair, mapping: &RowMapping) -> Result<CompiledModel> {
+        let options = self.env.read_options(pair.rows())?;
+        CompiledModel::compile(
+            &pair.freeze(),
+            mapping.assignment(),
+            &options,
+            self.calibration.as_deref(),
+        )
+        .map_err(CoreError::Runtime)
+    }
+
+    /// Fabricates, programs and freezes in one step: the full compile
+    /// path from trained weights to a servable [`CompiledModel`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates fabrication, programming and calibration errors.
+    pub fn compile(
+        &self,
+        weights: &Matrix,
+        mapping: &RowMapping,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> Result<CompiledModel> {
+        let _span = vortex_obs::span!("pipeline.compile_seconds");
+        let pair = self.program(weights, mapping, rng)?;
+        self.freeze(&pair, mapping)
+    }
+}
+
 /// Fabricates a pair on `env` and open-loop programs `weights` through
-/// `mapping` (the physical array has `mapping.physical_rows()` rows).
+/// `mapping`.
 ///
 /// # Errors
 ///
 /// Propagates fabrication and programming errors.
+#[deprecated(since = "0.1.0", note = "use `env.compiler().program(...)` instead")]
 pub fn program_pair(
     weights: &Matrix,
     mapping: &RowMapping,
     env: &HardwareEnv,
     rng: &mut Xoshiro256PlusPlus,
 ) -> Result<DifferentialPair> {
-    let cols = weights.cols();
-    let physical_rows = mapping.physical_rows();
-    let config = env.crossbar_config(physical_rows, cols);
-    let wm = WeightMapping::new(&env.device, env.w_max).map_err(CoreError::Xbar)?;
-    let mut pair = DifferentialPair::fabricate(config, wm, rng).map_err(CoreError::Xbar)?;
-
-    let physical_weights = mapping.apply_to_rows(weights, 0.0);
-    let (targets_pos, targets_neg) = pair.mapping().weights_to_targets(&physical_weights);
-
-    let (actual_pos, actual_neg, estimate_pos, estimate_neg) =
-        if env.program_irdrop && env.r_wire > 0.0 {
-            let v = env.device.v_program();
-            let ap = ProgramVoltageMap::analytic(&targets_pos, env.r_wire, v)
-                .map_err(CoreError::Xbar)?;
-            let an = ProgramVoltageMap::analytic(&targets_neg, env.r_wire, v)
-                .map_err(CoreError::Xbar)?;
-            let (ep, en) = if env.compensate_program_irdrop {
-                (Some(ap.clone()), Some(an.clone()))
-            } else {
-                (None, None)
-            };
-            (Some(ap), Some(an), ep, en)
-        } else {
-            (None, None, None, None)
-        };
-
-    let opts_pos = ProgramOptions {
-        compensation: estimate_pos,
-        half_select_disturb: false,
-    };
-    let opts_neg = ProgramOptions {
-        compensation: estimate_neg,
-        half_select_disturb: false,
-    };
-    program_with_protocol(
-        pair.pos_mut(),
-        &targets_pos,
-        actual_pos.as_ref(),
-        &opts_pos,
-        rng,
-    )
-    .map_err(CoreError::Xbar)?;
-    program_with_protocol(
-        pair.neg_mut(),
-        &targets_neg,
-        actual_neg.as_ref(),
-        &opts_neg,
-        rng,
-    )
-    .map_err(CoreError::Xbar)?;
-    Ok(pair)
+    env.compiler().program(weights, mapping, rng)
 }
 
 /// Freezes a programmed pair into an immutable [`CompiledModel`] under
-/// the environment's read path. `calibration` is the logical-space
-/// reference input used for IR-drop calibration (conventionally the mean
-/// test input); it is ignored at other fidelities.
+/// the environment's read path.
 ///
 /// # Errors
 ///
 /// Propagates calibration and configuration errors.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `env.compiler().with_calibration(...).freeze(...)` instead"
+)]
 pub fn freeze_pair(
     pair: &DifferentialPair,
     mapping: &RowMapping,
     env: &HardwareEnv,
     calibration: &[f64],
 ) -> Result<CompiledModel> {
-    let options = env.read_options(pair.rows())?;
-    CompiledModel::compile(
-        &pair.freeze(),
-        mapping.assignment(),
-        &options,
-        Some(calibration),
-    )
-    .map_err(CoreError::Runtime)
+    env.compiler()
+        .with_calibration(calibration)
+        .freeze(pair, mapping)
 }
 
-/// Fabricates, programs and freezes in one step: the full compile path
-/// from trained weights to a servable [`CompiledModel`].
+/// Fabricates, programs and freezes in one step.
 ///
 /// # Errors
 ///
 /// Propagates fabrication, programming and calibration errors.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `env.compiler().with_calibration(...).compile(...)` instead"
+)]
 pub fn compile_model(
     weights: &Matrix,
     mapping: &RowMapping,
@@ -371,9 +482,9 @@ pub fn compile_model(
     calibration: &[f64],
     rng: &mut Xoshiro256PlusPlus,
 ) -> Result<CompiledModel> {
-    let _span = vortex_obs::span!("pipeline.compile_seconds");
-    let pair = program_pair(weights, mapping, env, rng)?;
-    freeze_pair(&pair, mapping, env, calibration)
+    env.compiler()
+        .with_calibration(calibration)
+        .compile(weights, mapping, rng)
 }
 
 /// Scores a compiled model on `test` (serial batched inference).
@@ -405,7 +516,10 @@ pub fn score_pair(
     env: &HardwareEnv,
     test: &Dataset,
 ) -> Result<f64> {
-    let model = freeze_pair(pair, mapping, env, &test.mean_input())?;
+    let model = env
+        .compiler()
+        .with_calibration(&test.mean_input())
+        .freeze(pair, mapping)?;
     score_model(&model, test)
 }
 
@@ -542,6 +656,40 @@ mod tests {
             eval.mean_test_rate > 0.5,
             "test rate {}",
             eval.mean_test_rate
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_builder() {
+        let (data, w) = small_setup();
+        let mapping = RowMapping::identity(w.rows());
+        let env = HardwareEnv::with_sigma(0.4).unwrap().with_ir_drop(4.0);
+        let calibration = data.mean_input();
+
+        let via_shim = compile_model(&w, &mapping, &env, &calibration, &mut rng()).unwrap();
+        let via_builder = env
+            .compiler()
+            .with_calibration(&calibration)
+            .compile(&w, &mapping, &mut rng())
+            .unwrap();
+        // Same seed, same substrate: the two paths must produce the same
+        // frozen read, sample for sample.
+        for k in 0..data.len() {
+            let x = data.image(k);
+            assert_eq!(
+                via_shim.scores(x).unwrap(),
+                via_builder.scores(x).unwrap(),
+                "sample {k} diverged between shim and builder"
+            );
+        }
+
+        // The staged shims compose to the one-shot path too.
+        let pair = program_pair(&w, &mapping, &env, &mut rng()).unwrap();
+        let staged = freeze_pair(&pair, &mapping, &env, &calibration).unwrap();
+        assert_eq!(
+            staged.scores(data.image(0)).unwrap(),
+            via_shim.scores(data.image(0)).unwrap()
         );
     }
 

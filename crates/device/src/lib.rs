@@ -47,6 +47,7 @@ pub use variation::VariationModel;
 
 /// Errors produced by the device models.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum DeviceError {
     /// A parameter was outside its valid domain.
     InvalidParameter {

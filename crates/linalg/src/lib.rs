@@ -52,6 +52,7 @@ pub use sparse::CsrMatrix;
 
 /// Error type for numerical routines in this crate.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum LinalgError {
     /// Matrix/vector dimensions do not agree for the requested operation.
     DimensionMismatch {

@@ -52,6 +52,7 @@ pub use dataset::{Dataset, DatasetConfig, SynthDigits};
 
 /// Errors produced by the NN substrate.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum NnError {
     /// A parameter was outside its valid domain.
     InvalidParameter {

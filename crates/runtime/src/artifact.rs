@@ -59,6 +59,7 @@ const FLAG_DAC: u8 = 1 << 1;
 /// Errors of the artifact codec. Every failure mode is distinguishable,
 /// so callers can tell a stale format from a corrupt file.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ArtifactError {
     /// The underlying file operation failed.
     Io {

@@ -33,8 +33,16 @@ pub mod model;
 pub use artifact::ArtifactError;
 pub use model::{CompiledModel, Fidelity, ReadOptions};
 
+/// Canonical imports for the serving side:
+/// `use vortex_runtime::prelude::*;`.
+pub mod prelude {
+    pub use crate::{ArtifactError, CompiledModel, Fidelity, ReadOptions, RuntimeError};
+    pub use vortex_nn::executor::Parallelism;
+}
+
 /// Errors produced by the inference runtime.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum RuntimeError {
     /// A parameter was outside its valid domain.
     InvalidParameter {

@@ -1,0 +1,114 @@
+//! # vortex-serve — batched inference serving for compiled crossbar models
+//!
+//! The layer between callers and a frozen [`CompiledModel`]: a
+//! multi-threaded [`Scheduler`] that owns the model replicas, admits
+//! requests through a bounded queue with explicit backpressure, coalesces
+//! them into micro-batches, enforces per-request deadlines, and — under
+//! sustained overload — degrades new admissions from `Exact` to
+//! `Calibrated` read fidelity via a watermark [`Hysteresis`] ladder,
+//! recovering automatically when the queue drains.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use vortex_serve::prelude::*;
+//!
+//! # fn model() -> Arc<CompiledModel> { unimplemented!() }
+//! let exact: Arc<CompiledModel> = model();
+//! let calibrated: Arc<CompiledModel> = model();
+//! let config = SchedulerConfig::new(Parallelism::Fixed(4))
+//!     .with_queue_capacity(256)
+//!     .with_watermarks(128, 32);
+//! let scheduler = Scheduler::new(exact, Some(calibrated), config)?;
+//! match scheduler.try_submit(vec![0.0; 49], None) {
+//!     Ok(ticket) => println!("class = {}", ticket.wait()?.class),
+//!     Err(ServeError::QueueFull { .. }) => { /* shed load */ }
+//!     Err(e) => return Err(e),
+//! }
+//! # Ok::<(), vortex_serve::ServeError>(())
+//! ```
+//!
+//! The crate is zero-dependency beyond the workspace: queueing is
+//! `Mutex<VecDeque>` + `Condvar`, responses ride `std::sync::mpsc`, and
+//! every admit/reject/downgrade/batch is recorded through `vortex-obs`.
+
+pub mod degradation;
+pub mod scheduler;
+
+pub use degradation::{Hysteresis, Transition};
+pub use scheduler::{Prediction, Scheduler, SchedulerConfig, Ticket};
+
+// Re-export what callers need to configure and interpret the scheduler.
+pub use vortex_nn::executor::Parallelism;
+pub use vortex_runtime::{CompiledModel, Fidelity, RuntimeError};
+
+/// Canonical imports for serving: `use vortex_serve::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        CompiledModel, Fidelity, Parallelism, Prediction, Scheduler, SchedulerConfig, ServeError,
+        Ticket,
+    };
+}
+
+/// Convenient result alias for serving operations.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// Errors produced by the serving layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The bounded admission queue is at capacity — backpressure. Retry
+    /// later or shed the request; the scheduler never blocks a producer.
+    QueueFull {
+        /// Configured queue capacity that was hit.
+        capacity: usize,
+    },
+    /// The request's deadline passed at `stage` (`"submit"` before
+    /// admission, `"queue"` while waiting for dispatch).
+    Timeout {
+        /// Where the deadline was detected.
+        stage: &'static str,
+    },
+    /// The scheduler is shutting down (or was torn down before
+    /// answering).
+    ShuttingDown,
+    /// The underlying compiled-model read failed.
+    Inference(RuntimeError),
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The violated requirement.
+        requirement: &'static str,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::QueueFull { capacity } => {
+                write!(f, "admission queue full (capacity {capacity})")
+            }
+            Self::Timeout { stage } => write!(f, "deadline exceeded at {stage}"),
+            Self::ShuttingDown => write!(f, "scheduler is shutting down"),
+            Self::Inference(e) => write!(f, "inference failed: {e}"),
+            Self::InvalidParameter { name, requirement } => {
+                write!(f, "invalid parameter `{name}`: {requirement}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Inference(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RuntimeError> for ServeError {
+    fn from(e: RuntimeError) -> Self {
+        Self::Inference(e)
+    }
+}

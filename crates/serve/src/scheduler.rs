@@ -1,0 +1,556 @@
+//! The batched inference scheduler: bounded admission, micro-batching
+//! worker pool, deadlines, and the degradation ladder.
+//!
+//! One [`Scheduler`] owns a pool of worker threads, each holding an
+//! [`Arc`] onto the same frozen [`CompiledModel`] replica pair (primary
+//! and optional degraded fallback — frozen state is shared, never
+//! copied). Callers submit single-sample requests through
+//! [`Scheduler::try_submit`], which either admits the request into a
+//! bounded queue and returns a [`Ticket`], or rejects it *immediately*
+//! with a typed error — [`ServeError::QueueFull`] is the backpressure
+//! signal; the scheduler never blocks a producer.
+//!
+//! Workers coalesce admitted requests into micro-batches: a worker that
+//! finds the queue non-empty drains up to [`SchedulerConfig::max_batch`]
+//! requests, then lingers up to [`SchedulerConfig::max_wait`] for the
+//! batch to fill before dispatching the whole batch through one
+//! [`CompiledModel::infer_batch`] call. Batching amortizes the
+//! per-dispatch costs (queue transaction, scratch buffers, metrics) that
+//! dominate a request-at-a-time server; it never changes predictions —
+//! the compiled read is a pure per-sample function, so the response for a
+//! given input is bit-identical whatever batch it rides in and whatever
+//! the pool size (`Parallelism::Fixed(1)` against `Fixed(4)` is asserted
+//! in the crate tests).
+//!
+//! # Scheduling is deterministic where it matters
+//!
+//! Admission decisions (reject-full, deadline, downgrade) depend only on
+//! queue depth at submit time, and the queue depth sequence is
+//! deterministic whenever producers are serialized — the integration
+//! tests and the bench harness use [`Scheduler::pause`] to build an exact
+//! backlog before releasing the workers, which makes every admission
+//! decision, every downgrade, and every prediction assertable.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use vortex_nn::executor::Parallelism;
+use vortex_runtime::{CompiledModel, Fidelity};
+
+use crate::degradation::{Hysteresis, Transition};
+use crate::{Result, ServeError};
+
+/// How the scheduler answers one admitted request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Prediction {
+    /// Predicted class (argmax of the read scores).
+    pub class: u8,
+    /// Fidelity of the model that actually served the request.
+    pub fidelity: Fidelity,
+    /// Whether the degradation ladder rerouted this request to the
+    /// fallback model.
+    pub downgraded: bool,
+    /// Size of the micro-batch this request was dispatched in.
+    pub batch_size: usize,
+}
+
+/// Configuration of a [`Scheduler`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulerConfig {
+    /// Worker pool size, as the workspace-wide [`Parallelism`] type.
+    /// `Fixed(1)` is the deterministic test mode: one worker dispatches
+    /// batches strictly in admission order.
+    pub pool: Parallelism,
+    /// Admission queue capacity; a full queue rejects with
+    /// [`ServeError::QueueFull`]. Zero rejects every submission.
+    pub queue_capacity: usize,
+    /// Largest micro-batch a worker dispatches (≥ 1).
+    pub max_batch: usize,
+    /// How long a worker lingers for a partial batch to fill before
+    /// dispatching it. [`Duration::ZERO`] dispatches whatever is queued.
+    pub max_wait: Duration,
+    /// Queue depth at which new admissions degrade to the fallback model.
+    /// `usize::MAX` (the default) disables the ladder.
+    pub high_water: usize,
+    /// Queue depth at which degraded admission recovers.
+    pub low_water: usize,
+    /// Start with the workers paused (see [`Scheduler::pause`]); used by
+    /// tests and benchmarks to build an exact backlog.
+    pub start_paused: bool,
+}
+
+impl SchedulerConfig {
+    /// A production-shaped configuration for the given pool.
+    pub fn new(pool: Parallelism) -> Self {
+        Self {
+            pool,
+            queue_capacity: 1024,
+            max_batch: 64,
+            max_wait: Duration::from_micros(200),
+            high_water: usize::MAX,
+            low_water: 0,
+            start_paused: false,
+        }
+    }
+
+    /// The deterministic test mode: one worker, no linger, ladder off —
+    /// batches dispatch strictly in admission order.
+    pub fn deterministic() -> Self {
+        Self {
+            max_wait: Duration::ZERO,
+            ..Self::new(Parallelism::Fixed(1))
+        }
+    }
+
+    /// This configuration with the given queue capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// This configuration with the given batching policy.
+    pub fn with_batching(mut self, max_batch: usize, max_wait: Duration) -> Self {
+        self.max_batch = max_batch;
+        self.max_wait = max_wait;
+        self
+    }
+
+    /// This configuration with the degradation ladder enabled at the
+    /// given watermarks (engage at `high_water`, recover at `low_water`).
+    pub fn with_watermarks(mut self, high_water: usize, low_water: usize) -> Self {
+        self.high_water = high_water;
+        self.low_water = low_water;
+        self
+    }
+
+    /// This configuration starting paused.
+    pub fn paused(mut self) -> Self {
+        self.start_paused = true;
+        self
+    }
+}
+
+/// One queued request.
+struct Request {
+    input: Vec<f64>,
+    deadline: Option<Instant>,
+    downgraded: bool,
+    submitted: Instant,
+    tx: mpsc::Sender<Result<Prediction>>,
+}
+
+/// A handle onto one admitted request's eventual response.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<Prediction>>,
+}
+
+impl Ticket {
+    /// Blocks until the scheduler answers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the request's typed rejection ([`ServeError::Timeout`],
+    /// [`ServeError::Inference`]); returns [`ServeError::ShuttingDown`]
+    /// when the scheduler was torn down before answering.
+    pub fn wait(self) -> Result<Prediction> {
+        self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+
+    /// [`Self::wait`] with an upper bound; `None` means not answered yet
+    /// (the ticket stays valid).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Prediction>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServeError::ShuttingDown)),
+        }
+    }
+}
+
+/// Everything the queue lock guards.
+struct QueueState {
+    queue: std::collections::VecDeque<Request>,
+    ladder: Hysteresis,
+    closed: bool,
+    paused: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    available: Condvar,
+    capacity: usize,
+    max_batch: usize,
+    max_wait: Duration,
+    primary: Arc<CompiledModel>,
+    fallback: Option<Arc<CompiledModel>>,
+    depth: AtomicUsize,
+}
+
+impl Shared {
+    /// Publishes the queue depth (gauge + lock-free mirror) and feeds the
+    /// ladder. Must be called with the state lock held, after any
+    /// push/drain. Returns the transition for counter attribution.
+    fn note_depth(&self, state: &mut QueueState) -> Transition {
+        let depth = state.queue.len();
+        self.depth.store(depth, Ordering::Relaxed);
+        vortex_obs::gauge!("serve.queue_depth").set(depth as f64);
+        let transition = state.ladder.observe(depth);
+        match transition {
+            Transition::Entered => vortex_obs::counter!("serve.degradation_entered").incr(),
+            Transition::Exited => vortex_obs::counter!("serve.degradation_exited").incr(),
+            Transition::None => {}
+        }
+        transition
+    }
+}
+
+/// The batched inference scheduler. See the module docs.
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    pool_size: usize,
+}
+
+impl Scheduler {
+    /// Builds a scheduler over `primary`, with `fallback` as the degraded
+    /// tier of the ladder, and spawns the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidParameter`] for a zero `max_batch`,
+    /// an inverted watermark band, a ladder without a fallback model, or
+    /// a fallback whose shape disagrees with the primary.
+    pub fn new(
+        primary: Arc<CompiledModel>,
+        fallback: Option<Arc<CompiledModel>>,
+        config: SchedulerConfig,
+    ) -> Result<Self> {
+        if config.max_batch == 0 {
+            return Err(ServeError::InvalidParameter {
+                name: "max_batch",
+                requirement: "must be at least 1",
+            });
+        }
+        let ladder = if config.high_water == usize::MAX {
+            Hysteresis::disabled()
+        } else {
+            let ladder = Hysteresis::new(config.high_water, config.low_water).ok_or(
+                ServeError::InvalidParameter {
+                    name: "high_water",
+                    requirement: "watermarks need 1 <= low_water <= high_water",
+                },
+            )?;
+            if fallback.is_none() {
+                return Err(ServeError::InvalidParameter {
+                    name: "fallback",
+                    requirement: "the degradation ladder needs a fallback model",
+                });
+            }
+            ladder
+        };
+        if let Some(fb) = &fallback {
+            if fb.logical_rows() != primary.logical_rows() || fb.classes() != primary.classes() {
+                return Err(ServeError::InvalidParameter {
+                    name: "fallback",
+                    requirement: "fallback model must share the primary's logical shape",
+                });
+            }
+        }
+        let pool_size = config.pool.resolve();
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                queue: std::collections::VecDeque::with_capacity(config.queue_capacity.min(4096)),
+                ladder,
+                closed: false,
+                paused: config.start_paused,
+            }),
+            available: Condvar::new(),
+            capacity: config.queue_capacity,
+            max_batch: config.max_batch,
+            max_wait: config.max_wait,
+            primary,
+            fallback,
+            depth: AtomicUsize::new(0),
+        });
+        vortex_obs::gauge!("serve.pool_workers").set(pool_size as f64);
+        let workers = (0..pool_size)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("vortex-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("worker thread spawns")
+            })
+            .collect();
+        Ok(Self {
+            shared,
+            workers: Mutex::new(workers),
+            pool_size,
+        })
+    }
+
+    /// Submits one logical input for classification, with an optional
+    /// absolute deadline. Never blocks: the request is either admitted
+    /// (the returned [`Ticket`] resolves to its response) or rejected
+    /// with a typed error right here.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::QueueFull`] when the bounded queue is at capacity
+    /// (backpressure — retry later or shed the request),
+    /// [`ServeError::Timeout`] when `deadline` has already passed,
+    /// [`ServeError::ShuttingDown`] after shutdown, and
+    /// [`ServeError::InvalidParameter`] for a wrong input length.
+    pub fn try_submit(&self, input: Vec<f64>, deadline: Option<Instant>) -> Result<Ticket> {
+        if input.len() != self.shared.primary.logical_rows() {
+            return Err(ServeError::InvalidParameter {
+                name: "input",
+                requirement: "length must match the model's logical row count",
+            });
+        }
+        let now = Instant::now();
+        if deadline.is_some_and(|d| d <= now) {
+            vortex_obs::counter!("serve.rejected_timeout").incr();
+            return Err(ServeError::Timeout { stage: "submit" });
+        }
+        let mut state = self.shared.state.lock().expect("queue lock");
+        if state.closed {
+            return Err(ServeError::ShuttingDown);
+        }
+        if state.queue.len() >= self.shared.capacity {
+            vortex_obs::counter!("serve.rejected_full").incr();
+            return Err(ServeError::QueueFull {
+                capacity: self.shared.capacity,
+            });
+        }
+        let (tx, rx) = mpsc::channel();
+        let downgraded = {
+            // Admit at the depth this request creates, so the ladder sees
+            // the queue as the request leaves it.
+            state.queue.push_back(Request {
+                input,
+                deadline,
+                downgraded: false,
+                submitted: now,
+                tx,
+            });
+            let _ = self.shared.note_depth(&mut state);
+            state.ladder.is_degraded() && self.shared.fallback.is_some()
+        };
+        if downgraded {
+            state
+                .queue
+                .back_mut()
+                .expect("request was just pushed")
+                .downgraded = true;
+            vortex_obs::counter!("serve.downgraded").incr();
+        }
+        vortex_obs::counter!("serve.admitted").incr();
+        drop(state);
+        self.shared.available.notify_one();
+        Ok(Ticket { rx })
+    }
+
+    /// Submits and blocks for the response — the one-call convenience
+    /// wrapper over [`Self::try_submit`] + [`Ticket::wait`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::try_submit`] and [`Ticket::wait`].
+    pub fn submit_wait(&self, input: Vec<f64>) -> Result<Prediction> {
+        self.try_submit(input, None)?.wait()
+    }
+
+    /// Current queue depth (admitted, not yet dispatched).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.depth.load(Ordering::Relaxed)
+    }
+
+    /// Whether the degradation ladder is currently engaged.
+    pub fn is_degraded(&self) -> bool {
+        self.shared
+            .state
+            .lock()
+            .expect("queue lock")
+            .ladder
+            .is_degraded()
+    }
+
+    /// Worker pool size.
+    pub fn pool_size(&self) -> usize {
+        self.pool_size
+    }
+
+    /// Stops workers from dispatching; admissions continue. Paired with
+    /// [`Self::resume`], this builds an exact, assertable backlog.
+    pub fn pause(&self) {
+        self.shared.state.lock().expect("queue lock").paused = true;
+        self.shared.available.notify_all();
+    }
+
+    /// Releases paused workers.
+    pub fn resume(&self) {
+        self.shared.state.lock().expect("queue lock").paused = false;
+        self.shared.available.notify_all();
+    }
+
+    /// Closes admission, lets the workers drain the queue, and joins the
+    /// pool. Requests still queued when the pool was paused are answered
+    /// with [`ServeError::ShuttingDown`]. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        {
+            let mut state = self.shared.state.lock().expect("queue lock");
+            state.closed = true;
+        }
+        self.shared.available.notify_all();
+        let handles = std::mem::take(&mut *self.workers.lock().expect("worker handles"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+        // A paused pool exits without draining; answer the leftovers.
+        let mut state = self.shared.state.lock().expect("queue lock");
+        while let Some(request) = state.queue.pop_front() {
+            let _ = request.tx.send(Err(ServeError::ShuttingDown));
+        }
+        let _ = self.shared.note_depth(&mut state);
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("pool_size", &self.pool_size)
+            .field("capacity", &self.shared.capacity)
+            .field("max_batch", &self.shared.max_batch)
+            .field("queue_depth", &self.queue_depth())
+            .finish()
+    }
+}
+
+/// Collects the next micro-batch: blocks for the first request, drains
+/// greedily, then lingers up to `max_wait` for the batch to fill.
+/// Returns `None` when the scheduler has shut down and the queue is
+/// drained (or the pool is paused at shutdown).
+fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
+    let mut state: MutexGuard<'_, QueueState> = shared.state.lock().expect("queue lock");
+    loop {
+        if state.closed && (state.paused || state.queue.is_empty()) {
+            return None;
+        }
+        if !state.paused && !state.queue.is_empty() {
+            break;
+        }
+        state = shared.available.wait(state).expect("queue lock");
+    }
+    let mut batch = Vec::with_capacity(shared.max_batch.min(state.queue.len()));
+    drain_into(&mut state, &mut batch, shared.max_batch);
+    if batch.len() < shared.max_batch && shared.max_wait > Duration::ZERO {
+        let linger_until = Instant::now() + shared.max_wait;
+        while batch.len() < shared.max_batch && !state.closed {
+            let now = Instant::now();
+            if now >= linger_until {
+                break;
+            }
+            let (next, _) = shared
+                .available
+                .wait_timeout(state, linger_until - now)
+                .expect("queue lock");
+            state = next;
+            if !state.paused {
+                drain_into(&mut state, &mut batch, shared.max_batch);
+            }
+        }
+    }
+    let _ = shared.note_depth(&mut state);
+    drop(state);
+    shared.available.notify_one();
+    Some(batch)
+}
+
+fn drain_into(state: &mut QueueState, batch: &mut Vec<Request>, max_batch: usize) {
+    while batch.len() < max_batch {
+        match state.queue.pop_front() {
+            Some(request) => batch.push(request),
+            None => break,
+        }
+    }
+}
+
+/// Dispatches one micro-batch: expire, partition by tier, batch-infer,
+/// respond.
+fn dispatch(shared: &Shared, batch: Vec<Request>) {
+    let now = Instant::now();
+    let mut live: Vec<Request> = Vec::with_capacity(batch.len());
+    for request in batch {
+        if request.deadline.is_some_and(|d| d <= now) {
+            vortex_obs::counter!("serve.rejected_timeout").incr();
+            let _ = request.tx.send(Err(ServeError::Timeout { stage: "queue" }));
+        } else {
+            live.push(request);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    vortex_obs::histogram!("serve.batch_size").record(live.len() as f64);
+    let batch_size = live.len();
+    let (fallback_tier, primary_tier): (Vec<Request>, Vec<Request>) =
+        live.into_iter().partition(|r| r.downgraded);
+    infer_tier(&shared.primary, primary_tier, batch_size);
+    if let Some(fallback) = &shared.fallback {
+        infer_tier(fallback, fallback_tier, batch_size);
+    }
+}
+
+/// Runs one fidelity tier of a micro-batch through its model and answers
+/// every request in it.
+fn infer_tier(model: &CompiledModel, tier: Vec<Request>, batch_size: usize) {
+    if tier.is_empty() {
+        return;
+    }
+    let samples: Vec<&[f64]> = tier.iter().map(|r| r.input.as_slice()).collect();
+    let infer_start = Instant::now();
+    // Workers are the parallelism; the intra-batch read stays serial.
+    let outcome = model.infer_batch(&samples, Parallelism::Serial);
+    vortex_obs::histogram!("serve.infer_seconds").record(infer_start.elapsed().as_secs_f64());
+    match outcome {
+        Ok(classes) => {
+            let answered = Instant::now();
+            vortex_obs::counter!("serve.completed").add(tier.len() as u64);
+            for (request, class) in tier.into_iter().zip(classes) {
+                vortex_obs::histogram!("serve.latency_seconds")
+                    .record((answered - request.submitted).as_secs_f64());
+                let _ = request.tx.send(Ok(Prediction {
+                    class,
+                    fidelity: model.fidelity(),
+                    downgraded: request.downgraded,
+                    batch_size,
+                }));
+            }
+        }
+        Err(e) => {
+            for request in tier {
+                vortex_obs::counter!("serve.errors").incr();
+                let _ = request.tx.send(Err(ServeError::Inference(e.clone())));
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(batch) = next_batch(shared) {
+        if !batch.is_empty() {
+            dispatch(shared, batch);
+        }
+    }
+}

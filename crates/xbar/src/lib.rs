@@ -56,6 +56,7 @@ pub use sensing::Adc;
 
 /// Errors produced by the crossbar simulator.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum XbarError {
     /// A parameter was outside its valid domain.
     InvalidParameter {

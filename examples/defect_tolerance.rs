@@ -16,7 +16,7 @@ use vortex_nn::dataset::{DatasetConfig, SynthDigits};
 use vortex_nn::gdt::GdtTrainer;
 use vortex_nn::split::stratified_split;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), vortex_core::error::Error> {
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(13);
     let data = SynthDigits::generate(
         &DatasetConfig {

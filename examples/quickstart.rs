@@ -13,7 +13,7 @@ use vortex_linalg::rng::Xoshiro256PlusPlus;
 use vortex_nn::dataset::{DatasetConfig, SynthDigits};
 use vortex_nn::split::stratified_split;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), vortex_core::error::Error> {
     // 1. A 14×14 synthetic digit benchmark: 600 training / 300 test
     //    samples (use `DatasetConfig::paper()` for the full 28×28 setup).
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(42);

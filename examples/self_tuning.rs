@@ -13,7 +13,7 @@ use vortex_linalg::rng::Xoshiro256PlusPlus;
 use vortex_nn::dataset::{DatasetConfig, SynthDigits};
 use vortex_nn::split::stratified_split;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), vortex_core::error::Error> {
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
     let data = SynthDigits::generate(
         &DatasetConfig {

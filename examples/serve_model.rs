@@ -8,7 +8,8 @@
 //! ```
 
 use vortex_core::amp::greedy::RowMapping;
-use vortex_core::pipeline::{compile_model, HardwareEnv};
+use vortex_core::error::Error;
+use vortex_core::pipeline::HardwareEnv;
 use vortex_linalg::rng::Xoshiro256PlusPlus;
 use vortex_nn::dataset::{DatasetConfig, SynthDigits};
 use vortex_nn::executor::Parallelism;
@@ -16,7 +17,7 @@ use vortex_nn::gdt::GdtTrainer;
 use vortex_nn::split::stratified_split;
 use vortex_runtime::CompiledModel;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Error> {
     // 1. Train a conventional classifier on the 14×14 digit benchmark.
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(11);
     let data_cfg = DatasetConfig {
@@ -36,13 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    weights, calibrate the IR-drop read path, and freeze the result.
     let mut env = HardwareEnv::with_sigma(0.4)?.with_ir_drop(5.0);
     env.compensate_program_irdrop = true;
-    let model = compile_model(
-        &weights,
-        &RowMapping::identity(weights.rows()),
-        &env,
-        &split.test.mean_input(),
-        &mut rng,
-    )?;
+    let model = env
+        .compiler()
+        .with_calibration(&split.test.mean_input())
+        .compile(&weights, &RowMapping::identity(weights.rows()), &mut rng)?;
     println!(
         "compiled: {}x{} crossbar pair, {:?} read path",
         model.rows(),

@@ -17,7 +17,7 @@ use vortex_nn::gdt::GdtTrainer;
 use vortex_nn::split::stratified_split;
 use vortex_xbar::cost::SchemeCostModel;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), vortex_core::error::Error> {
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(77);
     let data = SynthDigits::generate(
         &DatasetConfig {

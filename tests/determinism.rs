@@ -289,9 +289,8 @@ fn fig2_statistics_are_identical_on_any_pool_and_parallel_is_not_slower() {
         ..Scale::bench()
     };
     let timed = |parallelism| {
-        let s = scale.with_parallelism(parallelism);
         let start = Instant::now();
-        let result = fig2::run(&s);
+        let result = fig2::run_with(&scale, parallelism);
         (result, start.elapsed())
     };
 
