@@ -1,6 +1,7 @@
 //! One module per paper artifact. See the crate-level table.
 
 pub mod ablation;
+pub mod chaos;
 pub mod common;
 pub mod extensions;
 pub mod fig1;

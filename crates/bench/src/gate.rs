@@ -1,13 +1,19 @@
 //! The CI benchmark regression gate behind the `check_bench` binary.
 //!
-//! CI's `bench-smoke` job runs `experiments serve runtime --quick
+//! CI's `bench-smoke` job runs `experiments serve runtime chaos --quick
 //! --json`, then compares the fresh `BENCH_runtime.json` /
-//! `BENCH_serve.json` against the checked-in `bench/baseline.json` /
-//! `bench/baseline_serve.json`: any gated throughput key regressing more than
-//! the allowed fraction fails the build. The baseline is intentionally
-//! conservative (set well below a warm local run) so ordinary runner
-//! noise passes while a genuine hot-path regression — a serialized
-//! executor, an accidentally-quadratic read — still trips the gate.
+//! `BENCH_serve.json` / `BENCH_chaos.json` against the checked-in
+//! `bench/baseline*.json` files: any gated throughput key regressing
+//! more than the allowed fraction fails the build. The baseline is
+//! intentionally conservative (set well below a warm local run) so
+//! ordinary runner noise passes while a genuine hot-path regression — a
+//! serialized executor, an accidentally-quadratic read — still trips the
+//! gate.
+//!
+//! Throughput is not the only thing gated: [`EXACT_KEYS`] pin
+//! reliability invariants (the chaos run's `lost_requests` must equal
+//! the baseline's 0 exactly) and [`CEILING_KEYS`] cap error budgets
+//! (the recovered-accuracy delta must stay under the baseline ceiling).
 //!
 //! The workspace has no JSON parser dependency, so [`extract_number`]
 //! performs the one extraction this gate needs: finding a numeric field
@@ -22,6 +28,29 @@ pub const GATED_KEYS: [&str; 3] = [
     "parallel_samples_per_sec",
     "pooled_samples_per_sec",
 ];
+
+/// Keys that must match the baseline **exactly** — invariants, not
+/// throughput. `bench/baseline_chaos.json` pins `lost_requests` at 0:
+/// any chaos run that loses an accepted request fails CI outright,
+/// whatever the noise budget.
+pub const EXACT_KEYS: [&str; 1] = ["lost_requests"];
+
+/// Keys where the baseline is a **ceiling** — current must not exceed
+/// it (lower is better). `bench/baseline_chaos.json` caps
+/// `recovered_accuracy_delta_pp` at 0.5: the hot-swapped model must land
+/// within half a percentage point of a fresh compile.
+pub const CEILING_KEYS: [&str; 1] = ["recovered_accuracy_delta_pp"];
+
+/// How a gated key is judged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateKind {
+    /// Higher is better; fails beyond the `max_regression` fraction.
+    Throughput,
+    /// Must equal the baseline exactly.
+    Exact,
+    /// Must not exceed the baseline.
+    Ceiling,
+}
 
 /// Extracts the numeric value of `"key":<number>` from a JSON document.
 ///
@@ -42,13 +71,16 @@ pub fn extract_number(json: &str, key: &str) -> Option<f64> {
 pub struct GateCheck {
     /// The JSON key compared.
     pub key: String,
-    /// Baseline value (samples/sec).
+    /// How the key is judged.
+    pub kind: GateKind,
+    /// Baseline value (floor, pinned value, or ceiling by kind).
     pub baseline: f64,
-    /// Current value (samples/sec).
+    /// Current value.
     pub current: f64,
-    /// Fractional regression versus baseline (negative = improvement).
+    /// Throughput: fractional regression versus baseline (negative =
+    /// improvement). Exact/ceiling: `current - baseline`.
     pub regression: f64,
-    /// Whether the check passed the threshold.
+    /// Whether the check passed.
     pub pass: bool,
 }
 
@@ -71,15 +103,26 @@ impl GateReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         for c in &self.checks {
-            out.push_str(&format!(
-                "{}: baseline {:.1}, current {:.1}, regression {:+.1}% (limit {:.0}%) — {}\n",
-                c.key,
-                c.baseline,
-                c.current,
-                100.0 * c.regression,
-                100.0 * self.max_regression,
-                if c.pass { "ok" } else { "FAIL" }
-            ));
+            let verdict = if c.pass { "ok" } else { "FAIL" };
+            match c.kind {
+                GateKind::Throughput => out.push_str(&format!(
+                    "{}: baseline {:.1}, current {:.1}, regression {:+.1}% (limit {:.0}%) — {}\n",
+                    c.key,
+                    c.baseline,
+                    c.current,
+                    100.0 * c.regression,
+                    100.0 * self.max_regression,
+                    verdict
+                )),
+                GateKind::Exact => out.push_str(&format!(
+                    "{}: pinned {}, current {} (must match exactly) — {}\n",
+                    c.key, c.baseline, c.current, verdict
+                )),
+                GateKind::Ceiling => out.push_str(&format!(
+                    "{}: ceiling {}, current {} (must not exceed) — {}\n",
+                    c.key, c.baseline, c.current, verdict
+                )),
+            }
         }
         out
     }
@@ -117,14 +160,38 @@ pub fn check(
         let regression = 1.0 - current / baseline;
         checks.push(GateCheck {
             key: key.to_string(),
+            kind: GateKind::Throughput,
             baseline,
             current,
             regression,
             pass: regression <= max_regression,
         });
     }
+    for (keys, kind) in [
+        (EXACT_KEYS.as_slice(), GateKind::Exact),
+        (CEILING_KEYS.as_slice(), GateKind::Ceiling),
+    ] {
+        for &key in keys {
+            let Some(baseline) = extract_number(baseline_json, key) else {
+                continue;
+            };
+            let current = extract_number(current_json, key)
+                .ok_or_else(|| format!("current payload is missing gated key `{key}`"))?;
+            checks.push(GateCheck {
+                key: key.to_string(),
+                kind,
+                baseline,
+                current,
+                regression: current - baseline,
+                pass: match kind {
+                    GateKind::Exact => current == baseline,
+                    _ => current <= baseline,
+                },
+            });
+        }
+    }
     if checks.is_empty() {
-        return Err("baseline contains no gated throughput keys".to_string());
+        return Err("baseline contains no gated keys".to_string());
     }
     Ok(GateReport {
         checks,
@@ -180,6 +247,47 @@ mod tests {
         );
         assert!(check(baseline, baseline, 1.5).is_err(), "bad threshold");
         assert!(check(baseline, baseline, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn exact_keys_pin_invariants() {
+        let baseline = r#"{"lost_requests":0}"#;
+        let report = check(r#"{"lost_requests":0}"#, baseline, 0.30).unwrap();
+        assert!(report.pass());
+        assert_eq!(report.checks[0].kind, GateKind::Exact);
+
+        // Any loss fails, even one well inside a throughput-style margin.
+        let report = check(r#"{"lost_requests":1}"#, baseline, 0.30).unwrap();
+        assert!(!report.pass());
+        assert!(report.render().contains("must match exactly"));
+        assert!(report.render().contains("FAIL"));
+
+        assert!(
+            check("{}", baseline, 0.30).is_err(),
+            "missing current exact key"
+        );
+    }
+
+    #[test]
+    fn ceiling_keys_cap_error_budgets() {
+        let baseline = r#"{"recovered_accuracy_delta_pp":0.5}"#;
+        let at = check(r#"{"recovered_accuracy_delta_pp":0.5}"#, baseline, 0.30).unwrap();
+        assert!(at.pass(), "exactly at the ceiling passes");
+        let under = check(r#"{"recovered_accuracy_delta_pp":0.0}"#, baseline, 0.30).unwrap();
+        assert!(under.pass());
+        assert_eq!(under.checks[0].kind, GateKind::Ceiling);
+        let over = check(r#"{"recovered_accuracy_delta_pp":0.6}"#, baseline, 0.30).unwrap();
+        assert!(!over.pass());
+        assert!(over.render().contains("must not exceed"));
+    }
+
+    #[test]
+    fn kinds_compose_in_one_baseline() {
+        let baseline = r#"{"serial_samples_per_sec":1000.0,"lost_requests":0,"recovered_accuracy_delta_pp":0.5}"#;
+        let current = r#"{"serial_samples_per_sec":900.0,"lost_requests":0,"recovered_accuracy_delta_pp":0.1}"#;
+        let report = check(current, baseline, 0.30).unwrap();
+        assert_eq!(report.checks.len(), 3);
+        assert!(report.pass());
     }
 
     #[test]

@@ -89,6 +89,45 @@ fn serve_writes_a_gateable_json_payload() {
 }
 
 #[test]
+fn chaos_writes_a_payload_the_reliability_gate_accepts() {
+    let dir = std::env::temp_dir().join(format!("vortex-cli-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["chaos", "--bench"])
+        .current_dir(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "experiments failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Self-healing chaos"));
+    assert!(stdout.contains("wrote BENCH_chaos.json"));
+
+    // The payload must pass the checked-in reliability baseline the CI
+    // chaos-smoke step gates with: zero lost requests (exact) and a
+    // recovered-accuracy delta under the 0.5 pp ceiling.
+    let json = std::fs::read_to_string(dir.join("BENCH_chaos.json")).expect("payload written");
+    let baseline = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench/baseline_chaos.json"),
+    )
+    .expect("baseline readable");
+    let report = vortex_bench::gate::check(&json, &baseline, 0.30).expect("gateable payload");
+    assert!(
+        report.pass(),
+        "chaos payload failed its own gate:\n{}",
+        report.render()
+    );
+    assert_eq!(
+        vortex_bench::gate::extract_number(&json, "lost_requests"),
+        Some(0.0)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn metrics_flag_requires_a_path() {
     let (_, stderr, ok) = run(&["fig2", "--bench", "--metrics"]);
     assert!(!ok);

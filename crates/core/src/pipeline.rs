@@ -429,64 +429,6 @@ impl ModelCompiler {
     }
 }
 
-/// Fabricates a pair on `env` and open-loop programs `weights` through
-/// `mapping`.
-///
-/// # Errors
-///
-/// Propagates fabrication and programming errors.
-#[deprecated(since = "0.1.0", note = "use `env.compiler().program(...)` instead")]
-pub fn program_pair(
-    weights: &Matrix,
-    mapping: &RowMapping,
-    env: &HardwareEnv,
-    rng: &mut Xoshiro256PlusPlus,
-) -> Result<DifferentialPair> {
-    env.compiler().program(weights, mapping, rng)
-}
-
-/// Freezes a programmed pair into an immutable [`CompiledModel`] under
-/// the environment's read path.
-///
-/// # Errors
-///
-/// Propagates calibration and configuration errors.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `env.compiler().with_calibration(...).freeze(...)` instead"
-)]
-pub fn freeze_pair(
-    pair: &DifferentialPair,
-    mapping: &RowMapping,
-    env: &HardwareEnv,
-    calibration: &[f64],
-) -> Result<CompiledModel> {
-    env.compiler()
-        .with_calibration(calibration)
-        .freeze(pair, mapping)
-}
-
-/// Fabricates, programs and freezes in one step.
-///
-/// # Errors
-///
-/// Propagates fabrication, programming and calibration errors.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `env.compiler().with_calibration(...).compile(...)` instead"
-)]
-pub fn compile_model(
-    weights: &Matrix,
-    mapping: &RowMapping,
-    env: &HardwareEnv,
-    calibration: &[f64],
-    rng: &mut Xoshiro256PlusPlus,
-) -> Result<CompiledModel> {
-    env.compiler()
-        .with_calibration(calibration)
-        .compile(weights, mapping, rng)
-}
-
 /// Scores a compiled model on `test` (serial batched inference).
 fn score_model(model: &CompiledModel, test: &Dataset) -> Result<f64> {
     let _span = vortex_obs::span!("pipeline.score_seconds");
@@ -660,37 +602,31 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_builder() {
+    fn staged_compile_matches_the_one_shot_builder() {
         let (data, w) = small_setup();
         let mapping = RowMapping::identity(w.rows());
         let env = HardwareEnv::with_sigma(0.4).unwrap().with_ir_drop(4.0);
         let calibration = data.mean_input();
 
-        let via_shim = compile_model(&w, &mapping, &env, &calibration, &mut rng()).unwrap();
-        let via_builder = env
+        let one_shot = env
             .compiler()
             .with_calibration(&calibration)
             .compile(&w, &mapping, &mut rng())
             .unwrap();
-        // Same seed, same substrate: the two paths must produce the same
-        // frozen read, sample for sample.
+        // program → freeze staged through the same builder must produce
+        // the same frozen read, sample for sample: same seed, same
+        // substrate, same calibration fold.
+        let compiler = env.compiler().with_calibration(&calibration);
+        let pair = compiler.program(&w, &mapping, &mut rng()).unwrap();
+        let staged = compiler.freeze(&pair, &mapping).unwrap();
         for k in 0..data.len() {
             let x = data.image(k);
             assert_eq!(
-                via_shim.scores(x).unwrap(),
-                via_builder.scores(x).unwrap(),
-                "sample {k} diverged between shim and builder"
+                staged.scores(x).unwrap(),
+                one_shot.scores(x).unwrap(),
+                "sample {k} diverged between staged and one-shot compiles"
             );
         }
-
-        // The staged shims compose to the one-shot path too.
-        let pair = program_pair(&w, &mapping, &env, &mut rng()).unwrap();
-        let staged = freeze_pair(&pair, &mapping, &env, &calibration).unwrap();
-        assert_eq!(
-            staged.scores(data.image(0)).unwrap(),
-            via_shim.scores(data.image(0)).unwrap()
-        );
     }
 
     #[test]

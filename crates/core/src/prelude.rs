@@ -13,10 +13,6 @@ pub use crate::pipeline::{
     evaluate_hardware, evaluate_hardware_with, HardwareEnv, HardwareEvaluation, ModelCompiler,
     ReadFidelity,
 };
-// The deprecated free-function shims stay importable through the prelude
-// for one release so existing call sites keep compiling.
-#[allow(deprecated)]
-pub use crate::pipeline::{compile_model, freeze_pair, program_pair};
 pub use crate::vortex::{VortexConfig, VortexPipeline};
 pub use crate::CoreError;
 pub use vortex_nn::executor::Parallelism;

@@ -96,6 +96,31 @@ impl RetentionModel {
             self.decay_factor(self.sample_nu(rng), t_s)
         })
     }
+
+    /// Samples one drift exponent per device, row-major (the sampling
+    /// order is part of the determinism contract: the same generator
+    /// state always yields the same matrix, bit for bit).
+    ///
+    /// [`Self::sample_decay_matrix`] resamples ν on every call, so two
+    /// calls at different times describe two different populations.
+    /// Sampling ν once and evaluating [`Self::decay_matrix`] at several
+    /// times instead describes *one* population aging — decay is then
+    /// monotone in time per device, which is what lifetime simulations
+    /// (drift-aged serving, canary probing) need.
+    pub fn sample_nu_matrix(
+        &self,
+        rows: usize,
+        cols: usize,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> Matrix {
+        Matrix::from_fn(rows, cols, |_, _| self.sample_nu(rng))
+    }
+
+    /// The per-device decay-factor matrix of a fixed exponent population
+    /// `nu` after `t_s` seconds: elementwise `(1 + t/τ)^{−ν}`.
+    pub fn decay_matrix(&self, nu: &Matrix, t_s: f64) -> Matrix {
+        nu.map(|v| self.decay_factor(v, t_s))
+    }
 }
 
 #[cfg(test)]
@@ -144,6 +169,24 @@ mod tests {
             stats::std_dev(late.as_slice()) > stats::std_dev(early.as_slice()),
             "drift dispersion must grow with time"
         );
+    }
+
+    #[test]
+    fn fixed_nu_population_ages_monotonically() {
+        let m = model();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+        let nu = m.sample_nu_matrix(8, 8, &mut rng);
+        let early = m.decay_matrix(&nu, 1e3);
+        let late = m.decay_matrix(&nu, 1e6);
+        for (e, l) in early.as_slice().iter().zip(late.as_slice()) {
+            assert!(l <= e, "decay must be monotone per device: {l} > {e}");
+        }
+        // Same generator state ⇒ bit-identical population.
+        let mut rng2 = Xoshiro256PlusPlus::seed_from_u64(7);
+        let nu2 = m.sample_nu_matrix(8, 8, &mut rng2);
+        for (a, b) in nu.as_slice().iter().zip(nu2.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -117,6 +117,33 @@ proptest! {
     }
 
     #[test]
+    fn retention_nu_spread_is_bit_reproducible_per_seed(seed in 0u64..1u64 << 48,
+                                                        sigma in 0.0..0.2f64) {
+        let m = vortex_device::drift::RetentionModel::new(0.05, sigma, 1.0).unwrap();
+        let a = m.sample_nu_matrix(6, 5, &mut Xoshiro256PlusPlus::seed_from_u64(seed));
+        let b = m.sample_nu_matrix(6, 5, &mut Xoshiro256PlusPlus::seed_from_u64(seed));
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+            // Negative draws clamp: some devices simply do not drift.
+            prop_assert!(*x >= 0.0);
+        }
+    }
+
+    #[test]
+    fn retention_decay_matrix_of_fixed_population_is_monotone(seed in 0u64..1u64 << 48,
+                                                              t1 in 0.0..1e8f64,
+                                                              dt in 0.0..1e8f64) {
+        let m = vortex_device::drift::RetentionModel::new(0.05, 0.02, 1.0).unwrap();
+        let nu = m.sample_nu_matrix(4, 4, &mut Xoshiro256PlusPlus::seed_from_u64(seed));
+        let early = m.decay_matrix(&nu, t1);
+        let late = m.decay_matrix(&nu, t1 + dt);
+        for (e, l) in early.as_slice().iter().zip(late.as_slice()) {
+            prop_assert!(*l <= e + 1e-15, "decay grew with time: {} -> {}", e, l);
+            prop_assert!(*e > 0.0 && *e <= 1.0);
+        }
+    }
+
+    #[test]
     fn correlated_total_sigma_is_root_sum_square(a in 0.0..1.0f64, b in 0.0..1.0f64,
                                                  c in 0.0..1.0f64) {
         let m = vortex_device::variation::CorrelatedVariationModel::new(a, b, c).unwrap();

@@ -5,30 +5,34 @@
 //!
 //! ```text
 //! offset 0   magic            8 bytes   b"VXRTMODL"
-//!            version          u32       currently 1
+//!            version          u32       currently 2
 //!            section count    u32
 //!            sections         repeated  tag [u8;4] · payload len u64 · payload
 //! trailer    checksum         u32       CRC-32 (IEEE) of every preceding byte
 //! ```
 //!
-//! Version-1 sections, in write order:
+//! Sections, in write order:
 //!
-//! | tag    | payload                                                        |
-//! |--------|----------------------------------------------------------------|
-//! | `META` | fidelity u8 · flags u8 · r_wire f64 · scale f64 · adc bits u32 · adc full-scale f64 · dac bits u32 · dac v_ref f64 |
-//! | `ROUT` | physical rows u64 · logical rows u64 · assignment u64 × n      |
-//! | `GPOS` | rows u64 · cols u64 · conductances f64 × rows·cols             |
-//! | `GNEG` | likewise for the negative crossbar                             |
-//! | `APOS` | attenuation matrix, only for calibrated models                 |
-//! | `ANEG` | likewise for the negative crossbar                             |
+//! | tag    | since | payload                                                |
+//! |--------|-------|--------------------------------------------------------|
+//! | `META` | v1    | fidelity u8 · flags u8 · r_wire f64 · scale f64 · adc bits u32 · adc full-scale f64 · dac bits u32 · dac v_ref f64 |
+//! | `ROUT` | v1    | physical rows u64 · logical rows u64 · assignment u64 × n |
+//! | `GPOS` | v1    | rows u64 · cols u64 · conductances f64 × rows·cols     |
+//! | `GNEG` | v1    | likewise for the negative crossbar                     |
+//! | `APOS` | v1    | attenuation matrix, only for calibrated models         |
+//! | `ANEG` | v1    | likewise for the negative crossbar                     |
+//! | `CNRY` | v2    | probe count u64 · input len u64 · inputs f64 × count·len · golden u8 × count |
 //!
 //! `flags` bit 0 marks an ADC present, bit 1 a DAC. All floats are
 //! serialized via [`f64::to_le_bytes`], so a round-trip is bit-exact and
 //! a loaded model infers identically to the in-memory one. Unknown
 //! section tags are skipped (minor extensions don't need a version bump);
-//! a major layout change must bump `FORMAT_VERSION`. Decoding verifies
-//! the checksum before touching any section, and every failure mode is a
-//! distinct [`ArtifactError`] variant.
+//! a major layout change must bump `FORMAT_VERSION`. Version 2 only
+//! *adds* the optional `CNRY` canary section, so this build still reads
+//! every version from [`MIN_FORMAT_VERSION`] up — a v1 artifact simply
+//! loads as a model without a canary. Decoding verifies the checksum
+//! before touching any section, and every failure mode is a distinct
+//! [`ArtifactError`] variant.
 
 use std::io::Read as _;
 use std::io::Write as _;
@@ -37,14 +41,17 @@ use std::path::Path;
 use vortex_linalg::Matrix;
 use vortex_xbar::sensing::{Adc, Dac};
 
-use crate::model::{CompiledModel, Fidelity};
+use crate::model::{CanarySet, CompiledModel, Fidelity};
 use crate::{Result, RuntimeError};
 
 /// Leading magic bytes of every artifact.
 pub const MAGIC: [u8; 8] = *b"VXRTMODL";
 
-/// The format version this build writes and the only one it reads.
-pub const FORMAT_VERSION: u32 = 1;
+/// The format version this build writes.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// The oldest format version this build still reads.
+pub const MIN_FORMAT_VERSION: u32 = 1;
 
 const TAG_META: [u8; 4] = *b"META";
 const TAG_ROUT: [u8; 4] = *b"ROUT";
@@ -52,6 +59,7 @@ const TAG_GPOS: [u8; 4] = *b"GPOS";
 const TAG_GNEG: [u8; 4] = *b"GNEG";
 const TAG_APOS: [u8; 4] = *b"APOS";
 const TAG_ANEG: [u8; 4] = *b"ANEG";
+const TAG_CNRY: [u8; 4] = *b"CNRY";
 
 const FLAG_ADC: u8 = 1 << 0;
 const FLAG_DAC: u8 = 1 << 1;
@@ -103,7 +111,8 @@ impl std::fmt::Display for ArtifactError {
             ArtifactError::BadMagic => write!(f, "not a vortex-runtime artifact (bad magic)"),
             ArtifactError::UnsupportedVersion { found, supported } => write!(
                 f,
-                "unsupported artifact version {found} (this build reads version {supported})"
+                "unsupported artifact version {found} (this build reads versions \
+                 {MIN_FORMAT_VERSION} through {supported})"
             ),
             ArtifactError::ChecksumMismatch { stored, computed } => write!(
                 f,
@@ -159,7 +168,7 @@ fn put_section(out: &mut Vec<u8>, tag: [u8; 4], payload: &[u8]) {
     out.extend_from_slice(payload);
 }
 
-/// Serializes a model into the version-1 artifact byte layout.
+/// Serializes a model into the current artifact byte layout.
 pub(crate) fn encode(model: &CompiledModel) -> Vec<u8> {
     let mut meta = Vec::with_capacity(64);
     meta.push(model.fidelity.code());
@@ -199,6 +208,20 @@ pub(crate) fn encode(model: &CompiledModel) -> Vec<u8> {
             put_matrix(&mut payload, m);
             sections.push((tag, payload));
         }
+    }
+    if let Some(canary) = &model.canary {
+        let count = canary.len();
+        let width = canary.inputs()[0].len();
+        let mut payload = Vec::with_capacity(16 + 8 * count * width + count);
+        payload.extend_from_slice(&(count as u64).to_le_bytes());
+        payload.extend_from_slice(&(width as u64).to_le_bytes());
+        for x in canary.inputs() {
+            for &v in x {
+                payload.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        payload.extend_from_slice(canary.golden());
+        sections.push((TAG_CNRY, payload));
     }
 
     let mut out = Vec::new();
@@ -300,6 +323,7 @@ struct Decoded {
     g_neg: Matrix,
     att_pos: Option<Matrix>,
     att_neg: Option<Matrix>,
+    canary: Option<CanarySet>,
 }
 
 struct Meta {
@@ -354,6 +378,43 @@ fn decode_meta(payload: &[u8]) -> std::result::Result<Meta, ArtifactError> {
     })
 }
 
+fn decode_cnry(payload: &[u8]) -> std::result::Result<CanarySet, ArtifactError> {
+    let mut c = Cursor::new(payload);
+    let count = c.u64_usize("CNRY probe count")?;
+    let width = c.u64_usize("CNRY input length")?;
+    // Size the announced contents against the payload *before* any
+    // allocation, so absurd counts fail typed instead of aborting.
+    let announced = count
+        .checked_mul(width)
+        .and_then(|n| n.checked_mul(8))
+        .and_then(|n| n.checked_add(count))
+        .ok_or(ArtifactError::Malformed {
+            context: "CNRY announced size",
+        })?;
+    if announced != payload.len() - 16 {
+        return Err(ArtifactError::Malformed {
+            context: "CNRY announced size",
+        });
+    }
+    let mut inputs = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut x = Vec::with_capacity(width);
+        for _ in 0..width {
+            x.push(c.f64("CNRY inputs")?);
+        }
+        inputs.push(x);
+    }
+    let golden = c.take(count, "CNRY golden predictions")?.to_vec();
+    if !c.is_empty() {
+        return Err(ArtifactError::Malformed {
+            context: "CNRY trailing bytes",
+        });
+    }
+    CanarySet::new(inputs, golden).map_err(|_| ArtifactError::Malformed {
+        context: "CNRY probe set",
+    })
+}
+
 fn decode_rout(payload: &[u8]) -> std::result::Result<(usize, Vec<usize>), ArtifactError> {
     let mut c = Cursor::new(payload);
     let physical_rows = c.u64_usize("ROUT physical rows")?;
@@ -370,7 +431,7 @@ fn decode_rout(payload: &[u8]) -> std::result::Result<(usize, Vec<usize>), Artif
     Ok((physical_rows, assignment))
 }
 
-/// Parses the version-1 byte layout into model parts, verifying magic,
+/// Parses the artifact byte layout into model parts, verifying magic,
 /// version and checksum first.
 fn decode(bytes: &[u8]) -> std::result::Result<Decoded, ArtifactError> {
     if bytes.len() < MAGIC.len() {
@@ -381,7 +442,7 @@ fn decode(bytes: &[u8]) -> std::result::Result<Decoded, ArtifactError> {
     }
     let mut c = Cursor::new(&bytes[MAGIC.len()..]);
     let version = c.u32("version")?;
-    if version != FORMAT_VERSION {
+    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(ArtifactError::UnsupportedVersion {
             found: version,
             supported: FORMAT_VERSION,
@@ -408,6 +469,7 @@ fn decode(bytes: &[u8]) -> std::result::Result<Decoded, ArtifactError> {
     let mut g_neg = None;
     let mut att_pos = None;
     let mut att_neg = None;
+    let mut canary = None;
     for _ in 0..section_count {
         let tag: [u8; 4] = c.take(4, "section tag")?.try_into().expect("4 bytes");
         let len = c.u64_usize("section length")?;
@@ -419,6 +481,7 @@ fn decode(bytes: &[u8]) -> std::result::Result<Decoded, ArtifactError> {
             TAG_GNEG => g_neg = Some(get_matrix(&mut Cursor::new(payload), "GNEG matrix")?),
             TAG_APOS => att_pos = Some(get_matrix(&mut Cursor::new(payload), "APOS matrix")?),
             TAG_ANEG => att_neg = Some(get_matrix(&mut Cursor::new(payload), "ANEG matrix")?),
+            TAG_CNRY => canary = Some(decode_cnry(payload)?),
             // Unknown tags are future minor extensions: skipped.
             _ => {}
         }
@@ -456,6 +519,7 @@ fn decode(bytes: &[u8]) -> std::result::Result<Decoded, ArtifactError> {
         })?,
         att_pos,
         att_neg,
+        canary,
     })
 }
 
@@ -488,6 +552,7 @@ impl CompiledModel {
             d.g_neg,
             d.att_pos,
             d.att_neg,
+            d.canary,
         )
     }
 

@@ -31,12 +31,14 @@ pub mod artifact;
 pub mod model;
 
 pub use artifact::ArtifactError;
-pub use model::{CompiledModel, Fidelity, ReadOptions};
+pub use model::{CanarySet, CellFault, CompiledModel, Fidelity, ReadOptions};
 
 /// Canonical imports for the serving side:
 /// `use vortex_runtime::prelude::*;`.
 pub mod prelude {
-    pub use crate::{ArtifactError, CompiledModel, Fidelity, ReadOptions, RuntimeError};
+    pub use crate::{
+        ArtifactError, CanarySet, CellFault, CompiledModel, Fidelity, ReadOptions, RuntimeError,
+    };
     pub use vortex_nn::executor::Parallelism;
 }
 

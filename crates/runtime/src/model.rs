@@ -20,6 +20,7 @@
 //! floating-point operation order — so a compiled model reproduces the
 //! training-side evaluation numbers exactly.
 
+use vortex_device::drift::RetentionModel;
 use vortex_linalg::rng::Xoshiro256PlusPlus;
 use vortex_linalg::{vector, Matrix};
 use vortex_nn::dataset::Dataset;
@@ -90,6 +91,99 @@ impl ReadOptions {
     }
 }
 
+/// A frozen probe set with golden predictions: the artifact carries the
+/// answers the model gave at compile time, so a health monitor can later
+/// measure how far drift (or any other degradation) has pulled the live
+/// read path away from its freshly programmed behaviour — without access
+/// to labeled data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CanarySet {
+    inputs: Vec<Vec<f64>>,
+    golden: Vec<u8>,
+}
+
+impl CanarySet {
+    /// Pairs probe inputs with their golden predictions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidParameter`] when the set is empty,
+    /// the counts disagree, or the inputs are ragged/non-finite.
+    pub fn new(inputs: Vec<Vec<f64>>, golden: Vec<u8>) -> Result<Self> {
+        if inputs.is_empty() {
+            return Err(RuntimeError::InvalidParameter {
+                name: "canary",
+                requirement: "canary set must contain at least one input",
+            });
+        }
+        if inputs.len() != golden.len() {
+            return Err(RuntimeError::InvalidParameter {
+                name: "canary",
+                requirement: "canary inputs and golden predictions must pair up",
+            });
+        }
+        let width = inputs[0].len();
+        for x in &inputs {
+            if x.len() != width || x.iter().any(|v| !v.is_finite()) {
+                return Err(RuntimeError::InvalidParameter {
+                    name: "canary",
+                    requirement: "canary inputs must be finite and equally sized",
+                });
+            }
+        }
+        Ok(Self { inputs, golden })
+    }
+
+    /// The probe inputs, in order.
+    pub fn inputs(&self) -> &[Vec<f64>] {
+        &self.inputs
+    }
+
+    /// The golden predictions, one per input.
+    pub fn golden(&self) -> &[u8] {
+        &self.golden
+    }
+
+    /// Number of probes in the set.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Whether the set is empty (never true for a constructed set).
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Fraction of probes `model` still answers like the golden run.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledModel::infer`].
+    pub fn accuracy_on(&self, model: &CompiledModel) -> Result<f64> {
+        let mut hits = 0usize;
+        for (x, &gold) in self.inputs.iter().zip(&self.golden) {
+            if model.infer(x)? == gold {
+                hits += 1;
+            }
+        }
+        Ok(hits as f64 / self.inputs.len() as f64)
+    }
+}
+
+/// One device stuck at a fixed conductance (a fabrication or lifetime
+/// stuck-at defect injected into a frozen read path).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellFault {
+    /// Physical row of the faulty device.
+    pub row: usize,
+    /// Column of the faulty device.
+    pub col: usize,
+    /// `true` targets the negative crossbar, `false` the positive one.
+    pub negative: bool,
+    /// Conductance the device is stuck at (S).
+    pub conductance: f64,
+}
+
 /// Per-thread scratch buffers for the batched read.
 struct Scratch {
     routed: Vec<f64>,
@@ -113,6 +207,7 @@ pub struct CompiledModel {
     pub(crate) g_neg: Matrix,
     pub(crate) att_pos: Option<Matrix>,
     pub(crate) att_neg: Option<Matrix>,
+    pub(crate) canary: Option<CanarySet>,
     // --- derived state, rebuilt on load ---
     eff_pos: Matrix,
     eff_neg: Matrix,
@@ -173,6 +268,7 @@ impl CompiledModel {
             state.g_neg.clone(),
             att_pos,
             att_neg,
+            None,
         )
     }
 
@@ -192,6 +288,7 @@ impl CompiledModel {
         g_neg: Matrix,
         att_pos: Option<Matrix>,
         att_neg: Option<Matrix>,
+        canary: Option<CanarySet>,
     ) -> Result<Self> {
         if g_pos.rows() == 0 || g_pos.cols() == 0 {
             return Err(RuntimeError::InvalidParameter {
@@ -266,6 +363,20 @@ impl CompiledModel {
             Fidelity::Exact => Some(NodalAnalysis::new(g_pos.rows(), g_pos.cols(), r_wire)?),
             _ => None,
         };
+        if let Some(c) = &canary {
+            if c.inputs[0].len() != assignment.len() {
+                return Err(RuntimeError::InvalidParameter {
+                    name: "canary",
+                    requirement: "canary input length must match the logical row count",
+                });
+            }
+            if c.golden.iter().any(|&g| usize::from(g) >= g_pos.cols()) {
+                return Err(RuntimeError::InvalidParameter {
+                    name: "canary",
+                    requirement: "golden predictions must name existing classes",
+                });
+            }
+        }
         Ok(Self {
             fidelity,
             r_wire,
@@ -278,6 +389,7 @@ impl CompiledModel {
             g_neg,
             att_pos,
             att_neg,
+            canary,
             eff_pos,
             eff_neg,
             exact,
@@ -332,6 +444,152 @@ impl CompiledModel {
     /// The weight matrix the frozen pair realizes under ideal readout.
     pub fn realized_weights(&self) -> Matrix {
         self.g_pos.sub(&self.g_neg).scaled(1.0 / self.scale)
+    }
+
+    /// The frozen canary set, if one was baked into this model.
+    pub fn canary(&self) -> Option<&CanarySet> {
+        self.canary.as_ref()
+    }
+
+    /// Freezes `inputs` as the model's canary set: the *current* read
+    /// path answers each probe, and those answers become the golden
+    /// predictions persisted with the artifact. Call this on a freshly
+    /// compiled model, before any degradation is applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidParameter`] for an empty, ragged,
+    /// or wrongly sized probe set; propagates read-path errors.
+    pub fn with_canary_inputs(mut self, inputs: Vec<Vec<f64>>) -> Result<Self> {
+        let mut golden = Vec::with_capacity(inputs.len());
+        for x in &inputs {
+            golden.push(self.infer(x)?);
+        }
+        // `infer` above already vetted every input's length, so the set
+        // is consistent with the routing by construction.
+        self.canary = Some(CanarySet::new(inputs, golden)?);
+        Ok(self)
+    }
+
+    /// Fraction of canary probes the model still answers like the golden
+    /// run (1.0 on a pristine model by construction).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidParameter`] when the model carries
+    /// no canary set; propagates read-path errors.
+    pub fn canary_accuracy(&self) -> Result<f64> {
+        match &self.canary {
+            Some(c) => c.accuracy_on(self),
+            None => Err(RuntimeError::InvalidParameter {
+                name: "canary",
+                requirement: "model carries no canary set",
+            }),
+        }
+    }
+
+    /// A drift-aged copy: each device's conductance is multiplied by its
+    /// entry of the per-crossbar decay matrices (values in `(0, 1]`).
+    ///
+    /// The canary set and, for calibrated models, the compile-time
+    /// attenuation maps are carried over unchanged — aging degrades the
+    /// read while the model keeps *believing* its fresh calibration,
+    /// exactly the mismatch a health monitor exists to catch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidParameter`] for decay matrices of
+    /// the wrong shape or with entries outside `(0, 1]`.
+    pub fn aged(&self, decay_pos: &Matrix, decay_neg: &Matrix) -> Result<Self> {
+        for (name, d) in [("decay_pos", decay_pos), ("decay_neg", decay_neg)] {
+            if d.shape() != self.g_pos.shape() {
+                return Err(RuntimeError::InvalidParameter {
+                    name,
+                    requirement: "decay matrix must match the crossbar shape",
+                });
+            }
+            if d.as_slice().iter().any(|&v| !(v > 0.0 && v <= 1.0)) {
+                return Err(RuntimeError::InvalidParameter {
+                    name,
+                    requirement: "decay factors must lie in (0, 1]",
+                });
+            }
+        }
+        Self::from_parts(
+            self.fidelity,
+            self.r_wire,
+            self.scale,
+            self.adc,
+            self.dac,
+            self.physical_rows,
+            self.assignment.clone(),
+            self.g_pos.hadamard(decay_pos),
+            self.g_neg.hadamard(decay_neg),
+            self.att_pos.clone(),
+            self.att_neg.clone(),
+            self.canary.clone(),
+        )
+    }
+
+    /// [`Self::aged`] with decay matrices drawn from a retention model:
+    /// one ν per device (seeded, so bit-reproducible — positive crossbar
+    /// sampled first, row-major), evaluated after `t_s` seconds.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::aged`].
+    pub fn age_with(&self, retention: &RetentionModel, t_s: f64, seed: u64) -> Result<Self> {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let (rows, cols) = self.g_pos.shape();
+        let nu_pos = retention.sample_nu_matrix(rows, cols, &mut rng);
+        let nu_neg = retention.sample_nu_matrix(rows, cols, &mut rng);
+        self.aged(
+            &retention.decay_matrix(&nu_pos, t_s),
+            &retention.decay_matrix(&nu_neg, t_s),
+        )
+    }
+
+    /// A copy with stuck-at device faults applied: each fault pins one
+    /// device of one crossbar to a fixed conductance. Calibration maps
+    /// and the canary set carry over, as in [`Self::aged`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidParameter`] for out-of-range cells
+    /// or non-finite/negative conductances.
+    pub fn with_cell_faults(&self, faults: &[CellFault]) -> Result<Self> {
+        let mut g_pos = self.g_pos.clone();
+        let mut g_neg = self.g_neg.clone();
+        for f in faults {
+            if f.row >= g_pos.rows() || f.col >= g_pos.cols() {
+                return Err(RuntimeError::InvalidParameter {
+                    name: "faults",
+                    requirement: "fault cell must lie inside the crossbar",
+                });
+            }
+            if !(f.conductance.is_finite() && f.conductance >= 0.0) {
+                return Err(RuntimeError::InvalidParameter {
+                    name: "faults",
+                    requirement: "stuck conductance must be finite and non-negative",
+                });
+            }
+            let target = if f.negative { &mut g_neg } else { &mut g_pos };
+            target[(f.row, f.col)] = f.conductance;
+        }
+        Self::from_parts(
+            self.fidelity,
+            self.r_wire,
+            self.scale,
+            self.adc,
+            self.dac,
+            self.physical_rows,
+            self.assignment.clone(),
+            g_pos,
+            g_neg,
+            self.att_pos.clone(),
+            self.att_neg.clone(),
+            self.canary.clone(),
+        )
     }
 
     fn scratch(&self) -> Scratch {
@@ -704,6 +962,133 @@ mod tests {
         )
         .unwrap();
         assert!(model.infer(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn canary_is_perfect_when_fresh_and_degrades_with_drift() {
+        use vortex_device::drift::RetentionModel;
+        let pair = programmed_pair(8, 4, 0.0, 91);
+        let inputs: Vec<Vec<f64>> = (0..24)
+            .map(|k| {
+                (0..8)
+                    .map(|i| ((k * 8 + i) as f64 * 0.29).sin().abs())
+                    .collect()
+            })
+            .collect();
+        let model = CompiledModel::compile(
+            &pair.freeze(),
+            &identity(8),
+            &ReadOptions::new(Fidelity::Ideal),
+            None,
+        )
+        .unwrap()
+        .with_canary_inputs(inputs)
+        .unwrap();
+        // Golden answers come from this very model: perfect by construction.
+        assert_eq!(model.canary_accuracy().unwrap(), 1.0);
+        assert_eq!(model.canary().unwrap().len(), 24);
+
+        // Severe asymmetric aging flips predictions; the canary notices.
+        let retention = RetentionModel::new(0.6, 0.3, 1e-3).unwrap();
+        let aged = model.age_with(&retention, 1e8, 7).unwrap();
+        assert!(
+            aged.canary_accuracy().unwrap() < 1.0,
+            "aging went unnoticed"
+        );
+        // The original model is untouched.
+        assert_eq!(model.canary_accuracy().unwrap(), 1.0);
+        // Aging is bit-deterministic per seed.
+        let again = model.age_with(&retention, 1e8, 7).unwrap();
+        for (a, b) in aged.g_pos.as_slice().iter().zip(again.g_pos.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn aged_validates_decay_matrices() {
+        let pair = programmed_pair(4, 2, 0.0, 3);
+        let model = CompiledModel::compile(
+            &pair.freeze(),
+            &identity(4),
+            &ReadOptions::new(Fidelity::Ideal),
+            None,
+        )
+        .unwrap();
+        let ones = Matrix::from_fn(4, 2, |_, _| 1.0);
+        let wrong_shape = Matrix::from_fn(3, 2, |_, _| 1.0);
+        assert!(model.aged(&wrong_shape, &ones).is_err());
+        let out_of_range = Matrix::from_fn(4, 2, |_, _| 1.5);
+        assert!(model.aged(&ones, &out_of_range).is_err());
+        // Identity decay reproduces the model bit-for-bit.
+        let same = model.aged(&ones, &ones).unwrap();
+        let x = [0.3, 0.9, 0.1, 0.7];
+        for (a, b) in model
+            .scores(&x)
+            .unwrap()
+            .iter()
+            .zip(&same.scores(&x).unwrap())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn cell_faults_pin_devices_and_validate() {
+        let pair = programmed_pair(4, 2, 0.0, 17);
+        let model = CompiledModel::compile(
+            &pair.freeze(),
+            &identity(4),
+            &ReadOptions::new(Fidelity::Ideal),
+            None,
+        )
+        .unwrap();
+        let faulted = model
+            .with_cell_faults(&[CellFault {
+                row: 1,
+                col: 0,
+                negative: false,
+                conductance: 0.0,
+            }])
+            .unwrap();
+        assert_eq!(faulted.g_pos[(1, 0)], 0.0);
+        assert_eq!(faulted.g_neg[(1, 0)], model.g_neg[(1, 0)]);
+        assert!(model
+            .with_cell_faults(&[CellFault {
+                row: 9,
+                col: 0,
+                negative: false,
+                conductance: 0.0
+            }])
+            .is_err());
+        assert!(model
+            .with_cell_faults(&[CellFault {
+                row: 0,
+                col: 0,
+                negative: true,
+                conductance: -1.0
+            }])
+            .is_err());
+    }
+
+    #[test]
+    fn canary_requires_consistent_probes() {
+        let pair = programmed_pair(4, 2, 0.0, 23);
+        let model = CompiledModel::compile(
+            &pair.freeze(),
+            &identity(4),
+            &ReadOptions::new(Fidelity::Ideal),
+            None,
+        )
+        .unwrap();
+        assert!(model.canary().is_none());
+        assert!(model.canary_accuracy().is_err());
+        assert!(model.clone().with_canary_inputs(vec![]).is_err());
+        assert!(model
+            .clone()
+            .with_canary_inputs(vec![vec![0.5; 3]])
+            .is_err());
+        assert!(CanarySet::new(vec![vec![0.5; 4]], vec![0, 1]).is_err());
+        assert!(CanarySet::new(vec![vec![f64::NAN; 4]], vec![0]).is_err());
     }
 
     #[test]

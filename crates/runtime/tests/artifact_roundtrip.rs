@@ -6,7 +6,7 @@ use vortex_device::DeviceParams;
 use vortex_linalg::rng::Xoshiro256PlusPlus;
 use vortex_linalg::Matrix;
 use vortex_nn::executor::Parallelism;
-use vortex_runtime::artifact::{ArtifactError, FORMAT_VERSION, MAGIC};
+use vortex_runtime::artifact::{crc32, ArtifactError, FORMAT_VERSION, MAGIC, MIN_FORMAT_VERSION};
 use vortex_runtime::{CompiledModel, Fidelity, ReadOptions, RuntimeError};
 use vortex_xbar::crossbar::CrossbarConfig;
 use vortex_xbar::pair::{DifferentialPair, WeightMapping};
@@ -123,6 +123,85 @@ fn wrong_version_yields_unsupported_version() {
             assert_eq!(supported, FORMAT_VERSION);
         }
         other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn canary_survives_the_byte_roundtrip_bit_exactly() {
+    let model = compiled(9, 4, 6.0, Fidelity::Calibrated, 77)
+        .with_canary_inputs(probe_inputs(9))
+        .unwrap();
+    assert_eq!(model.canary_accuracy().unwrap(), 1.0);
+    let revived = CompiledModel::from_bytes(&model.to_bytes()).unwrap();
+    let (a, b) = (model.canary().unwrap(), revived.canary().unwrap());
+    assert_eq!(a.golden(), b.golden());
+    for (x, y) in a.inputs().iter().zip(b.inputs()) {
+        for (u, v) in x.iter().zip(y) {
+            assert_eq!(u.to_bits(), v.to_bits(), "canary inputs diverged");
+        }
+    }
+    assert_eq!(revived.canary_accuracy().unwrap(), 1.0);
+}
+
+#[test]
+fn version_one_artifacts_without_canary_still_load() {
+    // A canary-free model's sections are exactly the v1 layout, so
+    // rewriting the version field (and the CRC over the patched bytes)
+    // synthesizes a faithful v1 artifact.
+    let model = compiled(6, 3, 0.0, Fidelity::Ideal, 5);
+    let mut bytes = model.to_bytes();
+    bytes[MAGIC.len()..MAGIC.len() + 4].copy_from_slice(&MIN_FORMAT_VERSION.to_le_bytes());
+    let body = bytes.len() - 4;
+    let crc = crc32(&bytes[..body]).to_le_bytes();
+    bytes[body..].copy_from_slice(&crc);
+    let loaded = CompiledModel::from_bytes(&bytes).unwrap();
+    assert!(loaded.canary().is_none());
+    for x in probe_inputs(6) {
+        assert_eq!(model.infer(&x).unwrap(), loaded.infer(&x).unwrap());
+    }
+}
+
+#[test]
+fn malformed_canary_section_is_a_typed_error() {
+    let model = compiled(6, 3, 0.0, Fidelity::Ideal, 5)
+        .with_canary_inputs(probe_inputs(6))
+        .unwrap();
+    let bytes = model.to_bytes();
+    // The CNRY section sits last; its payload starts with the probe
+    // count. Inflate it so the golden bytes run out, and re-seal the CRC
+    // so only the structural error can fire.
+    let tag_at = bytes
+        .windows(4)
+        .rposition(|w| w == b"CNRY")
+        .expect("canary section present");
+    let mut corrupt = bytes.clone();
+    corrupt[tag_at + 12..tag_at + 20].copy_from_slice(&u64::MAX.to_le_bytes());
+    let body = corrupt.len() - 4;
+    let crc = crc32(&corrupt[..body]).to_le_bytes();
+    corrupt[body..].copy_from_slice(&crc);
+    match artifact_err(CompiledModel::from_bytes(&corrupt)) {
+        ArtifactError::Truncated { .. } | ArtifactError::Malformed { .. } => {}
+        other => panic!("expected Truncated/Malformed, got {other:?}"),
+    }
+}
+
+#[test]
+fn every_canary_artifact_prefix_fails_loudly() {
+    let bytes = compiled(6, 3, 0.0, Fidelity::Ideal, 5)
+        .with_canary_inputs(probe_inputs(6))
+        .unwrap()
+        .to_bytes();
+    for cut in (0..bytes.len()).step_by(7) {
+        let err = artifact_err(CompiledModel::from_bytes(&bytes[..cut]));
+        assert!(
+            matches!(
+                err,
+                ArtifactError::Truncated { .. }
+                    | ArtifactError::ChecksumMismatch { .. }
+                    | ArtifactError::BadMagic
+            ),
+            "prefix of {cut} bytes gave {err:?}"
+        );
     }
 }
 

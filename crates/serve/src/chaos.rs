@@ -1,0 +1,296 @@
+//! Deterministic fault injection: one seed, one reproducible disaster.
+//!
+//! A [`ChaosPlan`] is a frozen schedule of faults drawn once from a
+//! seeded generator — *which* batches panic their worker, *which*
+//! batches run slow, *which* devices get stuck, how far the conductances
+//! have drifted, and which artifact bytes flip in transit. The plan is a
+//! pure value: the scheduler consults it on the dispatch path
+//! ([`ChaosPlan::should_panic`] / [`ChaosPlan::slow_down`]), while the
+//! model-level faults ([`ChaosPlan::cell_faults`], [`ChaosPlan::drift`],
+//! [`ChaosPlan::corrupt_artifact`]) are applied by the test or bench
+//! harness before serving starts.
+//!
+//! Because every draw comes from `Xoshiro256PlusPlus` seeded with
+//! [`ChaosConfig::seed`], the same configuration always produces the
+//! same plan, bit for bit — a chaos run is as assertable as a unit test.
+//!
+//! ```
+//! use vortex_serve::chaos::{ChaosConfig, ChaosPlan};
+//!
+//! let config = ChaosConfig::new(42, 8, 4).with_worker_panics(1);
+//! let plan = ChaosPlan::generate(&config);
+//! assert_eq!(plan, ChaosPlan::generate(&config)); // same seed, same plan
+//! assert_eq!(plan.panic_batches().len(), 1);
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+use vortex_linalg::rng::Xoshiro256PlusPlus;
+use vortex_runtime::CellFault;
+
+/// What a chaos plan injects into a serving stack.
+///
+/// All fault counts default to zero: `ChaosConfig::new(seed, rows,
+/// cols)` is a no-op plan until faults are opted in through the builder
+/// methods.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// Master seed: every fault draw derives from it.
+    pub seed: u64,
+    /// Crossbar rows, for placing stuck-at devices.
+    pub rows: usize,
+    /// Crossbar columns, for placing stuck-at devices.
+    pub cols: usize,
+    /// Batch-sequence window `[0, horizon)` panics and slowdowns are
+    /// drawn from.
+    pub horizon_batches: u64,
+    /// Number of batches whose dispatching worker panics.
+    pub worker_panics: usize,
+    /// Number of batches dispatched with extra latency.
+    pub slow_batches: usize,
+    /// The extra latency a slow batch suffers.
+    pub slow_delay: Duration,
+    /// Number of devices pinned to [`Self::stuck_conductance`].
+    pub stuck_cells: usize,
+    /// Conductance stuck devices are pinned at (S); 0.0 is stuck-off.
+    pub stuck_conductance: f64,
+    /// Retention-drift age applied to the model (seconds; 0 disables).
+    pub drift_t_s: f64,
+    /// Number of artifact bits flipped by
+    /// [`ChaosPlan::corrupt_artifact`].
+    pub bit_flips: usize,
+}
+
+impl ChaosConfig {
+    /// A fault-free configuration for a `rows` × `cols` crossbar; enable
+    /// faults with the builder methods.
+    pub fn new(seed: u64, rows: usize, cols: usize) -> Self {
+        Self {
+            seed,
+            rows,
+            cols,
+            horizon_batches: 64,
+            worker_panics: 0,
+            slow_batches: 0,
+            slow_delay: Duration::from_millis(1),
+            stuck_cells: 0,
+            stuck_conductance: 0.0,
+            drift_t_s: 0.0,
+            bit_flips: 0,
+        }
+    }
+
+    /// This configuration drawing faults from the first `n` batches.
+    pub fn with_horizon(mut self, n: u64) -> Self {
+        self.horizon_batches = n;
+        self
+    }
+
+    /// This configuration panicking `n` batch dispatches.
+    pub fn with_worker_panics(mut self, n: usize) -> Self {
+        self.worker_panics = n;
+        self
+    }
+
+    /// This configuration slowing `n` batch dispatches by `delay` each.
+    pub fn with_slow_batches(mut self, n: usize, delay: Duration) -> Self {
+        self.slow_batches = n;
+        self.slow_delay = delay;
+        self
+    }
+
+    /// This configuration pinning `n` devices at conductance `g`.
+    pub fn with_stuck_cells(mut self, n: usize, g: f64) -> Self {
+        self.stuck_cells = n;
+        self.stuck_conductance = g;
+        self
+    }
+
+    /// This configuration aging the model by `t_s` seconds of drift.
+    pub fn with_drift(mut self, t_s: f64) -> Self {
+        self.drift_t_s = t_s;
+        self
+    }
+
+    /// This configuration flipping `n` artifact bits.
+    pub fn with_bit_flips(mut self, n: usize) -> Self {
+        self.bit_flips = n;
+        self
+    }
+}
+
+/// A frozen fault schedule. See the module docs; build one with
+/// [`ChaosPlan::generate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosPlan {
+    panics: BTreeSet<u64>,
+    slow: BTreeMap<u64, Duration>,
+    faults: Vec<CellFault>,
+    drift_t_s: f64,
+    drift_seed: u64,
+    bit_flips: Vec<u64>,
+}
+
+impl ChaosPlan {
+    /// Draws a complete fault schedule from the configuration. Pure:
+    /// equal configurations yield equal plans.
+    pub fn generate(config: &ChaosConfig) -> Self {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(config.seed);
+        let horizon = config.horizon_batches.max(1);
+        let mut panics = BTreeSet::new();
+        while panics.len() < config.worker_panics.min(horizon as usize) {
+            panics.insert(rng.next_u64() % horizon);
+        }
+        let mut slow = BTreeMap::new();
+        while slow.len() < config.slow_batches.min(horizon as usize) {
+            let seq = rng.next_u64() % horizon;
+            // Panicking batches stay panicking; slowdowns land elsewhere.
+            if !panics.contains(&seq) {
+                slow.insert(seq, config.slow_delay);
+            }
+        }
+        let cells = config.rows * config.cols;
+        let mut taken = BTreeSet::new();
+        let mut faults = Vec::new();
+        while faults.len() < config.stuck_cells.min(cells.saturating_mul(2)) {
+            let flat = (rng.next_u64() % (cells.max(1) as u64 * 2)) as usize;
+            if cells == 0 || !taken.insert(flat) {
+                continue;
+            }
+            faults.push(CellFault {
+                row: (flat % cells) / config.cols,
+                col: (flat % cells) % config.cols,
+                negative: flat >= cells,
+                conductance: config.stuck_conductance,
+            });
+        }
+        let drift_seed = rng.next_u64();
+        let bit_flips = (0..config.bit_flips).map(|_| rng.next_u64()).collect();
+        Self {
+            panics,
+            slow,
+            faults,
+            drift_t_s: config.drift_t_s,
+            drift_seed,
+            bit_flips,
+        }
+    }
+
+    /// Whether the worker dispatching batch `seq` must panic.
+    pub fn should_panic(&self, seq: u64) -> bool {
+        self.panics.contains(&seq)
+    }
+
+    /// Extra latency batch `seq` suffers before dispatch, if any.
+    pub fn slow_down(&self, seq: u64) -> Option<Duration> {
+        self.slow.get(&seq).copied()
+    }
+
+    /// The batch sequence numbers scheduled to panic, in order.
+    pub fn panic_batches(&self) -> Vec<u64> {
+        self.panics.iter().copied().collect()
+    }
+
+    /// The stuck-at device faults to apply with
+    /// [`vortex_runtime::CompiledModel::with_cell_faults`].
+    pub fn cell_faults(&self) -> &[CellFault] {
+        &self.faults
+    }
+
+    /// The drift age and ν-sampling seed for
+    /// [`vortex_runtime::CompiledModel::age_with`], or `None` when the
+    /// plan carries no aging.
+    pub fn drift(&self) -> Option<(f64, u64)> {
+        (self.drift_t_s > 0.0).then_some((self.drift_t_s, self.drift_seed))
+    }
+
+    /// Flips the planned bits of an artifact byte stream in place
+    /// (positions wrap modulo the stream length). Returns how many bits
+    /// flipped; zero for an empty stream or a flip-free plan.
+    pub fn corrupt_artifact(&self, bytes: &mut [u8]) -> usize {
+        if bytes.is_empty() {
+            return 0;
+        }
+        let n_bits = bytes.len() as u64 * 8;
+        for &raw in &self.bit_flips {
+            let bit = raw % n_bits;
+            bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+        }
+        self.bit_flips.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> ChaosConfig {
+        ChaosConfig::new(7, 6, 3)
+            .with_horizon(16)
+            .with_worker_panics(2)
+            .with_slow_batches(3, Duration::from_millis(2))
+            .with_stuck_cells(4, 0.0)
+            .with_drift(1e6)
+            .with_bit_flips(2)
+    }
+
+    #[test]
+    fn same_seed_same_plan() {
+        assert_eq!(
+            ChaosPlan::generate(&config()),
+            ChaosPlan::generate(&config())
+        );
+        let other = ChaosConfig {
+            seed: 8,
+            ..config()
+        };
+        assert_ne!(ChaosPlan::generate(&config()), ChaosPlan::generate(&other));
+    }
+
+    #[test]
+    fn plan_honors_requested_counts() {
+        let plan = ChaosPlan::generate(&config());
+        assert_eq!(plan.panic_batches().len(), 2);
+        assert_eq!(plan.cell_faults().len(), 4);
+        assert!(plan.drift().is_some());
+        let slow: Vec<u64> = (0..16).filter(|&s| plan.slow_down(s).is_some()).collect();
+        assert_eq!(slow.len(), 3);
+        // Panics and slowdowns never share a batch.
+        for seq in plan.panic_batches() {
+            assert!(plan.slow_down(seq).is_none());
+        }
+    }
+
+    #[test]
+    fn stuck_cells_are_distinct_and_in_range() {
+        let plan = ChaosPlan::generate(&config());
+        let mut seen = BTreeSet::new();
+        for f in plan.cell_faults() {
+            assert!(f.row < 6 && f.col < 3);
+            assert!(seen.insert((f.row, f.col, f.negative)), "duplicate cell");
+        }
+    }
+
+    #[test]
+    fn corrupt_artifact_flips_and_wraps() {
+        let plan = ChaosPlan::generate(&config());
+        let mut bytes = vec![0u8; 32];
+        assert_eq!(plan.corrupt_artifact(&mut bytes), 2);
+        let set: u32 = bytes.iter().map(|b| b.count_ones()).sum();
+        assert!((1..=2).contains(&set), "expected 1-2 flipped bits, got {set}");
+        assert_eq!(plan.corrupt_artifact(&mut []), 0);
+    }
+
+    #[test]
+    fn empty_config_is_a_no_op_plan() {
+        let plan = ChaosPlan::generate(&ChaosConfig::new(1, 4, 4));
+        assert!(plan.panic_batches().is_empty());
+        assert!(plan.cell_faults().is_empty());
+        assert!(plan.drift().is_none());
+        assert!((0..64).all(|s| !plan.should_panic(s) && plan.slow_down(s).is_none()));
+        let mut bytes = vec![0xFFu8; 8];
+        plan.corrupt_artifact(&mut bytes);
+        assert!(bytes.iter().all(|&b| b == 0xFF));
+    }
+}

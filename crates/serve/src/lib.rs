@@ -27,25 +27,41 @@
 //! # Ok::<(), vortex_serve::ServeError>(())
 //! ```
 //!
+//! Serving is also *self-healing*: worker panics are caught, their
+//! batches requeued, and the crashed slot respawned by a supervisor
+//! thread ([`scheduler`]); a [`health::HealthMonitor`] replays canary
+//! probes against the serving replica and hot-swaps in a freshly
+//! recompiled model when drift drags canary accuracy below a floor; and
+//! the whole fault surface is reproducible on demand through seeded
+//! [`chaos::ChaosPlan`] injection. No accepted request is ever silently
+//! lost — every ticket resolves to a prediction or a typed error.
+//!
 //! The crate is zero-dependency beyond the workspace: queueing is
 //! `Mutex<VecDeque>` + `Condvar`, responses ride `std::sync::mpsc`, and
-//! every admit/reject/downgrade/batch is recorded through `vortex-obs`.
+//! every admit/reject/downgrade/batch/panic/swap is recorded through
+//! `vortex-obs`.
 
+pub mod chaos;
 pub mod degradation;
+pub mod health;
+pub mod retry;
 pub mod scheduler;
 
+pub use chaos::{ChaosConfig, ChaosPlan};
 pub use degradation::{Hysteresis, Transition};
+pub use health::{HealthConfig, HealthHandle, HealthMonitor, ProbeOutcome, Recompile};
+pub use retry::RetryPolicy;
 pub use scheduler::{Prediction, Scheduler, SchedulerConfig, Ticket};
 
 // Re-export what callers need to configure and interpret the scheduler.
 pub use vortex_nn::executor::Parallelism;
-pub use vortex_runtime::{CompiledModel, Fidelity, RuntimeError};
+pub use vortex_runtime::{CanarySet, CellFault, CompiledModel, Fidelity, RuntimeError};
 
 /// Canonical imports for serving: `use vortex_serve::prelude::*;`.
 pub mod prelude {
     pub use crate::{
-        CompiledModel, Fidelity, Parallelism, Prediction, Scheduler, SchedulerConfig, ServeError,
-        Ticket,
+        ChaosConfig, ChaosPlan, CompiledModel, Fidelity, HealthConfig, HealthMonitor, Parallelism,
+        Prediction, ProbeOutcome, RetryPolicy, Scheduler, SchedulerConfig, ServeError, Ticket,
     };
 }
 
@@ -71,6 +87,10 @@ pub enum ServeError {
     /// The scheduler is shutting down (or was torn down before
     /// answering).
     ShuttingDown,
+    /// The request's dispatching worker panicked twice: once before the
+    /// request was requeued, and again on the retry. The request is
+    /// answered rather than requeued a third time.
+    WorkerCrashed,
     /// The underlying compiled-model read failed.
     Inference(RuntimeError),
     /// A parameter was outside its valid domain.
@@ -90,6 +110,9 @@ impl std::fmt::Display for ServeError {
             }
             Self::Timeout { stage } => write!(f, "deadline exceeded at {stage}"),
             Self::ShuttingDown => write!(f, "scheduler is shutting down"),
+            Self::WorkerCrashed => {
+                write!(f, "worker crashed twice while dispatching this request")
+            }
             Self::Inference(e) => write!(f, "inference failed: {e}"),
             Self::InvalidParameter { name, requirement } => {
                 write!(f, "invalid parameter `{name}`: {requirement}")

@@ -1,0 +1,111 @@
+//! Submit-side retry: bounded exponential backoff for backpressure.
+//!
+//! [`ServeError::QueueFull`] is a *transient* rejection — the queue
+//! drains in microseconds under normal load — so callers that would
+//! rather wait briefly than shed can wrap submission in a
+//! [`RetryPolicy`]. Only `QueueFull` is retried: deadline, shutdown and
+//! validation rejections are permanent and surface immediately.
+
+use std::time::Duration;
+
+use crate::{Result, ServeError};
+
+/// A bounded exponential-backoff retry policy.
+///
+/// Attempt `k` (zero-based) sleeps `min(base · 2ᵏ, max)` before
+/// resubmitting; after [`RetryPolicy::max_attempts`] total attempts the
+/// final [`ServeError::QueueFull`] is returned. The delay sequence is a
+/// pure function of the policy — deterministic by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total submission attempts (≥ 1; 1 means no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Upper bound on any single backoff.
+    pub max: Duration,
+}
+
+impl RetryPolicy {
+    /// A policy of `max_attempts` total attempts with backoff doubling
+    /// from `base` up to `max`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidParameter`] for zero attempts or an
+    /// inverted backoff band.
+    pub fn new(max_attempts: u32, base: Duration, max: Duration) -> Result<Self> {
+        if max_attempts == 0 {
+            return Err(ServeError::InvalidParameter {
+                name: "max_attempts",
+                requirement: "must be at least 1",
+            });
+        }
+        if max < base {
+            return Err(ServeError::InvalidParameter {
+                name: "max",
+                requirement: "backoff cap must be at least the base",
+            });
+        }
+        Ok(Self {
+            max_attempts,
+            base,
+            max,
+        })
+    }
+
+    /// The no-retry policy: one attempt, immediate rejection.
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            base: Duration::ZERO,
+            max: Duration::ZERO,
+        }
+    }
+
+    /// The backoff slept after failed attempt `attempt` (zero-based), or
+    /// `None` when the policy is exhausted and the error should surface.
+    pub fn backoff_after(&self, attempt: u32) -> Option<Duration> {
+        if attempt + 1 >= self.max_attempts {
+            return None;
+        }
+        let doubled = self
+            .base
+            .checked_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .unwrap_or(self.max);
+        Some(doubled.min(self.max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(RetryPolicy::new(0, Duration::ZERO, Duration::ZERO).is_err());
+        assert!(RetryPolicy::new(3, Duration::from_millis(2), Duration::from_millis(1)).is_err());
+        assert!(RetryPolicy::new(1, Duration::ZERO, Duration::ZERO).is_ok());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy::new(5, Duration::from_millis(1), Duration::from_millis(3)).unwrap();
+        assert_eq!(p.backoff_after(0), Some(Duration::from_millis(1)));
+        assert_eq!(p.backoff_after(1), Some(Duration::from_millis(2)));
+        assert_eq!(p.backoff_after(2), Some(Duration::from_millis(3)));
+        assert_eq!(p.backoff_after(3), Some(Duration::from_millis(3)));
+        assert_eq!(p.backoff_after(4), None);
+    }
+
+    #[test]
+    fn none_policy_never_retries() {
+        assert_eq!(RetryPolicy::none().backoff_after(0), None);
+    }
+
+    #[test]
+    fn huge_shift_does_not_overflow() {
+        let p = RetryPolicy::new(u32::MAX, Duration::from_secs(1), Duration::from_secs(8)).unwrap();
+        assert_eq!(p.backoff_after(40), Some(Duration::from_secs(8)));
+    }
+}

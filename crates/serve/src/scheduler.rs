@@ -1,5 +1,6 @@
 //! The batched inference scheduler: bounded admission, micro-batching
-//! worker pool, deadlines, and the degradation ladder.
+//! worker pool, deadlines, the degradation ladder, and supervised
+//! self-healing workers.
 //!
 //! One [`Scheduler`] owns a pool of worker threads, each holding an
 //! [`Arc`] onto the same frozen [`CompiledModel`] replica pair (primary
@@ -8,7 +9,9 @@
 //! [`Scheduler::try_submit`], which either admits the request into a
 //! bounded queue and returns a [`Ticket`], or rejects it *immediately*
 //! with a typed error — [`ServeError::QueueFull`] is the backpressure
-//! signal; the scheduler never blocks a producer.
+//! signal; the scheduler never blocks a producer. Callers that would
+//! rather wait briefly than shed wrap submission in a [`RetryPolicy`]
+//! via [`Scheduler::submit_with_retry`].
 //!
 //! Workers coalesce admitted requests into micro-batches: a worker that
 //! finds the queue non-empty drains up to [`SchedulerConfig::max_batch`]
@@ -22,6 +25,28 @@
 //! the pool size (`Parallelism::Fixed(1)` against `Fixed(4)` is asserted
 //! in the crate tests).
 //!
+//! # Supervision: a panic loses no accepted request
+//!
+//! Every dispatch runs under `catch_unwind`. When a worker panics —
+//! whether from a genuine bug or a [`ChaosPlan`] injection — the batch
+//! it held is still unanswered, because dispatch computes *every*
+//! response before sending *any*: the crashed worker pushes the whole
+//! batch back onto the queue front (order preserved), reports to the
+//! supervisor thread, and exits. The supervisor reaps the thread and
+//! respawns the slot after a bounded deterministic backoff
+//! (`base · 2^min(restarts, 6)`, capped). A request that has already
+//! survived one crash is not requeued twice: the second failure answers
+//! it with the typed [`ServeError::WorkerCrashed`]. Accepted requests
+//! therefore always resolve — a prediction, or a typed error.
+//!
+//! # Hot swap
+//!
+//! [`Scheduler::swap_primary`] atomically replaces the primary model
+//! between batches without draining the queue: workers re-read the
+//! replica at each dispatch. A health monitor uses this to install a
+//! freshly recompiled model when canary accuracy sags (see
+//! [`crate::health`]).
+//!
 //! # Scheduling is deterministic where it matters
 //!
 //! Admission decisions (reject-full, deadline, downgrade) depend only on
@@ -29,18 +54,24 @@
 //! deterministic whenever producers are serialized — the integration
 //! tests and the bench harness use [`Scheduler::pause`] to build an exact
 //! backlog before releasing the workers, which makes every admission
-//! decision, every downgrade, and every prediction assertable.
+//! decision, every downgrade, and every prediction assertable. Under
+//! [`SchedulerConfig::deterministic`] the batch sequence numbers a
+//! [`ChaosPlan`] keys on are deterministic too, so an injected crash
+//! hits the same batch — and produces the same answers — on every run.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use vortex_nn::executor::Parallelism;
-use vortex_runtime::{CompiledModel, Fidelity};
+use vortex_runtime::{CompiledModel, Fidelity, RuntimeError};
 
+use crate::chaos::ChaosPlan;
 use crate::degradation::{Hysteresis, Transition};
+use crate::retry::RetryPolicy;
 use crate::{Result, ServeError};
 
 /// How the scheduler answers one admitted request.
@@ -80,6 +111,11 @@ pub struct SchedulerConfig {
     /// Start with the workers paused (see [`Scheduler::pause`]); used by
     /// tests and benchmarks to build an exact backlog.
     pub start_paused: bool,
+    /// Backoff before the first respawn of a crashed worker; doubles per
+    /// crash of the same slot.
+    pub respawn_base: Duration,
+    /// Upper bound on any single respawn backoff.
+    pub respawn_cap: Duration,
 }
 
 impl SchedulerConfig {
@@ -93,14 +129,19 @@ impl SchedulerConfig {
             high_water: usize::MAX,
             low_water: 0,
             start_paused: false,
+            respawn_base: Duration::from_micros(500),
+            respawn_cap: Duration::from_millis(32),
         }
     }
 
-    /// The deterministic test mode: one worker, no linger, ladder off —
-    /// batches dispatch strictly in admission order.
+    /// The deterministic test mode: one worker, no linger, ladder off,
+    /// immediate respawn — batches dispatch strictly in admission order
+    /// and carry deterministic sequence numbers.
     pub fn deterministic() -> Self {
         Self {
             max_wait: Duration::ZERO,
+            respawn_base: Duration::ZERO,
+            respawn_cap: Duration::ZERO,
             ..Self::new(Parallelism::Fixed(1))
         }
     }
@@ -126,6 +167,13 @@ impl SchedulerConfig {
         self
     }
 
+    /// This configuration with the given worker-respawn backoff band.
+    pub fn with_respawn_backoff(mut self, base: Duration, cap: Duration) -> Self {
+        self.respawn_base = base;
+        self.respawn_cap = cap;
+        self
+    }
+
     /// This configuration starting paused.
     pub fn paused(mut self) -> Self {
         self.start_paused = true;
@@ -139,6 +187,8 @@ struct Request {
     deadline: Option<Instant>,
     downgraded: bool,
     submitted: Instant,
+    /// How many worker crashes this request has already survived.
+    attempts: u32,
     tx: mpsc::Sender<Result<Prediction>>,
 }
 
@@ -154,8 +204,9 @@ impl Ticket {
     /// # Errors
     ///
     /// Propagates the request's typed rejection ([`ServeError::Timeout`],
-    /// [`ServeError::Inference`]); returns [`ServeError::ShuttingDown`]
-    /// when the scheduler was torn down before answering.
+    /// [`ServeError::Inference`], [`ServeError::WorkerCrashed`]); returns
+    /// [`ServeError::ShuttingDown`] when the scheduler was torn down
+    /// before answering.
     pub fn wait(self) -> Result<Prediction> {
         self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
     }
@@ -185,8 +236,14 @@ struct Shared {
     capacity: usize,
     max_batch: usize,
     max_wait: Duration,
-    primary: Arc<CompiledModel>,
+    /// The serving replica, swappable between batches (see
+    /// [`Scheduler::swap_primary`]). Workers take the read lock once per
+    /// dispatch; the write lock is held only for the pointer swap.
+    primary: RwLock<Arc<CompiledModel>>,
     fallback: Option<Arc<CompiledModel>>,
+    chaos: Option<ChaosPlan>,
+    /// Monotone dispatch sequence; the key a [`ChaosPlan`] fires on.
+    batch_seq: AtomicU64,
     depth: AtomicUsize,
 }
 
@@ -208,31 +265,65 @@ impl Shared {
     }
 }
 
+/// Crash reports and shutdown, from workers/scheduler to the supervisor.
+enum SupervisorMsg {
+    Crashed(usize),
+    Shutdown,
+}
+
 /// The batched inference scheduler. See the module docs.
 pub struct Scheduler {
     shared: Arc<Shared>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
+    workers: Arc<Mutex<Vec<Option<JoinHandle<()>>>>>,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
+    supervisor_tx: mpsc::Sender<SupervisorMsg>,
     pool_size: usize,
 }
 
 impl Scheduler {
     /// Builds a scheduler over `primary`, with `fallback` as the degraded
-    /// tier of the ladder, and spawns the worker pool.
+    /// tier of the ladder, and spawns the worker pool plus its
+    /// supervisor.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::InvalidParameter`] for a zero `max_batch`,
-    /// an inverted watermark band, a ladder without a fallback model, or
-    /// a fallback whose shape disagrees with the primary.
+    /// an inverted watermark band or respawn-backoff band, a ladder
+    /// without a fallback model, or a fallback whose shape disagrees with
+    /// the primary.
     pub fn new(
         primary: Arc<CompiledModel>,
         fallback: Option<Arc<CompiledModel>>,
         config: SchedulerConfig,
     ) -> Result<Self> {
+        Self::with_chaos(primary, fallback, config, None)
+    }
+
+    /// [`Self::new`] with a fault-injection plan wired into the dispatch
+    /// path: the plan decides per batch sequence number whether the
+    /// dispatching worker panics or runs slow. Production schedulers
+    /// pass `None` (via [`Self::new`]); chaos tests and the `chaos`
+    /// bench experiment pass a generated plan.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::new`].
+    pub fn with_chaos(
+        primary: Arc<CompiledModel>,
+        fallback: Option<Arc<CompiledModel>>,
+        config: SchedulerConfig,
+        chaos: Option<ChaosPlan>,
+    ) -> Result<Self> {
         if config.max_batch == 0 {
             return Err(ServeError::InvalidParameter {
                 name: "max_batch",
                 requirement: "must be at least 1",
+            });
+        }
+        if config.respawn_cap < config.respawn_base {
+            return Err(ServeError::InvalidParameter {
+                name: "respawn_cap",
+                requirement: "respawn backoff cap must be at least the base",
             });
         }
         let ladder = if config.high_water == usize::MAX {
@@ -272,23 +363,40 @@ impl Scheduler {
             capacity: config.queue_capacity,
             max_batch: config.max_batch,
             max_wait: config.max_wait,
-            primary,
+            primary: RwLock::new(primary),
             fallback,
+            chaos,
+            batch_seq: AtomicU64::new(0),
             depth: AtomicUsize::new(0),
         });
         vortex_obs::gauge!("serve.pool_workers").set(pool_size as f64);
-        let workers = (0..pool_size)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("vortex-serve-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("worker thread spawns")
-            })
-            .collect();
+        let (supervisor_tx, supervisor_rx) = mpsc::channel();
+        let workers: Arc<Mutex<Vec<Option<JoinHandle<()>>>>> = Arc::new(Mutex::new(
+            (0..pool_size)
+                .map(|slot| {
+                    Some(spawn_worker(
+                        Arc::clone(&shared),
+                        slot,
+                        supervisor_tx.clone(),
+                    ))
+                })
+                .collect(),
+        ));
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            let workers = Arc::clone(&workers);
+            let tx = supervisor_tx.clone();
+            let (base, cap) = (config.respawn_base, config.respawn_cap);
+            std::thread::Builder::new()
+                .name("vortex-serve-supervisor".into())
+                .spawn(move || supervisor_loop(&shared, &workers, &tx, &supervisor_rx, base, cap))
+                .expect("supervisor thread spawns")
+        };
         Ok(Self {
             shared,
-            workers: Mutex::new(workers),
+            workers,
+            supervisor: Mutex::new(Some(supervisor)),
+            supervisor_tx,
             pool_size,
         })
     }
@@ -306,7 +414,13 @@ impl Scheduler {
     /// [`ServeError::ShuttingDown`] after shutdown, and
     /// [`ServeError::InvalidParameter`] for a wrong input length.
     pub fn try_submit(&self, input: Vec<f64>, deadline: Option<Instant>) -> Result<Ticket> {
-        if input.len() != self.shared.primary.logical_rows() {
+        let logical_rows = self
+            .shared
+            .primary
+            .read()
+            .expect("primary lock")
+            .logical_rows();
+        if input.len() != logical_rows {
             return Err(ServeError::InvalidParameter {
                 name: "input",
                 requirement: "length must match the model's logical row count",
@@ -336,6 +450,7 @@ impl Scheduler {
                 deadline,
                 downgraded: false,
                 submitted: now,
+                attempts: 0,
                 tx,
             });
             let _ = self.shared.note_depth(&mut state);
@@ -355,6 +470,47 @@ impl Scheduler {
         Ok(Ticket { rx })
     }
 
+    /// [`Self::try_submit`] with bounded-backoff retries on
+    /// [`ServeError::QueueFull`]. Only backpressure is retried —
+    /// deadline, shutdown and validation rejections surface immediately,
+    /// and a deadline that would expire during the next backoff fails
+    /// fast with [`ServeError::Timeout`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::try_submit`]; after the policy's final attempt the
+    /// last `QueueFull` is returned.
+    pub fn submit_with_retry(
+        &self,
+        input: Vec<f64>,
+        deadline: Option<Instant>,
+        policy: &RetryPolicy,
+    ) -> Result<Ticket> {
+        let mut attempt = 0u32;
+        loop {
+            match self.try_submit(input.clone(), deadline) {
+                Err(ServeError::QueueFull { capacity }) => match policy.backoff_after(attempt) {
+                    Some(delay) => {
+                        vortex_obs::counter!("serve.retry.attempts").incr();
+                        if deadline.is_some_and(|d| Instant::now() + delay >= d) {
+                            vortex_obs::counter!("serve.rejected_timeout").incr();
+                            return Err(ServeError::Timeout { stage: "submit" });
+                        }
+                        if delay > Duration::ZERO {
+                            std::thread::sleep(delay);
+                        }
+                        attempt += 1;
+                    }
+                    None => {
+                        vortex_obs::counter!("serve.retry.exhausted").incr();
+                        return Err(ServeError::QueueFull { capacity });
+                    }
+                },
+                other => return other,
+            }
+        }
+    }
+
     /// Submits and blocks for the response — the one-call convenience
     /// wrapper over [`Self::try_submit`] + [`Ticket::wait`].
     ///
@@ -363,6 +519,34 @@ impl Scheduler {
     /// See [`Self::try_submit`] and [`Ticket::wait`].
     pub fn submit_wait(&self, input: Vec<f64>) -> Result<Prediction> {
         self.try_submit(input, None)?.wait()
+    }
+
+    /// The current primary serving replica.
+    pub fn primary(&self) -> Arc<CompiledModel> {
+        Arc::clone(&self.shared.primary.read().expect("primary lock"))
+    }
+
+    /// Atomically replaces the primary model without draining the queue:
+    /// in-flight batches finish on the replica they started with, the
+    /// next dispatch reads the new one. The health monitor calls this
+    /// after a canary-triggered recompile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidParameter`] when the replacement's
+    /// logical shape differs from the serving model's.
+    pub fn swap_primary(&self, model: Arc<CompiledModel>) -> Result<()> {
+        let mut slot = self.shared.primary.write().expect("primary lock");
+        if model.logical_rows() != slot.logical_rows() || model.classes() != slot.classes() {
+            return Err(ServeError::InvalidParameter {
+                name: "model",
+                requirement: "replacement must share the serving model's logical shape",
+            });
+        }
+        *slot = model;
+        drop(slot);
+        vortex_obs::counter!("serve.health.swaps").incr();
+        Ok(())
     }
 
     /// Current queue depth (admitted, not yet dispatched).
@@ -385,6 +569,12 @@ impl Scheduler {
         self.pool_size
     }
 
+    /// Number of micro-batches dispatched so far (the sequence a
+    /// [`ChaosPlan`] keys on).
+    pub fn batches_dispatched(&self) -> u64 {
+        self.shared.batch_seq.load(Ordering::Relaxed)
+    }
+
     /// Stops workers from dispatching; admissions continue. Paired with
     /// [`Self::resume`], this builds an exact, assertable backlog.
     pub fn pause(&self) {
@@ -399,15 +589,27 @@ impl Scheduler {
     }
 
     /// Closes admission, lets the workers drain the queue, and joins the
-    /// pool. Requests still queued when the pool was paused are answered
-    /// with [`ServeError::ShuttingDown`]. Idempotent; also runs on drop.
+    /// supervisor and the pool. Requests still queued when the pool was
+    /// paused are answered with [`ServeError::ShuttingDown`]. Idempotent;
+    /// also runs on drop.
     pub fn shutdown(&self) {
         {
             let mut state = self.shared.state.lock().expect("queue lock");
             state.closed = true;
         }
         self.shared.available.notify_all();
-        let handles = std::mem::take(&mut *self.workers.lock().expect("worker handles"));
+        // The supervisor goes first so no worker is respawned mid-join.
+        let _ = self.supervisor_tx.send(SupervisorMsg::Shutdown);
+        if let Some(handle) = self.supervisor.lock().expect("supervisor handle").take() {
+            let _ = handle.join();
+        }
+        let handles: Vec<JoinHandle<()>> = self
+            .workers
+            .lock()
+            .expect("worker handles")
+            .iter_mut()
+            .filter_map(Option::take)
+            .collect();
         for handle in handles {
             let _ = handle.join();
         }
@@ -434,6 +636,62 @@ impl std::fmt::Debug for Scheduler {
             .field("max_batch", &self.shared.max_batch)
             .field("queue_depth", &self.queue_depth())
             .finish()
+    }
+}
+
+fn spawn_worker(
+    shared: Arc<Shared>,
+    slot: usize,
+    supervisor_tx: mpsc::Sender<SupervisorMsg>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("vortex-serve-{slot}"))
+        .spawn(move || {
+            if matches!(worker_loop(&shared), WorkerExit::Crashed) {
+                // Requeue already happened inside the loop; this report
+                // is what triggers the respawn.
+                let _ = supervisor_tx.send(SupervisorMsg::Crashed(slot));
+            }
+        })
+        .expect("worker thread spawns")
+}
+
+/// Reaps crashed workers and respawns their slots with bounded
+/// deterministic backoff until shutdown.
+fn supervisor_loop(
+    shared: &Arc<Shared>,
+    workers: &Arc<Mutex<Vec<Option<JoinHandle<()>>>>>,
+    tx: &mpsc::Sender<SupervisorMsg>,
+    rx: &mpsc::Receiver<SupervisorMsg>,
+    base: Duration,
+    cap: Duration,
+) {
+    let slots = workers.lock().expect("worker handles").len();
+    let mut restarts = vec![0u32; slots];
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            SupervisorMsg::Shutdown => break,
+            SupervisorMsg::Crashed(slot) => {
+                if let Some(handle) = workers.lock().expect("worker handles")[slot].take() {
+                    let _ = handle.join();
+                }
+                if shared.state.lock().expect("queue lock").closed {
+                    // Shutdown drains and answers what's left; no respawn.
+                    continue;
+                }
+                let backoff = base
+                    .checked_mul(1 << restarts[slot].min(6))
+                    .unwrap_or(cap)
+                    .min(cap);
+                restarts[slot] = restarts[slot].saturating_add(1);
+                if backoff > Duration::ZERO {
+                    std::thread::sleep(backoff);
+                }
+                workers.lock().expect("worker handles")[slot] =
+                    Some(spawn_worker(Arc::clone(shared), slot, tx.clone()));
+                vortex_obs::counter!("serve.supervisor.respawns").incr();
+            }
+        }
     }
 }
 
@@ -486,71 +744,146 @@ fn drain_into(state: &mut QueueState, batch: &mut Vec<Request>, max_batch: usize
     }
 }
 
-/// Dispatches one micro-batch: expire, partition by tier, batch-infer,
-/// respond.
-fn dispatch(shared: &Shared, batch: Vec<Request>) {
+enum WorkerExit {
+    Clean,
+    Crashed,
+}
+
+fn worker_loop(shared: &Shared) -> WorkerExit {
+    while let Some(mut batch) = next_batch(shared) {
+        if batch.is_empty() {
+            continue;
+        }
+        let seq = shared.batch_seq.fetch_add(1, Ordering::Relaxed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| dispatch(shared, &mut batch, seq)));
+        if outcome.is_err() {
+            // Dispatch computes every answer before sending any, so a
+            // panic means the whole batch is still in `batch`, unanswered.
+            vortex_obs::counter!("serve.worker_panics").incr();
+            requeue_unanswered(shared, &mut batch);
+            return WorkerExit::Crashed;
+        }
+    }
+    WorkerExit::Clean
+}
+
+/// Pushes a crashed worker's batch back onto the queue front (order
+/// preserved). A request that already survived one crash is answered
+/// with [`ServeError::WorkerCrashed`] instead of riding a third dispatch.
+fn requeue_unanswered(shared: &Shared, batch: &mut Vec<Request>) {
+    let mut state = shared.state.lock().expect("queue lock");
+    for mut request in batch.drain(..).rev() {
+        if request.attempts >= 1 {
+            vortex_obs::counter!("serve.supervisor.crashed").incr();
+            let _ = request.tx.send(Err(ServeError::WorkerCrashed));
+        } else {
+            request.attempts += 1;
+            vortex_obs::counter!("serve.supervisor.requeued").incr();
+            state.queue.push_front(request);
+        }
+    }
+    let _ = shared.note_depth(&mut state);
+    drop(state);
+    shared.available.notify_all();
+}
+
+/// Runs one fidelity tier's samples through its model, timing the read.
+fn tier_outcome(
+    model: &CompiledModel,
+    inputs: &[&[f64]],
+) -> std::result::Result<Vec<u8>, RuntimeError> {
+    if inputs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let infer_start = Instant::now();
+    // Workers are the parallelism; the intra-batch read stays serial.
+    let outcome = model.infer_batch(inputs, Parallelism::Serial);
+    vortex_obs::histogram!("serve.infer_seconds").record(infer_start.elapsed().as_secs_f64());
+    outcome
+}
+
+/// Dispatches one micro-batch: consult the chaos plan, expire deadlines,
+/// compute every tier's answers, then respond.
+///
+/// The two-phase shape is the panic-safety contract: phase one only
+/// *borrows* the requests (any panic — injected or genuine — leaves the
+/// whole batch in `batch` for [`requeue_unanswered`]); phase two drains
+/// and answers, and contains nothing that can panic.
+fn dispatch(shared: &Shared, batch: &mut Vec<Request>, seq: u64) {
+    if let Some(chaos) = &shared.chaos {
+        if let Some(delay) = chaos.slow_down(seq) {
+            vortex_obs::counter!("serve.chaos.slow_batches").incr();
+            std::thread::sleep(delay);
+        }
+        if chaos.should_panic(seq) {
+            vortex_obs::counter!("serve.chaos.panics").incr();
+            panic!("chaos: injected worker panic at batch {seq}");
+        }
+    }
     let now = Instant::now();
-    let mut live: Vec<Request> = Vec::with_capacity(batch.len());
-    for request in batch {
+    // Phase one: partition the *borrowed* inputs by tier and compute all
+    // answers. The primary replica is re-read every dispatch, so a hot
+    // swap takes effect at the next batch boundary.
+    let primary = Arc::clone(&shared.primary.read().expect("primary lock"));
+    let mut primary_inputs: Vec<&[f64]> = Vec::new();
+    let mut fallback_inputs: Vec<&[f64]> = Vec::new();
+    for request in batch.iter() {
+        if request.deadline.is_some_and(|d| d <= now) {
+            continue;
+        }
+        if request.downgraded {
+            fallback_inputs.push(&request.input);
+        } else {
+            primary_inputs.push(&request.input);
+        }
+    }
+    let batch_size = primary_inputs.len() + fallback_inputs.len();
+    if batch_size > 0 {
+        vortex_obs::histogram!("serve.batch_size").record(batch_size as f64);
+    }
+    let primary_out = tier_outcome(&primary, &primary_inputs);
+    let fallback_out = match &shared.fallback {
+        Some(fallback) => tier_outcome(fallback, &fallback_inputs),
+        None => Ok(Vec::new()),
+    };
+    let fallback_fidelity = shared.fallback.as_ref().map(|m| m.fidelity());
+
+    // Phase two: every answer exists; drain and send.
+    let answered = Instant::now();
+    let mut primary_classes = primary_out.map(Vec::into_iter);
+    let mut fallback_classes = fallback_out.map(Vec::into_iter);
+    for request in batch.drain(..) {
         if request.deadline.is_some_and(|d| d <= now) {
             vortex_obs::counter!("serve.rejected_timeout").incr();
             let _ = request.tx.send(Err(ServeError::Timeout { stage: "queue" }));
-        } else {
-            live.push(request);
+            continue;
         }
-    }
-    if live.is_empty() {
-        return;
-    }
-    vortex_obs::histogram!("serve.batch_size").record(live.len() as f64);
-    let batch_size = live.len();
-    let (fallback_tier, primary_tier): (Vec<Request>, Vec<Request>) =
-        live.into_iter().partition(|r| r.downgraded);
-    infer_tier(&shared.primary, primary_tier, batch_size);
-    if let Some(fallback) = &shared.fallback {
-        infer_tier(fallback, fallback_tier, batch_size);
-    }
-}
-
-/// Runs one fidelity tier of a micro-batch through its model and answers
-/// every request in it.
-fn infer_tier(model: &CompiledModel, tier: Vec<Request>, batch_size: usize) {
-    if tier.is_empty() {
-        return;
-    }
-    let samples: Vec<&[f64]> = tier.iter().map(|r| r.input.as_slice()).collect();
-    let infer_start = Instant::now();
-    // Workers are the parallelism; the intra-batch read stays serial.
-    let outcome = model.infer_batch(&samples, Parallelism::Serial);
-    vortex_obs::histogram!("serve.infer_seconds").record(infer_start.elapsed().as_secs_f64());
-    match outcome {
-        Ok(classes) => {
-            let answered = Instant::now();
-            vortex_obs::counter!("serve.completed").add(tier.len() as u64);
-            for (request, class) in tier.into_iter().zip(classes) {
+        let (classes, fidelity) = if request.downgraded {
+            (
+                &mut fallback_classes,
+                fallback_fidelity.expect("downgraded requests require a fallback"),
+            )
+        } else {
+            (&mut primary_classes, primary.fidelity())
+        };
+        let response = match classes {
+            Ok(iter) => {
+                let class = iter.next().expect("one class per live request");
+                vortex_obs::counter!("serve.completed").incr();
                 vortex_obs::histogram!("serve.latency_seconds")
                     .record((answered - request.submitted).as_secs_f64());
-                let _ = request.tx.send(Ok(Prediction {
+                Ok(Prediction {
                     class,
-                    fidelity: model.fidelity(),
+                    fidelity,
                     downgraded: request.downgraded,
                     batch_size,
-                }));
+                })
             }
-        }
-        Err(e) => {
-            for request in tier {
+            Err(e) => {
                 vortex_obs::counter!("serve.errors").incr();
-                let _ = request.tx.send(Err(ServeError::Inference(e.clone())));
+                Err(ServeError::Inference(e.clone()))
             }
-        }
-    }
-}
-
-fn worker_loop(shared: &Shared) {
-    while let Some(batch) = next_batch(shared) {
-        if !batch.is_empty() {
-            dispatch(shared, batch);
-        }
+        };
+        let _ = request.tx.send(response);
     }
 }

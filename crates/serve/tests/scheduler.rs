@@ -247,6 +247,39 @@ fn shutdown_answers_queued_requests_and_closes_admission() {
 }
 
 #[test]
+fn shutdown_rejection_outranks_backpressure() {
+    // Regression: a closed scheduler must reject with the typed
+    // ShuttingDown error even when the queue was at capacity at close —
+    // QueueFull would invite pointless retries against a dead scheduler.
+    let scheduler = Scheduler::new(
+        compiled(Fidelity::Calibrated),
+        None,
+        SchedulerConfig::deterministic()
+            .with_queue_capacity(2)
+            .paused(),
+    )
+    .unwrap();
+    let tickets: Vec<Ticket> = (0..2)
+        .map(|k| scheduler.try_submit(input(k), None).unwrap())
+        .collect();
+    match scheduler.try_submit(input(2), None) {
+        Err(ServeError::QueueFull { capacity: 2 }) => {}
+        other => panic!("expected QueueFull before shutdown, got {other:?}"),
+    }
+    scheduler.shutdown();
+    match scheduler.try_submit(input(3), None) {
+        Err(ServeError::ShuttingDown) => {}
+        other => panic!("expected ShuttingDown after shutdown, got {other:?}"),
+    }
+    for ticket in tickets {
+        match ticket.wait() {
+            Err(ServeError::ShuttingDown) => {}
+            other => panic!("expected ShuttingDown for drained requests, got {other:?}"),
+        }
+    }
+}
+
+#[test]
 fn invalid_configurations_are_rejected() {
     let model = compiled(Fidelity::Exact);
     let fallback = compiled(Fidelity::Calibrated);

@@ -317,3 +317,31 @@ fn fig2_statistics_are_identical_on_any_pool_and_parallel_is_not_slower() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Self-healing chaos: the whole fault-and-recovery loop is a pure value.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn chaos_self_healing_loop_is_deterministic_and_loses_nothing() {
+    use vortex_bench::experiments::chaos;
+
+    // Two full runs — compile, drift, injected panics, requeue, canary
+    // breach, fixed-seed recompile, hot swap, second drain — must agree
+    // field for field. This test also runs in CI's `VORTEX_MC_THREADS=1`
+    // re-invocation, so the counts and accuracies must not depend on the
+    // executor's thread count either.
+    let baseline = chaos::run(&Scale::bench());
+    assert_eq!(
+        baseline,
+        chaos::run(&Scale::bench()),
+        "chaos loop diverged between identical runs"
+    );
+    assert_eq!(baseline.lost_requests, 0, "no accepted request may vanish");
+    assert!(baseline.swapped, "the canary breach must trigger a swap");
+    assert_eq!(
+        baseline.recovered_accuracy_delta_pp(),
+        0.0,
+        "a fixed-seed recompile must restore accuracy bit-exactly"
+    );
+}
