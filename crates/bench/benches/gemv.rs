@@ -1,0 +1,73 @@
+//! Criterion microbench of the read kernels: the f64 reference walk
+//! against the certified f32 fast path, at bench-dataset shapes.
+//!
+//! `196x10` is the quick-scale digit classifier (14x14 images), `784x10`
+//! the full-scale one (28x28). Each shape benches three variants:
+//!
+//! * `gemv_ref` — the bit-exact f64 reference (two matrices: the
+//!   differential read walks `eff_pos` and `eff_neg` separately),
+//! * `gemv_f32` — the pre-combined single-matrix f32 kernel,
+//! * `certified_label` — `gemv_f32` plus the argmax margin check, the
+//!   operation `infer` actually runs per sample.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vortex_linalg::Matrix;
+use vortex_runtime::kernels::{gemv_f32, gemv_ref, FastGemv};
+
+fn pair(rows: usize, cols: usize) -> (Matrix, Matrix, f64) {
+    let scale = 2.5e-4;
+    let pos = Matrix::from_fn(rows, cols, |i, j| {
+        scale * (1.0 + ((i * cols + j) as f64 * 0.13).sin()).abs()
+    });
+    let neg = Matrix::from_fn(rows, cols, |i, j| {
+        scale * (1.0 + ((i * cols + j) as f64 * 0.29).cos()).abs()
+    });
+    (pos, neg, scale)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemv");
+    for &(rows, cols) in &[(196usize, 10usize), (784, 10)] {
+        let (pos, neg, scale) = pair(rows, cols);
+        let fast = FastGemv::from_effective(&pos, &neg, scale);
+        let x: Vec<f64> = (0..rows).map(|i| ((i as f64) * 0.17).sin().abs()).collect();
+        let x32: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+
+        group.bench_function(BenchmarkId::new("gemv_ref", rows), |b| {
+            let mut ip = vec![0.0; cols];
+            let mut in_ = vec![0.0; cols];
+            b.iter(|| {
+                gemv_ref(black_box(&pos), black_box(&x), &mut ip);
+                gemv_ref(black_box(&neg), black_box(&x), &mut in_);
+                black_box((ip[0], in_[0]))
+            })
+        });
+        group.bench_function(BenchmarkId::new("gemv_f32", rows), |b| {
+            let mut y = vec![0f32; cols];
+            b.iter(|| {
+                gemv_f32(
+                    black_box(fast.matrix()),
+                    rows,
+                    cols,
+                    black_box(&x32),
+                    &mut y,
+                );
+                black_box(y[0])
+            })
+        });
+        group.bench_function(BenchmarkId::new("certified_label", rows), |b| {
+            let mut xs = vec![0f32; rows];
+            let mut ss = vec![0f32; cols];
+            b.iter(|| black_box(fast.certified_label(black_box(&x), &mut xs, &mut ss)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench
+}
+criterion_main!(benches);

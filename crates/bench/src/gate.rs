@@ -21,9 +21,12 @@
 
 /// The throughput keys the gate compares (higher is better, samples/sec).
 /// Baselines opt keys in: `bench/baseline.json` gates the runtime
-/// experiment's serial/parallel pair, `bench/baseline_serve.json` gates
-/// the serve experiment's serial/pooled pair.
-pub const GATED_KEYS: [&str; 3] = [
+/// experiment's reference/serial/parallel trio (the f64 reference kernel,
+/// the certified-f32 serial fast path, and the pooled parallel batch),
+/// `bench/baseline_serve.json` gates the serve experiment's
+/// serial/pooled pair.
+pub const GATED_KEYS: [&str; 4] = [
+    "reference_samples_per_sec",
     "serial_samples_per_sec",
     "parallel_samples_per_sec",
     "pooled_samples_per_sec",

@@ -89,6 +89,54 @@ fn serve_writes_a_gateable_json_payload() {
 }
 
 #[test]
+fn runtime_payload_passes_the_checked_in_throughput_gate() {
+    let dir = std::env::temp_dir().join(format!("vortex-cli-runtime-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["runtime", "--quick", "--json"])
+        .current_dir(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "experiments failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Runtime throughput"));
+    assert!(stdout.contains("wrote BENCH_runtime.json"));
+
+    // The payload must carry every gated key (reference kernel, serial
+    // fast path, pooled parallel) with sane values…
+    let json = std::fs::read_to_string(dir.join("BENCH_runtime.json")).expect("payload written");
+    for key in [
+        "reference_samples_per_sec",
+        "serial_samples_per_sec",
+        "spawn_samples_per_sec",
+        "parallel_samples_per_sec",
+    ] {
+        let v = vortex_bench::gate::extract_number(&json, key)
+            .unwrap_or_else(|| panic!("{key} missing from payload"));
+        assert!(v > 0.0, "{key} must be positive, got {v}");
+    }
+
+    // …and pass the checked-in baseline the CI bench-smoke step gates
+    // with, so a floor recalibration can never land broken.
+    let baseline = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench/baseline.json"),
+    )
+    .expect("baseline readable");
+    let report = vortex_bench::gate::check(&json, &baseline, 0.30).expect("gateable payload");
+    assert_eq!(report.checks.len(), 3, "baseline gates three runtime keys");
+    assert!(
+        report.pass(),
+        "runtime payload failed its own gate:\n{}",
+        report.render()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn chaos_writes_a_payload_the_reliability_gate_accepts() {
     let dir = std::env::temp_dir().join(format!("vortex-cli-chaos-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");

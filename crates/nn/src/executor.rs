@@ -10,36 +10,44 @@
 //! 1. **Pre-split**: child generator `k` is `parent.split()` number `k`,
 //!    taken serially from the parent before any worker starts. The parent
 //!    ends in exactly the state the serial loop would leave it in.
-//! 2. **Sharded execution**: trials are striped over a worker pool
-//!    (`std::thread` + `std::sync::mpsc`; no external dependencies).
-//! 3. **Ordered reassembly**: results are placed into a slot vector by
-//!    trial index, so the output `Vec` is in trial order regardless of
-//!    which worker finished first.
+//! 2. **Pooled execution**: trials are claimed dynamically from the
+//!    persistent [`WorkerPool`] — no per-call
+//!    thread spawn, no channel setup (see [`crate::pool`]).
+//! 3. **Ordered reassembly**: results land in a slot vector by trial
+//!    index, so the output `Vec` is in trial order regardless of which
+//!    worker finished first.
 //!
-//! Consequently [`run_trials`] is **bit-exact** across thread counts: one
-//! thread, eight threads and the serial fallback all produce identical
-//! output for the same seed. `tests/determinism.rs` in the bench crate
-//! enforces this.
+//! Consequently [`run_trials`] is **bit-exact** across thread counts *and*
+//! across claiming orders: trial `k` sees only child `k`, so one thread,
+//! eight threads and the serial fallback all produce identical output for
+//! the same seed. `tests/determinism.rs` in the bench crate enforces this,
+//! including across many `run_trials` calls reusing one pool and with the
+//! serve scheduler sharing that pool concurrently.
 //!
-//! The pool size comes from [`Parallelism`]: `Serial` forces the in-place
-//! loop, `Fixed(n)` pins `n` workers, and `Auto` (the default everywhere)
-//! honors the `VORTEX_MC_THREADS` environment variable, falling back to
-//! [`std::thread::available_parallelism`].
+//! The fan-out width comes from [`Parallelism`]: `Serial` forces the
+//! in-place loop, `Fixed(n)` uses `n` claiming threads, and `Auto` (the
+//! default everywhere) honors the `VORTEX_MC_THREADS` environment
+//! variable, falling back to [`std::thread::available_parallelism`].
+//!
+//! [`run_trials_unpooled`] keeps the original per-call
+//! `std::thread::scope` + mpsc implementation. It is not used by any
+//! pipeline — it exists so the `runtime` bench experiment can quantify
+//! exactly what pool reuse saves, against the same contract.
 //!
 //! # Observability
 //!
 //! Every [`run_trials`] call reports to the `vortex_obs` global registry:
 //! `executor.runs` / `executor.trials` (counters), `executor.workers`
-//! (gauge), and the histograms `executor.run_seconds` (whole fan-out),
-//! `executor.split_seconds` (serial pre-split), `executor.collect_seconds`
-//! (time the collector waits on the result queue) and
-//! `executor.worker_tasks` (per-worker task counts). Metrics observe
-//! timing only — no RNG, no control flow — so they cannot perturb the
+//! (gauge), and the histograms `executor.run_seconds` (whole fan-out) and
+//! `executor.split_seconds` (serial pre-split). Metrics observe timing
+//! only — no RNG, no control flow — so they cannot perturb the
 //! bit-exactness contract above.
 
 use std::sync::mpsc;
 use std::time::Instant;
 use vortex_linalg::rng::Xoshiro256PlusPlus;
+
+use crate::pool::WorkerPool;
 
 /// Name of the environment variable that overrides the `Auto` pool size.
 pub const THREADS_ENV_VAR: &str = "VORTEX_MC_THREADS";
@@ -88,7 +96,7 @@ fn available_threads() -> usize {
 
 /// Runs `trials` independent evaluations of `f`, each with its own child
 /// generator pre-split from `parent`, and returns the results **in trial
-/// order**.
+/// order**. Fan-out runs on the process-wide [`WorkerPool::global`].
 ///
 /// `f` receives the trial index and the trial's child generator. The
 /// output is bit-identical for every [`Parallelism`] setting; see the
@@ -96,6 +104,23 @@ fn available_threads() -> usize {
 /// equivalent serial split-per-trial loop would leave it in, so callers
 /// may keep drawing from it afterwards.
 pub fn run_trials<T, F>(
+    parent: &mut Xoshiro256PlusPlus,
+    trials: usize,
+    parallelism: Parallelism,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &mut Xoshiro256PlusPlus) -> T + Sync,
+{
+    run_trials_on(WorkerPool::global(), parent, trials, parallelism, f)
+}
+
+/// [`run_trials`] on an explicit pool. Library code and tests that need
+/// an isolated or specifically-sized pool (the determinism harness pins
+/// pool sizes 1, 2 and 8) call this directly.
+pub fn run_trials_on<T, F>(
+    pool: &WorkerPool,
     parent: &mut Xoshiro256PlusPlus,
     trials: usize,
     parallelism: Parallelism,
@@ -123,21 +148,48 @@ where
             .collect();
     }
 
-    // Step 2: stripe trials over the pool. Worker `w` owns trials
-    // w, w + workers, w + 2·workers, … — cheap static balancing that keeps
-    // neighboring (similarly-sized) trials on different workers.
+    // Steps 2 + 3: dynamic claiming over the persistent pool, results
+    // reassembled by index. Trial `k` clones child `k` out of the
+    // pre-split vector, so the value stream is a pure function of `k` —
+    // which thread runs it, and in what order, cannot matter.
+    pool.run_indexed(trials, workers, |k| {
+        let mut child = children[k].clone();
+        f(k, &mut child)
+    })
+}
+
+/// The pre-pool implementation: per-call `std::thread::scope` spawn with
+/// static striping and an mpsc result channel. Same contract and
+/// bit-identical output to [`run_trials`]; kept so the `runtime` bench
+/// experiment can measure what persistent-pool reuse saves. Not used by
+/// any pipeline.
+pub fn run_trials_unpooled<T, F>(
+    parent: &mut Xoshiro256PlusPlus,
+    trials: usize,
+    parallelism: Parallelism,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &mut Xoshiro256PlusPlus) -> T + Sync,
+{
+    let children: Vec<Xoshiro256PlusPlus> = (0..trials).map(|_| parent.split()).collect();
+    let workers = parallelism.resolve().min(trials.max(1));
+    if workers <= 1 {
+        return children
+            .into_iter()
+            .enumerate()
+            .map(|(k, mut child)| f(k, &mut child))
+            .collect();
+    }
+    // Stripe trials over freshly spawned workers: worker `w` owns trials
+    // w, w + workers, w + 2·workers, …
     let mut shards: Vec<Vec<(usize, Xoshiro256PlusPlus)>> = (0..workers)
         .map(|_| Vec::with_capacity(trials / workers + 1))
         .collect();
     for (k, child) in children.into_iter().enumerate() {
         shards[k % workers].push((k, child));
     }
-    for shard in &shards {
-        vortex_obs::histogram!("executor.worker_tasks").record(shard.len() as f64);
-    }
-
-    // Step 3: fan out, stream (index, value) pairs back, reassemble by
-    // index.
     let mut slots: Vec<Option<T>> = Vec::with_capacity(trials);
     slots.resize_with(trials, || None);
     let (tx, rx) = mpsc::channel::<(usize, T)>();
@@ -156,14 +208,9 @@ where
             });
         }
         drop(tx);
-        // Queue wait: how long the collector spends draining the result
-        // channel — from first recv to pool exhaustion.
-        let collect_start = Instant::now();
         for (k, value) in rx {
             slots[k] = Some(value);
         }
-        vortex_obs::histogram!("executor.collect_seconds")
-            .record(collect_start.elapsed().as_secs_f64());
     });
     slots
         .into_iter()
@@ -190,6 +237,25 @@ mod tests {
                 .zip(&got)
                 .all(|(a, b)| a.to_bits() == b.to_bits());
             assert!(same, "thread count {threads} changed the output");
+        }
+    }
+
+    #[test]
+    fn unpooled_matches_pooled_bit_for_bit() {
+        let f = |k: usize, rng: &mut Xoshiro256PlusPlus| (k as u64) ^ rng.next_u64();
+        let pooled = run_trials(&mut parent(11), 31, Parallelism::Fixed(4), f);
+        let unpooled = run_trials_unpooled(&mut parent(11), 31, Parallelism::Fixed(4), f);
+        assert_eq!(pooled, unpooled);
+    }
+
+    #[test]
+    fn explicit_pool_matches_global_pool() {
+        let f = |k: usize, rng: &mut Xoshiro256PlusPlus| (k as u64, rng.next_u64());
+        let global = run_trials(&mut parent(13), 19, Parallelism::Fixed(3), f);
+        for size in [1, 2, 8] {
+            let pool = WorkerPool::new(size);
+            let got = run_trials_on(&pool, &mut parent(13), 19, Parallelism::Fixed(3), f);
+            assert_eq!(global, got, "pool size {size} changed the output");
         }
     }
 

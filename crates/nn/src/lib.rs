@@ -20,6 +20,9 @@
 //! * [`executor`] — the deterministic parallel trial executor behind
 //!   every Monte-Carlo loop (pre-split seed streams, ordered reassembly;
 //!   bit-exact across thread counts).
+//! * [`pool`] — the persistent worker pool every fan-out in the
+//!   workspace rides (the executor's scoped fan-outs and the serve
+//!   scheduler's batch pumps share one pool).
 //!
 //! # Example
 //!
@@ -45,6 +48,7 @@ pub mod executor;
 pub mod gdt;
 pub mod metrics;
 pub mod montecarlo;
+pub mod pool;
 pub mod split;
 
 pub use classifier::LinearClassifier;

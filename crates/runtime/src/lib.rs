@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod kernels;
 pub mod model;
 
 pub use artifact::ArtifactError;

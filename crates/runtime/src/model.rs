@@ -24,12 +24,14 @@ use vortex_device::drift::RetentionModel;
 use vortex_linalg::rng::Xoshiro256PlusPlus;
 use vortex_linalg::{vector, Matrix};
 use vortex_nn::dataset::Dataset;
-use vortex_nn::executor::{run_trials, Parallelism};
+use vortex_nn::executor::Parallelism;
+use vortex_nn::pool::WorkerPool;
 use vortex_xbar::circuit::NodalAnalysis;
 use vortex_xbar::irdrop::ComputeAttenuationMap;
 use vortex_xbar::pair::FrozenPairState;
 use vortex_xbar::sensing::{Adc, Dac};
 
+use crate::kernels::{gemv_ref, FastGemv};
 use crate::{Result, RuntimeError};
 
 /// Samples per executor chunk in [`CompiledModel::infer_batch`]: large
@@ -190,6 +192,9 @@ struct Scratch {
     i_pos: Vec<f64>,
     i_neg: Vec<f64>,
     scores: Vec<f64>,
+    /// f32 staging for the certified fast path (empty when disabled).
+    x32: Vec<f32>,
+    s32: Vec<f32>,
 }
 
 /// An immutable, servable model: compile once, infer many.
@@ -212,6 +217,10 @@ pub struct CompiledModel {
     eff_pos: Matrix,
     eff_neg: Matrix,
     exact: Option<NodalAnalysis>,
+    /// The certified f32 label fast path; `None` for fidelities/periphery
+    /// where the tolerance proof does not hold (exact solve, quantized
+    /// sensing) or when disabled via [`Self::with_reference_kernel`].
+    fast: Option<FastGemv>,
 }
 
 impl CompiledModel {
@@ -363,6 +372,18 @@ impl CompiledModel {
             Fidelity::Exact => Some(NodalAnalysis::new(g_pos.rows(), g_pos.cols(), r_wire)?),
             _ => None,
         };
+        // The certified f32 label path exists only where its tolerance
+        // proof holds: a linear read (no per-sample nodal solve) with
+        // ideal sensing. A DAC is fine — it quantizes the *input* in f64
+        // before either kernel sees it. ADC quantization happens *after*
+        // the product, where an f32 score could land in a different bin,
+        // so those models stay on the reference.
+        let fast = match fidelity {
+            Fidelity::Ideal | Fidelity::Calibrated if adc.is_none() => {
+                Some(FastGemv::from_effective(&eff_pos, &eff_neg, scale))
+            }
+            _ => None,
+        };
         if let Some(c) = &canary {
             if c.inputs[0].len() != assignment.len() {
                 return Err(RuntimeError::InvalidParameter {
@@ -393,6 +414,7 @@ impl CompiledModel {
             eff_pos,
             eff_neg,
             exact,
+            fast,
         })
     }
 
@@ -593,12 +615,37 @@ impl CompiledModel {
     }
 
     fn scratch(&self) -> Scratch {
+        let (x32, s32) = if self.fast.is_some() {
+            (vec![0f32; self.physical_rows], vec![0f32; self.classes()])
+        } else {
+            (Vec::new(), Vec::new())
+        };
         Scratch {
             routed: vec![0.0; self.physical_rows],
             i_pos: vec![0.0; self.classes()],
             i_neg: vec![0.0; self.classes()],
             scores: vec![0.0; self.classes()],
+            x32,
+            s32,
         }
+    }
+
+    /// Whether this model currently answers labels through the certified
+    /// f32 fast path (with per-sample fallback to the reference).
+    pub fn fast_path_enabled(&self) -> bool {
+        self.fast.is_some()
+    }
+
+    /// This model with the f32 fast path disabled: every label comes from
+    /// the f64 reference kernel. Predictions are identical by the
+    /// certification contract — this switch exists so tests and benches
+    /// can measure and assert exactly that. The setting applies to this
+    /// instance only; derived copies ([`Self::aged`],
+    /// [`Self::with_cell_faults`], artifact round-trips) rebuild their
+    /// read state and re-enable the fast path where eligible.
+    pub fn with_reference_kernel(mut self) -> Self {
+        self.fast = None;
+        self
     }
 
     /// One frozen read into `s.scores`, bit-exact with the live pair read.
@@ -620,8 +667,8 @@ impl CompiledModel {
         }
         match &self.exact {
             None => {
-                vecmat_into(&self.eff_pos, &s.routed, &mut s.i_pos);
-                vecmat_into(&self.eff_neg, &s.routed, &mut s.i_neg);
+                gemv_ref(&self.eff_pos, &s.routed, &mut s.i_pos);
+                gemv_ref(&self.eff_neg, &s.routed, &mut s.i_neg);
             }
             Some(na) => {
                 let ip = na.compute(&self.g_pos, &s.routed)?.column_currents;
@@ -656,24 +703,65 @@ impl CompiledModel {
         Ok(s.scores)
     }
 
+    /// One label, fast path first: route + DAC in f64, then ask the
+    /// certified f32 kernel; any sample it cannot certify (tight margin,
+    /// NaN, non-finite input) reruns through the f64 reference. Returns
+    /// the label and whether the fast path answered it.
+    fn label_into(&self, x: &[f64], s: &mut Scratch) -> Result<(u8, bool)> {
+        if let Some(fast) = &self.fast {
+            if x.len() != self.assignment.len() {
+                return Err(RuntimeError::InvalidParameter {
+                    name: "x",
+                    requirement: "input length must match the logical row count",
+                });
+            }
+            s.routed.fill(0.0);
+            for (p, &q) in self.assignment.iter().enumerate() {
+                s.routed[q] = x[p];
+            }
+            if let Some(dac) = &self.dac {
+                for v in &mut s.routed {
+                    *v = dac.convert(*v);
+                }
+            }
+            if let Some(label) = fast.certified_label(&s.routed, &mut s.x32, &mut s.s32) {
+                return Ok((label as u8, true));
+            }
+        }
+        self.score_into(x, s)?;
+        Ok((vector::argmax(&s.scores).unwrap_or(0) as u8, false))
+    }
+
     /// Predicted class of one sample (argmax of [`Self::scores`]).
+    ///
+    /// Labels may be answered by the certified f32 fast path — which by
+    /// construction agrees with the reference argmax exactly (see
+    /// [`crate::kernels`]) — so this is always the same class
+    /// [`Self::scores`] would yield.
     ///
     /// # Errors
     ///
     /// See [`Self::scores`].
     pub fn infer(&self, x: &[f64]) -> Result<u8> {
         let mut s = self.scratch();
-        self.score_into(x, &mut s)?;
-        Ok(vector::argmax(&s.scores).unwrap_or(0) as u8)
+        let (label, fast) = self.label_into(x, &mut s)?;
+        if fast {
+            vortex_obs::counter!("runtime.fast_labels").incr();
+        } else {
+            vortex_obs::counter!("runtime.fast_fallbacks").incr();
+        }
+        Ok(label)
     }
 
     /// Predicted classes for a batch of samples, fanned out over the
-    /// deterministic executor.
+    /// persistent [`WorkerPool`].
     ///
     /// Samples are split into fixed-size chunks; each chunk reuses one set
-    /// of scratch buffers. Predictions are **bit-identical** for every
-    /// [`Parallelism`] setting, and arrive in sample order. When several
-    /// samples fail, the error of the earliest one is returned.
+    /// of scratch buffers, and chunks are claimed dynamically from the
+    /// process-wide pool (no per-call thread spawn). Predictions are
+    /// **bit-identical** for every [`Parallelism`] setting, and arrive in
+    /// sample order. When several samples fail, the error of the earliest
+    /// one is returned.
     ///
     /// # Errors
     ///
@@ -681,27 +769,39 @@ impl CompiledModel {
     pub fn infer_batch(&self, samples: &[&[f64]], parallelism: Parallelism) -> Result<Vec<u8>> {
         let batch_start = std::time::Instant::now();
         let chunks = samples.len().div_ceil(BATCH_CHUNK);
-        // Inference is pure — the executor's seed streams are unused, so
-        // any fixed parent generator preserves determinism.
-        let mut parent = Xoshiro256PlusPlus::seed_from_u64(0);
-        let per_chunk = run_trials(&mut parent, chunks, parallelism, |k, _rng| {
+        // Each chunk's labels depend only on its sample range — never on
+        // which pool thread runs it — so the fan-out is deterministic.
+        let run_chunk = |k: usize| {
             let lo = k * BATCH_CHUNK;
             let hi = (lo + BATCH_CHUNK).min(samples.len());
             let mut s = self.scratch();
             let mut out = Vec::with_capacity(hi - lo);
+            let mut fast_hits = 0usize;
             for x in &samples[lo..hi] {
-                self.score_into(x, &mut s)?;
-                out.push(vector::argmax(&s.scores).unwrap_or(0) as u8);
+                let (label, fast) = self.label_into(x, &mut s)?;
+                fast_hits += usize::from(fast);
+                out.push(label);
             }
-            Ok::<Vec<u8>, RuntimeError>(out)
-        });
+            Ok::<(Vec<u8>, usize), RuntimeError>((out, fast_hits))
+        };
+        let workers = parallelism.resolve().min(chunks.max(1));
+        let per_chunk: Vec<std::result::Result<(Vec<u8>, usize), RuntimeError>> = if workers <= 1 {
+            (0..chunks).map(run_chunk).collect()
+        } else {
+            WorkerPool::global().run_indexed(chunks, workers, run_chunk)
+        };
         let mut predictions = Vec::with_capacity(samples.len());
+        let mut fast_total = 0usize;
         for chunk in per_chunk {
-            predictions.extend(chunk?);
+            let (labels, fast_hits) = chunk?;
+            predictions.extend(labels);
+            fast_total += fast_hits;
         }
         let elapsed = batch_start.elapsed().as_secs_f64();
         vortex_obs::histogram!("runtime.batch_seconds").record(elapsed);
         vortex_obs::counter!("runtime.samples").add(samples.len() as u64);
+        vortex_obs::counter!("runtime.fast_labels").add(fast_total as u64);
+        vortex_obs::counter!("runtime.fast_fallbacks").add((predictions.len() - fast_total) as u64);
         if !samples.is_empty() && elapsed > 0.0 {
             vortex_obs::gauge!("runtime.samples_per_sec").set(samples.len() as f64 / elapsed);
         }
@@ -739,20 +839,6 @@ impl CompiledModel {
             &predictions,
             data,
         ))
-    }
-}
-
-/// `y = mᵀx` replicating [`Matrix::vecmat`] exactly (same zero-skip, same
-/// accumulation order) without the output allocation.
-fn vecmat_into(m: &Matrix, x: &[f64], y: &mut [f64]) {
-    debug_assert_eq!(x.len(), m.rows());
-    debug_assert_eq!(y.len(), m.cols());
-    y.fill(0.0);
-    for (i, &xi) in x.iter().enumerate() {
-        if xi == 0.0 {
-            continue;
-        }
-        vector::axpy(xi, m.row(i), y);
     }
 }
 

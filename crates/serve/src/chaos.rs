@@ -278,7 +278,10 @@ mod tests {
         let mut bytes = vec![0u8; 32];
         assert_eq!(plan.corrupt_artifact(&mut bytes), 2);
         let set: u32 = bytes.iter().map(|b| b.count_ones()).sum();
-        assert!((1..=2).contains(&set), "expected 1-2 flipped bits, got {set}");
+        assert!(
+            (1..=2).contains(&set),
+            "expected 1-2 flipped bits, got {set}"
+        );
         assert_eq!(plan.corrupt_artifact(&mut []), 0);
     }
 

@@ -1,48 +1,56 @@
 //! The batched inference scheduler: bounded admission, micro-batching
-//! worker pool, deadlines, the degradation ladder, and supervised
-//! self-healing workers.
+//! on the shared worker pool, deadlines, the degradation ladder, and
+//! self-healing dispatch.
 //!
-//! One [`Scheduler`] owns a pool of worker threads, each holding an
-//! [`Arc`] onto the same frozen [`CompiledModel`] replica pair (primary
-//! and optional degraded fallback — frozen state is shared, never
-//! copied). Callers submit single-sample requests through
-//! [`Scheduler::try_submit`], which either admits the request into a
-//! bounded queue and returns a [`Ticket`], or rejects it *immediately*
-//! with a typed error — [`ServeError::QueueFull`] is the backpressure
-//! signal; the scheduler never blocks a producer. Callers that would
-//! rather wait briefly than shed wrap submission in a [`RetryPolicy`]
-//! via [`Scheduler::submit_with_retry`].
+//! One [`Scheduler`] holds an [`Arc`] onto a frozen [`CompiledModel`]
+//! replica pair (primary and optional degraded fallback — frozen state
+//! is shared, never copied). Callers submit single-sample requests
+//! through [`Scheduler::try_submit`], which either admits the request
+//! into a bounded queue and returns a [`Ticket`], or rejects it
+//! *immediately* with a typed error — [`ServeError::QueueFull`] is the
+//! backpressure signal; the scheduler never blocks a producer. Callers
+//! that would rather wait briefly than shed wrap submission in a
+//! [`RetryPolicy`] via [`Scheduler::submit_with_retry`].
 //!
-//! Workers coalesce admitted requests into micro-batches: a worker that
-//! finds the queue non-empty drains up to [`SchedulerConfig::max_batch`]
-//! requests, then lingers up to [`SchedulerConfig::max_wait`] for the
-//! batch to fill before dispatching the whole batch through one
-//! [`CompiledModel::infer_batch`] call. Batching amortizes the
-//! per-dispatch costs (queue transaction, scratch buffers, metrics) that
-//! dominate a request-at-a-time server; it never changes predictions —
-//! the compiled read is a pure per-sample function, so the response for a
-//! given input is bit-identical whatever batch it rides in and whatever
-//! the pool size (`Parallelism::Fixed(1)` against `Fixed(4)` is asserted
-//! in the crate tests).
+//! # Pumps on the shared pool
 //!
-//! # Supervision: a panic loses no accepted request
+//! The scheduler owns no threads. Dispatch runs as **pump** tasks
+//! submitted to the workspace-wide
+//! [`WorkerPool`] — the same pool the
+//! Monte-Carlo executor fans out over. A pump exists only while there is
+//! work: admission spawns pumps (up to the configured pool size, never
+//! more than the backlog) and each pump drains batches until the queue
+//! is empty or paused, then retires, returning its pool thread. Batching
+//! semantics are unchanged from the dedicated-thread design: a pump
+//! drains up to [`SchedulerConfig::max_batch`] requests, lingers up to
+//! [`SchedulerConfig::max_wait`] for the batch to fill, and dispatches
+//! the whole batch through one [`CompiledModel::infer_batch`] call.
+//! Batching never changes predictions — the compiled read is a pure
+//! per-sample function, so the response for a given input is
+//! bit-identical whatever batch it rides in and whatever the pump count
+//! (`Parallelism::Fixed(1)` against `Fixed(4)` is asserted in the crate
+//! tests).
 //!
-//! Every dispatch runs under `catch_unwind`. When a worker panics —
+//! # Self-healing: a panic loses no accepted request
+//!
+//! Every dispatch runs under `catch_unwind`. When a pump panics —
 //! whether from a genuine bug or a [`ChaosPlan`] injection — the batch
 //! it held is still unanswered, because dispatch computes *every*
-//! response before sending *any*: the crashed worker pushes the whole
-//! batch back onto the queue front (order preserved), reports to the
-//! supervisor thread, and exits. The supervisor reaps the thread and
-//! respawns the slot after a bounded deterministic backoff
-//! (`base · 2^min(restarts, 6)`, capped). A request that has already
-//! survived one crash is not requeued twice: the second failure answers
-//! it with the typed [`ServeError::WorkerCrashed`]. Accepted requests
-//! therefore always resolve — a prediction, or a typed error.
+//! response before sending *any*: the pump pushes the whole batch back
+//! onto the queue front (order preserved), sleeps a bounded
+//! deterministic backoff (`base · 2^min(crashes, 6)`, capped), and
+//! resumes pumping in place — the pool thread survives the caught panic,
+//! so the "respawn" is the same slot picking the requeued batch back up.
+//! Nothing is poisoned: the pool keeps serving every other client
+//! throughout. A request that has already survived one crash is not
+//! requeued twice: the second failure answers it with the typed
+//! [`ServeError::WorkerCrashed`]. Accepted requests therefore always
+//! resolve — a prediction, or a typed error.
 //!
 //! # Hot swap
 //!
 //! [`Scheduler::swap_primary`] atomically replaces the primary model
-//! between batches without draining the queue: workers re-read the
+//! between batches without draining the queue: pumps re-read the
 //! replica at each dispatch. A health monitor uses this to install a
 //! freshly recompiled model when canary accuracy sags (see
 //! [`crate::health`]).
@@ -53,20 +61,20 @@
 //! queue depth at submit time, and the queue depth sequence is
 //! deterministic whenever producers are serialized — the integration
 //! tests and the bench harness use [`Scheduler::pause`] to build an exact
-//! backlog before releasing the workers, which makes every admission
+//! backlog before releasing the pumps, which makes every admission
 //! decision, every downgrade, and every prediction assertable. Under
 //! [`SchedulerConfig::deterministic`] the batch sequence numbers a
 //! [`ChaosPlan`] keys on are deterministic too, so an injected crash
 //! hits the same batch — and produces the same answers — on every run.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use vortex_nn::executor::Parallelism;
+use vortex_nn::pool::WorkerPool;
 use vortex_runtime::{CompiledModel, Fidelity, RuntimeError};
 
 use crate::chaos::ChaosPlan;
@@ -91,16 +99,16 @@ pub struct Prediction {
 /// Configuration of a [`Scheduler`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SchedulerConfig {
-    /// Worker pool size, as the workspace-wide [`Parallelism`] type.
-    /// `Fixed(1)` is the deterministic test mode: one worker dispatches
-    /// batches strictly in admission order.
+    /// Maximum concurrent pumps, as the workspace-wide [`Parallelism`]
+    /// type. `Fixed(1)` is the deterministic test mode: one pump
+    /// dispatches batches strictly in admission order.
     pub pool: Parallelism,
     /// Admission queue capacity; a full queue rejects with
     /// [`ServeError::QueueFull`]. Zero rejects every submission.
     pub queue_capacity: usize,
-    /// Largest micro-batch a worker dispatches (≥ 1).
+    /// Largest micro-batch a pump dispatches (≥ 1).
     pub max_batch: usize,
-    /// How long a worker lingers for a partial batch to fill before
+    /// How long a pump lingers for a partial batch to fill before
     /// dispatching it. [`Duration::ZERO`] dispatches whatever is queued.
     pub max_wait: Duration,
     /// Queue depth at which new admissions degrade to the fallback model.
@@ -108,11 +116,11 @@ pub struct SchedulerConfig {
     pub high_water: usize,
     /// Queue depth at which degraded admission recovers.
     pub low_water: usize,
-    /// Start with the workers paused (see [`Scheduler::pause`]); used by
+    /// Start with the pumps paused (see [`Scheduler::pause`]); used by
     /// tests and benchmarks to build an exact backlog.
     pub start_paused: bool,
-    /// Backoff before the first respawn of a crashed worker; doubles per
-    /// crash of the same slot.
+    /// Backoff before a crashed pump resumes; doubles per crash of this
+    /// scheduler.
     pub respawn_base: Duration,
     /// Upper bound on any single respawn backoff.
     pub respawn_cap: Duration,
@@ -134,7 +142,7 @@ impl SchedulerConfig {
         }
     }
 
-    /// The deterministic test mode: one worker, no linger, ladder off,
+    /// The deterministic test mode: one pump, no linger, ladder off,
     /// immediate respawn — batches dispatch strictly in admission order
     /// and carry deterministic sequence numbers.
     pub fn deterministic() -> Self {
@@ -167,7 +175,7 @@ impl SchedulerConfig {
         self
     }
 
-    /// This configuration with the given worker-respawn backoff band.
+    /// This configuration with the given crash-recovery backoff band.
     pub fn with_respawn_backoff(mut self, base: Duration, cap: Duration) -> Self {
         self.respawn_base = base;
         self.respawn_cap = cap;
@@ -187,7 +195,7 @@ struct Request {
     deadline: Option<Instant>,
     downgraded: bool,
     submitted: Instant,
-    /// How many worker crashes this request has already survived.
+    /// How many pump crashes this request has already survived.
     attempts: u32,
     tx: mpsc::Sender<Result<Prediction>>,
 }
@@ -228,16 +236,23 @@ struct QueueState {
     ladder: Hysteresis,
     closed: bool,
     paused: bool,
+    /// Pumps currently live (enqueued on the pool or running). Guarded by
+    /// the state lock so spawn decisions can never race a retiring pump.
+    active_pumps: usize,
 }
 
 struct Shared {
     state: Mutex<QueueState>,
     available: Condvar,
+    /// Signaled by the last retiring pump; shutdown waits on it.
+    idle: Condvar,
     capacity: usize,
     max_batch: usize,
     max_wait: Duration,
+    /// Maximum concurrent pumps — the configured "pool size".
+    pump_limit: usize,
     /// The serving replica, swappable between batches (see
-    /// [`Scheduler::swap_primary`]). Workers take the read lock once per
+    /// [`Scheduler::swap_primary`]). Pumps take the read lock once per
     /// dispatch; the write lock is held only for the pointer swap.
     primary: RwLock<Arc<CompiledModel>>,
     fallback: Option<Arc<CompiledModel>>,
@@ -245,6 +260,12 @@ struct Shared {
     /// Monotone dispatch sequence; the key a [`ChaosPlan`] fires on.
     batch_seq: AtomicU64,
     depth: AtomicUsize,
+    /// Crashes this scheduler has absorbed (drives the backoff doubling).
+    crashes: AtomicU32,
+    respawn_base: Duration,
+    respawn_cap: Duration,
+    /// The pool pumps run on; retained so admission can spawn them.
+    pool: Arc<WorkerPool>,
 }
 
 impl Shared {
@@ -263,27 +284,40 @@ impl Shared {
         }
         transition
     }
-}
 
-/// Crash reports and shutdown, from workers/scheduler to the supervisor.
-enum SupervisorMsg {
-    Crashed(usize),
-    Shutdown,
+    /// Spawns pumps up to the configured limit, never more than the
+    /// backlog. Must be called with the state lock held so the
+    /// `active_pumps` check-and-increment is atomic with the spawn.
+    fn spawn_pumps(self: &Arc<Self>, state: &mut QueueState) {
+        while !state.paused
+            && !state.closed
+            && state.active_pumps < self.pump_limit
+            && state.active_pumps < state.queue.len()
+        {
+            state.active_pumps += 1;
+            let shared = Arc::clone(self);
+            self.pool.submit(move || pump_loop(&shared));
+        }
+    }
+
+    /// One pump checks out. Must be called with the state lock held.
+    fn retire_pump(&self, state: &mut QueueState) {
+        state.active_pumps -= 1;
+        if state.active_pumps == 0 {
+            self.idle.notify_all();
+        }
+    }
 }
 
 /// The batched inference scheduler. See the module docs.
 pub struct Scheduler {
     shared: Arc<Shared>,
-    workers: Arc<Mutex<Vec<Option<JoinHandle<()>>>>>,
-    supervisor: Mutex<Option<JoinHandle<()>>>,
-    supervisor_tx: mpsc::Sender<SupervisorMsg>,
-    pool_size: usize,
 }
 
 impl Scheduler {
     /// Builds a scheduler over `primary`, with `fallback` as the degraded
-    /// tier of the ladder, and spawns the worker pool plus its
-    /// supervisor.
+    /// tier of the ladder, dispatching on the process-wide
+    /// [`WorkerPool::global`].
     ///
     /// # Errors
     ///
@@ -301,7 +335,7 @@ impl Scheduler {
 
     /// [`Self::new`] with a fault-injection plan wired into the dispatch
     /// path: the plan decides per batch sequence number whether the
-    /// dispatching worker panics or runs slow. Production schedulers
+    /// dispatching pump panics or runs slow. Production schedulers
     /// pass `None` (via [`Self::new`]); chaos tests and the `chaos`
     /// bench experiment pass a generated plan.
     ///
@@ -309,6 +343,29 @@ impl Scheduler {
     ///
     /// See [`Self::new`].
     pub fn with_chaos(
+        primary: Arc<CompiledModel>,
+        fallback: Option<Arc<CompiledModel>>,
+        config: SchedulerConfig,
+        chaos: Option<ChaosPlan>,
+    ) -> Result<Self> {
+        Self::on_pool(
+            Arc::clone(WorkerPool::global()),
+            primary,
+            fallback,
+            config,
+            chaos,
+        )
+    }
+
+    /// [`Self::with_chaos`] on an explicit pool — the determinism harness
+    /// uses this to pin schedulers and executors onto one shared pool of
+    /// a specific size.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::new`].
+    pub fn on_pool(
+        pool: Arc<WorkerPool>,
         primary: Arc<CompiledModel>,
         fallback: Option<Arc<CompiledModel>>,
         config: SchedulerConfig,
@@ -351,54 +408,33 @@ impl Scheduler {
                 });
             }
         }
-        let pool_size = config.pool.resolve();
+        let pump_limit = config.pool.resolve();
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 queue: std::collections::VecDeque::with_capacity(config.queue_capacity.min(4096)),
                 ladder,
                 closed: false,
                 paused: config.start_paused,
+                active_pumps: 0,
             }),
             available: Condvar::new(),
+            idle: Condvar::new(),
             capacity: config.queue_capacity,
             max_batch: config.max_batch,
             max_wait: config.max_wait,
+            pump_limit,
             primary: RwLock::new(primary),
             fallback,
             chaos,
             batch_seq: AtomicU64::new(0),
             depth: AtomicUsize::new(0),
+            crashes: AtomicU32::new(0),
+            respawn_base: config.respawn_base,
+            respawn_cap: config.respawn_cap,
+            pool,
         });
-        vortex_obs::gauge!("serve.pool_workers").set(pool_size as f64);
-        let (supervisor_tx, supervisor_rx) = mpsc::channel();
-        let workers: Arc<Mutex<Vec<Option<JoinHandle<()>>>>> = Arc::new(Mutex::new(
-            (0..pool_size)
-                .map(|slot| {
-                    Some(spawn_worker(
-                        Arc::clone(&shared),
-                        slot,
-                        supervisor_tx.clone(),
-                    ))
-                })
-                .collect(),
-        ));
-        let supervisor = {
-            let shared = Arc::clone(&shared);
-            let workers = Arc::clone(&workers);
-            let tx = supervisor_tx.clone();
-            let (base, cap) = (config.respawn_base, config.respawn_cap);
-            std::thread::Builder::new()
-                .name("vortex-serve-supervisor".into())
-                .spawn(move || supervisor_loop(&shared, &workers, &tx, &supervisor_rx, base, cap))
-                .expect("supervisor thread spawns")
-        };
-        Ok(Self {
-            shared,
-            workers,
-            supervisor: Mutex::new(Some(supervisor)),
-            supervisor_tx,
-            pool_size,
-        })
+        vortex_obs::gauge!("serve.pool_workers").set(pump_limit as f64);
+        Ok(Self { shared })
     }
 
     /// Submits one logical input for classification, with an optional
@@ -465,7 +501,9 @@ impl Scheduler {
             vortex_obs::counter!("serve.downgraded").incr();
         }
         vortex_obs::counter!("serve.admitted").incr();
+        self.shared.spawn_pumps(&mut state);
         drop(state);
+        // Wake any pump lingering for a partial batch.
         self.shared.available.notify_one();
         Ok(Ticket { rx })
     }
@@ -564,9 +602,9 @@ impl Scheduler {
             .is_degraded()
     }
 
-    /// Worker pool size.
+    /// Maximum concurrent pumps (the configured pool size).
     pub fn pool_size(&self) -> usize {
-        self.pool_size
+        self.shared.pump_limit
     }
 
     /// Number of micro-batches dispatched so far (the sequence a
@@ -575,46 +613,38 @@ impl Scheduler {
         self.shared.batch_seq.load(Ordering::Relaxed)
     }
 
-    /// Stops workers from dispatching; admissions continue. Paired with
+    /// Stops pumps from dispatching; admissions continue. Paired with
     /// [`Self::resume`], this builds an exact, assertable backlog.
     pub fn pause(&self) {
         self.shared.state.lock().expect("queue lock").paused = true;
         self.shared.available.notify_all();
     }
 
-    /// Releases paused workers.
+    /// Releases a paused scheduler: pumps spawn for whatever backlog
+    /// built up.
     pub fn resume(&self) {
-        self.shared.state.lock().expect("queue lock").paused = false;
+        let mut state = self.shared.state.lock().expect("queue lock");
+        state.paused = false;
+        self.shared.spawn_pumps(&mut state);
+        drop(state);
         self.shared.available.notify_all();
     }
 
-    /// Closes admission, lets the workers drain the queue, and joins the
-    /// supervisor and the pool. Requests still queued when the pool was
+    /// Closes admission, lets the pumps drain the queue, and waits for
+    /// every pump to retire. Requests still queued when the scheduler was
     /// paused are answered with [`ServeError::ShuttingDown`]. Idempotent;
     /// also runs on drop.
     pub fn shutdown(&self) {
-        {
-            let mut state = self.shared.state.lock().expect("queue lock");
-            state.closed = true;
-        }
-        self.shared.available.notify_all();
-        // The supervisor goes first so no worker is respawned mid-join.
-        let _ = self.supervisor_tx.send(SupervisorMsg::Shutdown);
-        if let Some(handle) = self.supervisor.lock().expect("supervisor handle").take() {
-            let _ = handle.join();
-        }
-        let handles: Vec<JoinHandle<()>> = self
-            .workers
-            .lock()
-            .expect("worker handles")
-            .iter_mut()
-            .filter_map(Option::take)
-            .collect();
-        for handle in handles {
-            let _ = handle.join();
-        }
-        // A paused pool exits without draining; answer the leftovers.
         let mut state = self.shared.state.lock().expect("queue lock");
+        state.closed = true;
+        // Wake lingering pumps so they dispatch what they hold and see
+        // `closed`.
+        self.shared.available.notify_all();
+        while state.active_pumps > 0 {
+            state = self.shared.idle.wait(state).expect("queue lock");
+        }
+        // A paused (or crashed-at-close) scheduler retires its pumps
+        // without draining; answer the leftovers.
         while let Some(request) = state.queue.pop_front() {
             let _ = request.tx.send(Err(ServeError::ShuttingDown));
         }
@@ -631,7 +661,7 @@ impl Drop for Scheduler {
 impl std::fmt::Debug for Scheduler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Scheduler")
-            .field("pool_size", &self.pool_size)
+            .field("pool_size", &self.shared.pump_limit)
             .field("capacity", &self.shared.capacity)
             .field("max_batch", &self.shared.max_batch)
             .field("queue_depth", &self.queue_depth())
@@ -639,76 +669,55 @@ impl std::fmt::Debug for Scheduler {
     }
 }
 
-fn spawn_worker(
-    shared: Arc<Shared>,
-    slot: usize,
-    supervisor_tx: mpsc::Sender<SupervisorMsg>,
-) -> JoinHandle<()> {
-    std::thread::Builder::new()
-        .name(format!("vortex-serve-{slot}"))
-        .spawn(move || {
-            if matches!(worker_loop(&shared), WorkerExit::Crashed) {
-                // Requeue already happened inside the loop; this report
-                // is what triggers the respawn.
-                let _ = supervisor_tx.send(SupervisorMsg::Crashed(slot));
+/// One pump: drain batches until the queue is empty, paused or closed,
+/// then retire. Runs as a detached job on the shared pool. On a dispatch
+/// panic the batch is requeued and — after the bounded backoff — this
+/// same task resumes pumping in place ("respawn" without a thread
+/// death: the pool thread survives the caught panic).
+fn pump_loop(shared: &Arc<Shared>) {
+    loop {
+        let Some(mut batch) = next_batch(shared) else {
+            return; // retired inside next_batch, under the state lock
+        };
+        if batch.is_empty() {
+            continue;
+        }
+        let seq = shared.batch_seq.fetch_add(1, Ordering::Relaxed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| dispatch(shared, &mut batch, seq)));
+        if outcome.is_err() {
+            // Dispatch computes every answer before sending any, so a
+            // panic means the whole batch is still in `batch`, unanswered.
+            vortex_obs::counter!("serve.worker_panics").incr();
+            requeue_unanswered(shared, &mut batch);
+            let crashes = shared.crashes.fetch_add(1, Ordering::Relaxed);
+            let backoff = shared
+                .respawn_base
+                .checked_mul(1 << crashes.min(6))
+                .unwrap_or(shared.respawn_cap)
+                .min(shared.respawn_cap);
+            if shared.state.lock().expect("queue lock").closed {
+                // Shutdown answers the requeued leftovers; don't resume.
+                let mut state = shared.state.lock().expect("queue lock");
+                shared.retire_pump(&mut state);
+                return;
             }
-        })
-        .expect("worker thread spawns")
-}
-
-/// Reaps crashed workers and respawns their slots with bounded
-/// deterministic backoff until shutdown.
-fn supervisor_loop(
-    shared: &Arc<Shared>,
-    workers: &Arc<Mutex<Vec<Option<JoinHandle<()>>>>>,
-    tx: &mpsc::Sender<SupervisorMsg>,
-    rx: &mpsc::Receiver<SupervisorMsg>,
-    base: Duration,
-    cap: Duration,
-) {
-    let slots = workers.lock().expect("worker handles").len();
-    let mut restarts = vec![0u32; slots];
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            SupervisorMsg::Shutdown => break,
-            SupervisorMsg::Crashed(slot) => {
-                if let Some(handle) = workers.lock().expect("worker handles")[slot].take() {
-                    let _ = handle.join();
-                }
-                if shared.state.lock().expect("queue lock").closed {
-                    // Shutdown drains and answers what's left; no respawn.
-                    continue;
-                }
-                let backoff = base
-                    .checked_mul(1 << restarts[slot].min(6))
-                    .unwrap_or(cap)
-                    .min(cap);
-                restarts[slot] = restarts[slot].saturating_add(1);
-                if backoff > Duration::ZERO {
-                    std::thread::sleep(backoff);
-                }
-                workers.lock().expect("worker handles")[slot] =
-                    Some(spawn_worker(Arc::clone(shared), slot, tx.clone()));
-                vortex_obs::counter!("serve.supervisor.respawns").incr();
+            if backoff > Duration::ZERO {
+                std::thread::sleep(backoff);
             }
+            vortex_obs::counter!("serve.supervisor.respawns").incr();
         }
     }
 }
 
-/// Collects the next micro-batch: blocks for the first request, drains
-/// greedily, then lingers up to `max_wait` for the batch to fill.
-/// Returns `None` when the scheduler has shut down and the queue is
-/// drained (or the pool is paused at shutdown).
-fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
+/// Collects the next micro-batch: drains greedily, then lingers up to
+/// `max_wait` for the batch to fill. Returns `None` — retiring the pump
+/// under the state lock — when the queue is empty, paused, or being shut
+/// down with nothing left to drain.
+fn next_batch(shared: &Arc<Shared>) -> Option<Vec<Request>> {
     let mut state: MutexGuard<'_, QueueState> = shared.state.lock().expect("queue lock");
-    loop {
-        if state.closed && (state.paused || state.queue.is_empty()) {
-            return None;
-        }
-        if !state.paused && !state.queue.is_empty() {
-            break;
-        }
-        state = shared.available.wait(state).expect("queue lock");
+    if state.paused || state.queue.is_empty() {
+        shared.retire_pump(&mut state);
+        return None;
     }
     let mut batch = Vec::with_capacity(shared.max_batch.min(state.queue.len()));
     drain_into(&mut state, &mut batch, shared.max_batch);
@@ -730,8 +739,6 @@ fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
         }
     }
     let _ = shared.note_depth(&mut state);
-    drop(state);
-    shared.available.notify_one();
     Some(batch)
 }
 
@@ -744,30 +751,7 @@ fn drain_into(state: &mut QueueState, batch: &mut Vec<Request>, max_batch: usize
     }
 }
 
-enum WorkerExit {
-    Clean,
-    Crashed,
-}
-
-fn worker_loop(shared: &Shared) -> WorkerExit {
-    while let Some(mut batch) = next_batch(shared) {
-        if batch.is_empty() {
-            continue;
-        }
-        let seq = shared.batch_seq.fetch_add(1, Ordering::Relaxed);
-        let outcome = catch_unwind(AssertUnwindSafe(|| dispatch(shared, &mut batch, seq)));
-        if outcome.is_err() {
-            // Dispatch computes every answer before sending any, so a
-            // panic means the whole batch is still in `batch`, unanswered.
-            vortex_obs::counter!("serve.worker_panics").incr();
-            requeue_unanswered(shared, &mut batch);
-            return WorkerExit::Crashed;
-        }
-    }
-    WorkerExit::Clean
-}
-
-/// Pushes a crashed worker's batch back onto the queue front (order
+/// Pushes a crashed pump's batch back onto the queue front (order
 /// preserved). A request that already survived one crash is answered
 /// with [`ServeError::WorkerCrashed`] instead of riding a third dispatch.
 fn requeue_unanswered(shared: &Shared, batch: &mut Vec<Request>) {
@@ -796,7 +780,8 @@ fn tier_outcome(
         return Ok(Vec::new());
     }
     let infer_start = Instant::now();
-    // Workers are the parallelism; the intra-batch read stays serial.
+    // Pumps are the parallelism; the intra-batch read stays serial (a
+    // nested pool fan-out from inside a pool job would only thrash).
     let outcome = model.infer_batch(inputs, Parallelism::Serial);
     vortex_obs::histogram!("serve.infer_seconds").record(infer_start.elapsed().as_secs_f64());
     outcome

@@ -374,6 +374,69 @@ fn swap_primary_rejects_a_shape_mismatch() {
 }
 
 #[test]
+fn panicked_pool_task_poisons_nothing_and_the_slot_is_reusable() {
+    use vortex_nn::executor::run_trials;
+    use vortex_nn::pool::WorkerPool;
+
+    let job_panics = vortex_obs::counter!("pool.job_panics");
+    let job_panics0 = job_panics.get();
+
+    // Baselines before any fault: the model's own labels and a serial
+    // Monte-Carlo run.
+    let model = Arc::new(fresh_model());
+    let direct: Vec<u8> = (0..6).map(|k| model.infer(&input(k)).unwrap()).collect();
+    let f = |_: usize, r: &mut Xoshiro256PlusPlus| r.next_u64();
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(23);
+    let want_mc = run_trials(&mut rng, 31, Parallelism::Serial, f);
+
+    // Fault 1: a chaos-injected pump panic on the shared global pool.
+    let plan = ChaosPlan::generate(
+        &ChaosConfig::new(29, ROWS, COLS)
+            .with_horizon(3)
+            .with_worker_panics(1),
+    );
+    let scheduler = vortex_serve::Scheduler::with_chaos(
+        Arc::clone(&model),
+        None,
+        SchedulerConfig::deterministic()
+            .with_batching(2, Duration::ZERO)
+            .with_queue_capacity(16)
+            .paused(),
+        Some(plan),
+    )
+    .unwrap();
+    let tickets: Vec<Ticket> = (0..6)
+        .map(|k| scheduler.try_submit(input(k), None).unwrap())
+        .collect();
+    scheduler.resume();
+    let served: Vec<u8> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("pump panic must not lose requests").class)
+        .collect();
+    assert_eq!(served, direct);
+
+    // Fault 2: detached jobs that panic *inside the pool itself* — the
+    // worker's catch_unwind must absorb them without killing the thread.
+    for _ in 0..3 {
+        WorkerPool::global().submit(|| panic!("poison attempt"));
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while job_panics.get() - job_panics0 < 3 {
+        assert!(Instant::now() < deadline, "pool never absorbed the panics");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // Nothing is poisoned and every slot is reusable: the same pool still
+    // runs a bit-exact executor fan-out and keeps serving the scheduler.
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(23);
+    let got_mc = run_trials(&mut rng, 31, Parallelism::Fixed(8), f);
+    assert_eq!(want_mc, got_mc, "executor drifted after pool panics");
+    for (k, want) in direct.iter().enumerate() {
+        assert_eq!(scheduler.submit_wait(input(k)).unwrap().class, *want);
+    }
+}
+
+#[test]
 fn predictions_are_bit_identical_across_pool_sizes_under_chaos() {
     let model = Arc::new(fresh_model());
     let trace: Vec<Vec<f64>> = (0..40).map(input).collect();

@@ -319,6 +319,142 @@ fn fig2_statistics_are_identical_on_any_pool_and_parallel_is_not_slower() {
 }
 
 // ---------------------------------------------------------------------------
+// The shared worker pool: one pool, many clients, zero drift.
+// ---------------------------------------------------------------------------
+
+mod shared_pool {
+    use super::*;
+    use std::sync::Arc;
+
+    use vortex_device::DeviceParams;
+    use vortex_linalg::Matrix;
+    use vortex_nn::executor::run_trials_on;
+    use vortex_nn::pool::WorkerPool;
+    use vortex_runtime::{CompiledModel, Fidelity, ReadOptions};
+    use vortex_serve::{Scheduler, SchedulerConfig};
+    use vortex_xbar::crossbar::CrossbarConfig;
+    use vortex_xbar::pair::{DifferentialPair, WeightMapping};
+
+    const ROWS: usize = 6;
+    const COLS: usize = 3;
+
+    fn compiled() -> Arc<CompiledModel> {
+        let device = DeviceParams::default();
+        let config = CrossbarConfig {
+            r_wire: 8.0,
+            ..CrossbarConfig::ideal(ROWS, COLS, device)
+        };
+        let mapping = WeightMapping::new(&device, 1.0).unwrap();
+        let mut rng = rng(42);
+        let mut pair = DifferentialPair::fabricate(config, mapping, &mut rng).unwrap();
+        let w = Matrix::from_fn(ROWS, COLS, |i, j| {
+            ((i * COLS + j) as f64 * 0.53).sin() * 0.8
+        });
+        pair.program_open_loop(&w, None, &mut rng).unwrap();
+        let assignment: Vec<usize> = (0..ROWS).collect();
+        let calibration = vec![0.5; ROWS];
+        Arc::new(
+            CompiledModel::compile(
+                &pair.freeze(),
+                &assignment,
+                &ReadOptions::new(Fidelity::Calibrated),
+                Some(&calibration),
+            )
+            .unwrap(),
+        )
+    }
+
+    fn request(k: usize) -> Vec<f64> {
+        (0..ROWS)
+            .map(|i| ((i * 7 + k) as f64 * 0.37).sin().abs())
+            .collect()
+    }
+
+    /// One long-lived pool reused across many `run_trials_on` calls must
+    /// behave exactly like a fresh executor every time, at every pool
+    /// size — determinism cannot depend on pool warm-up or job history.
+    #[test]
+    fn reused_pool_is_bit_identical_across_runs_and_sizes() {
+        let f = |k: usize, r: &mut Xoshiro256PlusPlus| (k as f64).mul_add(1e-9, r.next_f64());
+        let baseline: Vec<Vec<f64>> = [13usize, 1, 37, 8]
+            .iter()
+            .map(|&trials| run_trials(&mut rng(7), trials, Parallelism::Serial, f))
+            .collect();
+        for size in [1usize, 2, 8] {
+            let pool = WorkerPool::new(size);
+            // Several rounds over the same pool: results never drift.
+            for _round in 0..3 {
+                for (&trials, want) in [13usize, 1, 37, 8].iter().zip(&baseline) {
+                    let got =
+                        run_trials_on(&pool, &mut rng(7), trials, Parallelism::Fixed(size), f);
+                    assert_eq!(want.len(), got.len());
+                    for (a, b) in want.iter().zip(&got) {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "pool of {size} drifted on {trials} trials"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The tentpole contract: the Monte-Carlo executor and the serve
+    /// scheduler share one pool, interleaved, and neither perturbs the
+    /// other — executor output stays bit-exact, scheduler predictions
+    /// stay equal to the model's own `infer`.
+    #[test]
+    fn interleaved_executor_and_serve_clients_share_one_pool() {
+        let f = |_: usize, r: &mut Xoshiro256PlusPlus| r.next_u64();
+        let want_mc = run_trials(&mut rng(19), 29, Parallelism::Serial, f);
+        let model = compiled();
+        let want_labels: Vec<u8> = (0..12).map(|k| model.infer(&request(k)).unwrap()).collect();
+
+        for size in [1usize, 2, 8] {
+            let pool = Arc::new(WorkerPool::new(size));
+            let scheduler = Scheduler::on_pool(
+                Arc::clone(&pool),
+                Arc::clone(&model),
+                None,
+                SchedulerConfig::deterministic(),
+                None,
+            )
+            .unwrap();
+            for round in 0..3 {
+                // Executor fan-out on the shared pool…
+                let got = run_trials_on(&pool, &mut rng(19), 29, Parallelism::Fixed(size), f);
+                assert_eq!(want_mc, got, "MC drifted at pool size {size} round {round}");
+                // …interleaved with serve traffic on the same pool.
+                for (k, want) in want_labels.iter().enumerate() {
+                    let got = scheduler.submit_wait(request(k)).unwrap();
+                    assert_eq!(got.class, *want, "serve prediction drifted");
+                }
+            }
+            scheduler.shutdown();
+        }
+    }
+
+    /// `VORTEX_MC_THREADS=1` must force the executor serial even when a
+    /// big shared pool is available — Auto resolves from the env var,
+    /// not from the pool it happens to run on.
+    #[test]
+    fn mc_threads_env_is_honored_on_a_shared_pool() {
+        // Mutating the var is harmless to concurrent tests for the usual
+        // reason: results never depend on the resolved thread count.
+        let f = |_: usize, r: &mut Xoshiro256PlusPlus| r.next_f64();
+        let want = run_trials(&mut rng(31), 23, Parallelism::Serial, f);
+        let pool = WorkerPool::new(8);
+        std::env::set_var(THREADS_ENV_VAR, "1");
+        assert_eq!(Parallelism::Auto.resolve(), 1);
+        let got = run_trials_on(&pool, &mut rng(31), 23, Parallelism::Auto, f);
+        std::env::remove_var(THREADS_ENV_VAR);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&want), bits(&got));
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Self-healing chaos: the whole fault-and-recovery loop is a pure value.
 // ---------------------------------------------------------------------------
 
