@@ -11,6 +11,7 @@ pub mod fig4;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fleet;
 pub mod runtime;
 pub mod serve;
 pub mod table1;

@@ -1,8 +1,9 @@
 //! The CI benchmark regression gate behind the `check_bench` binary.
 //!
-//! CI's `bench-smoke` job runs `experiments serve runtime chaos --quick
-//! --json`, then compares the fresh `BENCH_runtime.json` /
-//! `BENCH_serve.json` / `BENCH_chaos.json` against the checked-in
+//! CI's `bench-smoke` job runs `experiments serve runtime chaos fleet
+//! --quick --json`, then compares the fresh `BENCH_runtime.json` /
+//! `BENCH_serve.json` / `BENCH_chaos.json` / `BENCH_fleet.json` against
+//! the checked-in
 //! `bench/baseline*.json` files: any gated throughput key regressing
 //! more than the allowed fraction fails the build. The baseline is
 //! intentionally conservative (set well below a warm local run) so
@@ -24,12 +25,14 @@
 /// experiment's reference/serial/parallel trio (the f64 reference kernel,
 /// the certified-f32 serial fast path, and the pooled parallel batch),
 /// `bench/baseline_serve.json` gates the serve experiment's
-/// serial/pooled pair.
-pub const GATED_KEYS: [&str; 4] = [
+/// serial/pooled pair, and `bench/baseline_fleet.json` gates the fleet
+/// experiment's five-replica drain.
+pub const GATED_KEYS: [&str; 5] = [
     "reference_samples_per_sec",
     "serial_samples_per_sec",
     "parallel_samples_per_sec",
     "pooled_samples_per_sec",
+    "fleet_goodput_samples_per_sec",
 ];
 
 /// Keys that must match the baseline **exactly** — invariants, not
@@ -42,7 +45,11 @@ pub const EXACT_KEYS: [&str; 1] = ["lost_requests"];
 /// it (lower is better). `bench/baseline_chaos.json` caps
 /// `recovered_accuracy_delta_pp` at 0.5: the hot-swapped model must land
 /// within half a percentage point of a fresh compile.
-pub const CEILING_KEYS: [&str; 1] = ["recovered_accuracy_delta_pp"];
+/// `bench/baseline_fleet.json` caps `ensemble_accuracy_delta_pp` (best
+/// single chip minus the 5-chip vote, worst case over sigma ≥ 0.3) at 0:
+/// the ensemble read must beat every single replica once variation
+/// dominates, or CI fails.
+pub const CEILING_KEYS: [&str; 2] = ["recovered_accuracy_delta_pp", "ensemble_accuracy_delta_pp"];
 
 /// How a gated key is judged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -18,10 +18,14 @@
 //! | Fig. 9 (design redundancy) | [`experiments::fig9`] |
 //! | Table 1 (crossbar sizes) | [`experiments::table1`] |
 //! | Runtime throughput (extension) | [`experiments::runtime`] |
+//! | Serving throughput (extension) | [`experiments::serve`] |
+//! | Self-healing chaos (extension) | [`experiments::chaos`] |
+//! | Fleet serving + ensemble (extension) | [`experiments::fleet`] |
 
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod gate;
+pub mod traffic;
 
 pub use experiments::common::Scale;

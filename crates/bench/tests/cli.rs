@@ -176,6 +176,57 @@ fn chaos_writes_a_payload_the_reliability_gate_accepts() {
 }
 
 #[test]
+fn fleet_writes_a_payload_the_bench_gate_accepts() {
+    let dir = std::env::temp_dir().join(format!("vortex-cli-fleet-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["fleet", "--bench"])
+        .current_dir(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "experiments failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Ensemble vs single chip"));
+    assert!(stdout.contains("Goodput under overload"));
+    assert!(stdout.contains("wrote BENCH_fleet.json"));
+
+    // The payload must carry both gated keys with sane values: the
+    // measured drain throughput and the ensemble-vs-best-single delta
+    // (which the checked-in ceiling pins at <= 0 for sigma >= 0.3).
+    let json = std::fs::read_to_string(dir.join("BENCH_fleet.json")).expect("payload written");
+    let goodput = vortex_bench::gate::extract_number(&json, "fleet_goodput_samples_per_sec")
+        .expect("goodput key present");
+    assert!(goodput > 0.0, "goodput must be positive, got {goodput}");
+    let delta = vortex_bench::gate::extract_number(&json, "ensemble_accuracy_delta_pp")
+        .expect("delta key present");
+    assert!(
+        delta <= 0.0,
+        "5-chip vote must match or beat the best single chip, got {delta} pp"
+    );
+
+    // The accuracy sweep and the virtual-time simulation are pure
+    // functions of the seed, so the delta ceiling in the checked-in
+    // baseline can never flake; only the throughput floor carries a
+    // noise margin.
+    let baseline = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench/baseline_fleet.json"),
+    )
+    .expect("baseline readable");
+    let report = vortex_bench::gate::check(&json, &baseline, 0.30).expect("gateable payload");
+    assert_eq!(report.checks.len(), 2, "baseline gates two fleet keys");
+    assert!(
+        report.pass(),
+        "fleet payload failed its own gate:\n{}",
+        report.render()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn metrics_flag_requires_a_path() {
     let (_, stderr, ok) = run(&["fig2", "--bench", "--metrics"]);
     assert!(!ok);

@@ -427,6 +427,49 @@ impl ModelCompiler {
         let pair = self.program(weights, mapping, rng)?;
         self.freeze(&pair, mapping)
     }
+
+    /// [`Self::compile`] from a bare variation seed: fabricates a fresh
+    /// substrate whose device variations are drawn from `seed` alone, so
+    /// every distinct seed is a distinct simulated physical chip and the
+    /// same seed always yields the bit-identical model. This is the
+    /// canonical way to build fleet replicas.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::compile`].
+    pub fn compile_seeded(
+        &self,
+        weights: &Matrix,
+        mapping: &RowMapping,
+        seed: u64,
+    ) -> Result<CompiledModel> {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        self.compile(weights, mapping, &mut rng)
+    }
+
+    /// Compiles `n` replicas from `n` distinct variation seeds derived
+    /// deterministically from `base_seed` (SplitMix64 stream, so the
+    /// seeds — and hence the chips — are independent). Returns
+    /// `(seed, model)` pairs in replica order.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::compile`]; the first failing replica aborts the batch.
+    pub fn compile_replicas(
+        &self,
+        weights: &Matrix,
+        mapping: &RowMapping,
+        base_seed: u64,
+        n: usize,
+    ) -> Result<Vec<(u64, CompiledModel)>> {
+        let mut seeds = vortex_linalg::rng::SplitMix64::new(base_seed);
+        (0..n)
+            .map(|_| {
+                let seed = seeds.next_u64();
+                Ok((seed, self.compile_seeded(weights, mapping, seed)?))
+            })
+            .collect()
+    }
 }
 
 /// Scores a compiled model on `test` (serial batched inference).

@@ -1,0 +1,168 @@
+//! Ensemble reads: fan one request to k independently-varied chips and
+//! majority-vote the label.
+//!
+//! Each replica of a fleet is compiled from a distinct variation seed, so
+//! their conductance errors — and hence their per-sample mistakes — are
+//! independent draws. A majority vote over k such chips suppresses the
+//! uncorrelated part of the error exactly the way the paper's Fig 9 row
+//! redundancy does inside one crossbar, but at the fleet level: the
+//! `fleet` bench experiment shows the 5-chip vote beating the *best*
+//! single chip once sigma is high enough for variation to dominate.
+//!
+//! Voting is deterministic: the winner is the most frequent label, ties
+//! broken toward the numerically smallest label, so the verdict is a
+//! pure function of the vote multiset.
+
+use vortex_nn::dataset::Dataset;
+use vortex_nn::executor::Parallelism;
+use vortex_runtime::{CompiledModel, RuntimeError};
+use vortex_serve::Ticket;
+
+use crate::{FleetError, Result};
+
+/// The most frequent label in `votes`; ties break toward the smallest
+/// label, so the verdict is a pure function of the vote multiset.
+/// Returns `None` for an empty slate.
+pub fn majority_vote(votes: &[u8]) -> Option<u8> {
+    let mut counts = [0usize; 256];
+    for &v in votes {
+        counts[v as usize] += 1;
+    }
+    votes
+        .iter()
+        .map(|&v| v as usize)
+        .max_by_key(|&v| (counts[v], std::cmp::Reverse(v)))
+        .map(|v| v as u8)
+}
+
+/// One replica's contribution to an ensemble verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Vote {
+    /// Fleet index of the voting replica.
+    pub replica: usize,
+    /// The label it predicted.
+    pub class: u8,
+}
+
+/// The outcome of an ensemble read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnsembleVerdict {
+    /// The majority label.
+    pub class: u8,
+    /// Every replica's vote, in fleet-index order.
+    pub votes: Vec<Vote>,
+    /// Whether every replica agreed.
+    pub unanimous: bool,
+}
+
+/// A handle onto the k in-flight legs of one ensemble read. Created by
+/// [`Fleet::ensemble_submit`](crate::Fleet::ensemble_submit).
+#[derive(Debug)]
+pub struct EnsembleTicket {
+    pub(crate) parts: Vec<(usize, Ticket)>,
+}
+
+impl EnsembleTicket {
+    /// Blocks until every leg answers, then majority-votes.
+    ///
+    /// A leg that fails with a typed serving error is simply excluded
+    /// from the slate — redundancy is the point of the ensemble — as
+    /// long as at least one leg answers.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last leg's error when *every* leg failed.
+    pub fn wait(self) -> Result<EnsembleVerdict> {
+        let mut votes = Vec::with_capacity(self.parts.len());
+        let mut last_err = None;
+        for (replica, ticket) in self.parts {
+            match ticket.wait() {
+                Ok(prediction) => votes.push(Vote {
+                    replica,
+                    class: prediction.class,
+                }),
+                Err(source) => {
+                    vortex_obs::counter!("fleet.ensemble.leg_errors").incr();
+                    last_err = Some(FleetError::Replica { replica, source });
+                }
+            }
+        }
+        let Some(class) = majority_vote(&votes.iter().map(|v| v.class).collect::<Vec<_>>()) else {
+            return Err(last_err.unwrap_or(FleetError::NoRoutableReplica));
+        };
+        let unanimous = votes.iter().all(|v| v.class == class);
+        vortex_obs::counter!("fleet.ensemble.verdicts").incr();
+        if !unanimous {
+            vortex_obs::counter!("fleet.ensemble.split_verdicts").incr();
+        }
+        Ok(EnsembleVerdict {
+            class,
+            votes,
+            unanimous,
+        })
+    }
+}
+
+/// Offline ensemble accuracy: every model classifies `data`, the
+/// per-sample labels are majority-voted, and the vote is scored against
+/// the ground truth. This is the measurement the `fleet` bench
+/// experiment gates in CI (ensemble-of-5 ≥ best single chip at high
+/// sigma); the serving path ([`EnsembleTicket`]) votes the same way.
+///
+/// # Errors
+///
+/// Propagates the first replica read failure; an empty model slice is
+/// rejected as a [`RuntimeError::InvalidParameter`].
+pub fn ensemble_accuracy(
+    models: &[&CompiledModel],
+    data: &Dataset,
+) -> std::result::Result<f64, RuntimeError> {
+    if models.is_empty() {
+        return Err(RuntimeError::InvalidParameter {
+            name: "models",
+            requirement: "an ensemble needs at least one model",
+        });
+    }
+    let per_model: Vec<Vec<u8>> = models
+        .iter()
+        .map(|m| m.infer_dataset(data, Parallelism::Serial))
+        .collect::<std::result::Result<_, _>>()?;
+    let mut correct = 0usize;
+    let mut slate = Vec::with_capacity(models.len());
+    for k in 0..data.len() {
+        slate.clear();
+        slate.extend(per_model.iter().map(|p| p[k]));
+        let vote = majority_vote(&slate).expect("non-empty slate");
+        if vote == data.label(k) {
+            correct += 1;
+        }
+    }
+    Ok(correct as f64 / data.len().max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_vote_picks_the_mode() {
+        assert_eq!(majority_vote(&[1, 2, 2, 3, 2]), Some(2));
+        assert_eq!(majority_vote(&[7]), Some(7));
+        assert_eq!(majority_vote(&[]), None);
+    }
+
+    #[test]
+    fn majority_vote_breaks_ties_toward_the_smallest_label() {
+        assert_eq!(majority_vote(&[4, 1, 4, 1]), Some(1));
+        assert_eq!(majority_vote(&[9, 3]), Some(3));
+        assert_eq!(majority_vote(&[2, 1, 0]), Some(0));
+    }
+
+    #[test]
+    fn majority_vote_is_order_independent() {
+        let mut votes = vec![5u8, 5, 2, 2, 9];
+        let forward = majority_vote(&votes);
+        votes.reverse();
+        assert_eq!(majority_vote(&votes), forward);
+    }
+}

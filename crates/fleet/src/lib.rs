@@ -1,0 +1,128 @@
+//! # vortex-fleet — sharded multi-replica serving with ensemble voting
+//!
+//! The paper's central observation is that device variation makes every
+//! programmed crossbar a *different* chip: two replicas compiled from
+//! distinct variation seeds carry different conductance errors and
+//! therefore different per-sample mistakes. This crate turns that from a
+//! liability into the scale-out architecture:
+//!
+//! * A [`Fleet`] owns N replicas, each a frozen
+//!   [`CompiledModel`] behind its own
+//!   [`Scheduler`] (bounded queue, micro-batching,
+//!   deadlines — everything `vortex-serve` provides), all pumping the
+//!   one process-wide worker pool.
+//! * A pluggable [`Router`] spreads traffic across the
+//!   replicas: [`RoutingPolicy::RoundRobin`](routing::RoutingPolicy) is
+//!   the deterministic baseline, consistent hashing pins a request key
+//!   to a stable replica (cache affinity under membership change), and
+//!   least-loaded follows live [`Scheduler::queue_depth`] — the same
+//!   number the `fleet.replica.*.queue_depth` gauges export, so routing
+//!   and dashboards share one source of truth.
+//! * Replicas **drain** instead of dying: marking a replica draining
+//!   routes new traffic around it while its queue empties
+//!   ([`Scheduler::drain`]), so a canary-breached chip can be
+//!   recompiled and hot-swapped ([`Fleet::heal_replica`]) without a
+//!   caller ever noticing.
+//! * The optional **ensemble read** ([`Fleet::ensemble_submit`]) fans
+//!   one request to k replicas and majority-votes the label — the
+//!   paper's Fig 9 row-redundancy idea lifted to whole crossbars.
+//!   Because each chip's variation errors are independent, the vote
+//!   measurably beats any single chip's accuracy at high sigma (gated
+//!   in CI by the `fleet` bench experiment).
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use vortex_fleet::prelude::*;
+//!
+//! # fn replicas() -> Vec<(u64, Arc<CompiledModel>)> { unimplemented!() }
+//! let fleet = Fleet::new(
+//!     replicas(), // (variation seed, compiled chip) pairs
+//!     FleetConfig::new(RoutingPolicy::LeastLoaded),
+//! )?;
+//! let prediction = fleet.submit_wait(0x5EED, vec![0.0; 49])?;
+//! println!("class {}", prediction.class);
+//! let verdict = fleet.ensemble_submit(vec![0.0; 49], 5)?.wait()?;
+//! println!("5-chip vote: {}", verdict.class);
+//! # Ok::<(), vortex_fleet::FleetError>(())
+//! ```
+//!
+//! Like the rest of the workspace the crate is zero-dependency: hashing
+//! is SplitMix64 from `vortex-linalg`, queues live in `vortex-serve`,
+//! and every routed/rejected/drained/voted event is recorded through
+//! `vortex-obs` under the `fleet.*` namespace.
+
+#![warn(missing_docs)]
+
+pub mod ensemble;
+pub mod fleet;
+pub mod routing;
+
+pub use ensemble::{ensemble_accuracy, majority_vote, EnsembleTicket, EnsembleVerdict};
+pub use fleet::{Fleet, FleetConfig, ReplicaStatus};
+pub use routing::{Router, RoutingPolicy};
+
+// Re-export what callers need to configure and drive a fleet.
+pub use vortex_nn::executor::Parallelism;
+pub use vortex_runtime::CompiledModel;
+pub use vortex_serve::{
+    HealthConfig, ProbeOutcome, Recompile, Scheduler, SchedulerConfig, ServeError, Ticket,
+};
+
+/// Canonical imports for fleet serving: `use vortex_fleet::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        majority_vote, CompiledModel, EnsembleTicket, EnsembleVerdict, Fleet, FleetConfig,
+        FleetError, HealthConfig, Parallelism, ProbeOutcome, ReplicaStatus, Router, RoutingPolicy,
+        Scheduler, SchedulerConfig, ServeError, Ticket,
+    };
+}
+
+/// Convenient result alias for fleet operations.
+pub type Result<T> = std::result::Result<T, FleetError>;
+
+/// Errors produced by the fleet layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FleetError {
+    /// Every replica is draining (or the fleet is empty) — no routable
+    /// target exists for this request.
+    NoRoutableReplica,
+    /// The routed replica rejected or failed the request; `replica` is
+    /// its fleet index.
+    Replica {
+        /// Fleet index of the failing replica.
+        replica: usize,
+        /// The underlying serving error.
+        source: ServeError,
+    },
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The violated requirement.
+        requirement: &'static str,
+    },
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoRoutableReplica => write!(f, "no routable replica (all draining or empty)"),
+            Self::Replica { replica, source } => {
+                write!(f, "replica {replica}: {source}")
+            }
+            Self::InvalidParameter { name, requirement } => {
+                write!(f, "invalid parameter `{name}`: {requirement}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Replica { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Pluggable request routing across fleet replicas.
+//!
+//! A [`Router`] is a pure decision function plus the minimum state each
+//! policy needs (a round-robin cursor, a consistent-hash ring). It is
+//! deliberately decoupled from the live [`Fleet`](crate::Fleet): the
+//! caller passes the current *routable* mask and queue depths, so the
+//! same router — the same code path — drives both live serving and the
+//! deterministic virtual-time load simulations in `vortex-bench`.
+//!
+//! Determinism contract: [`RoutingPolicy::RoundRobin`] and
+//! [`RoutingPolicy::ConsistentHash`] decide from the submission sequence
+//! and the request key alone, so a serialized caller gets the identical
+//! replica sequence whatever the scheduler pool sizes underneath
+//! (asserted at pool sizes 1/4/8 in the crate tests).
+//! [`RoutingPolicy::LeastLoaded`] intentionally reads live queue depths
+//! and is therefore only as deterministic as the load it observes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use vortex_linalg::rng::SplitMix64;
+
+use crate::{FleetError, Result};
+
+/// Virtual nodes per replica on the consistent-hash ring. 64 points per
+/// replica keeps the keyspace share within a few percent of uniform
+/// while the ring stays small enough to binary-search in cache.
+const DEFAULT_VNODES: usize = 64;
+
+/// How a [`Router`] picks the replica for a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RoutingPolicy {
+    /// Strict rotation over routable replicas — the deterministic
+    /// baseline: replica `(n mod N)` for the n-th submission.
+    RoundRobin,
+    /// Consistent hashing by request key: a key maps to a fixed point on
+    /// a virtual-node ring, so the same key always lands on the same
+    /// replica while that replica is routable, and draining one replica
+    /// only moves *its* keys (cache affinity under membership change).
+    ConsistentHash,
+    /// Route to the routable replica with the shallowest queue
+    /// ([`Scheduler::queue_depth`](vortex_serve::Scheduler::queue_depth)),
+    /// ties broken by lowest index.
+    LeastLoaded,
+}
+
+/// The stateless SplitMix64 finalizer as a pure `u64 -> u64` mix — the
+/// one hash function of the fleet layer (ring points and request keys go
+/// through the same mill).
+fn mix(x: u64) -> u64 {
+    SplitMix64::new(x).next_u64()
+}
+
+/// Routes requests to replica indices under a [`RoutingPolicy`]. See the
+/// module docs for the determinism contract.
+#[derive(Debug)]
+pub struct Router {
+    policy: RoutingPolicy,
+    replicas: usize,
+    /// Round-robin cursor (submission sequence number).
+    cursor: AtomicU64,
+    /// Consistent-hash ring: `(point, replica)` sorted by point.
+    ring: Vec<(u64, usize)>,
+}
+
+impl Router {
+    /// A router over `replicas` targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidParameter`] for an empty fleet.
+    pub fn new(policy: RoutingPolicy, replicas: usize) -> Result<Self> {
+        if replicas == 0 {
+            return Err(FleetError::InvalidParameter {
+                name: "replicas",
+                requirement: "a router needs at least one replica",
+            });
+        }
+        let ring = match policy {
+            RoutingPolicy::ConsistentHash => {
+                let mut ring: Vec<(u64, usize)> = (0..replicas)
+                    .flat_map(|replica| {
+                        (0..DEFAULT_VNODES).map(move |v| {
+                            // Ring points must be stable per (replica, vnode)
+                            // pair so membership changes never reshuffle
+                            // other replicas' arcs.
+                            let point = mix((replica as u64) << 32 | v as u64);
+                            (point, replica)
+                        })
+                    })
+                    .collect();
+                ring.sort_unstable();
+                ring
+            }
+            _ => Vec::new(),
+        };
+        Ok(Self {
+            policy,
+            replicas,
+            cursor: AtomicU64::new(0),
+            ring,
+        })
+    }
+
+    /// The policy this router runs.
+    pub fn policy(&self) -> RoutingPolicy {
+        self.policy
+    }
+
+    /// Number of replicas routed over.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Picks the replica for a request.
+    ///
+    /// `routable[i]` masks replicas in rotation (false = draining or
+    /// removed); `depths[i]` is replica i's current queue depth (only
+    /// [`RoutingPolicy::LeastLoaded`] reads it). Both slices must be
+    /// `replicas` long.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::NoRoutableReplica`] when the mask is all
+    /// false, and [`FleetError::InvalidParameter`] on a slice length
+    /// mismatch.
+    pub fn route(&self, key: u64, routable: &[bool], depths: &[usize]) -> Result<usize> {
+        if routable.len() != self.replicas || depths.len() != self.replicas {
+            return Err(FleetError::InvalidParameter {
+                name: "routable",
+                requirement: "mask and depths must cover every replica",
+            });
+        }
+        if !routable.iter().any(|&r| r) {
+            return Err(FleetError::NoRoutableReplica);
+        }
+        let picked = match self.policy {
+            RoutingPolicy::RoundRobin => {
+                // Claim sequence numbers until one lands on a routable
+                // replica; the mask test keeps rotation fair (a drained
+                // replica's turns are skipped, not reassigned).
+                loop {
+                    let n = self.cursor.fetch_add(1, Ordering::Relaxed);
+                    let idx = (n % self.replicas as u64) as usize;
+                    if routable[idx] {
+                        break idx;
+                    }
+                }
+            }
+            RoutingPolicy::ConsistentHash => {
+                let h = mix(key);
+                // First ring point at or after the key's hash, wrapping.
+                let start = self.ring.partition_point(|&(p, _)| p < h) % self.ring.len();
+                let mut idx = None;
+                for step in 0..self.ring.len() {
+                    let (_, replica) = self.ring[(start + step) % self.ring.len()];
+                    if routable[replica] {
+                        idx = Some(replica);
+                        break;
+                    }
+                }
+                idx.expect("some replica is routable, and every replica owns ring points")
+            }
+            RoutingPolicy::LeastLoaded => {
+                let mut best = usize::MAX;
+                let mut best_depth = usize::MAX;
+                for (i, (&ok, &depth)) in routable.iter().zip(depths).enumerate() {
+                    if ok && depth < best_depth {
+                        best = i;
+                        best_depth = depth;
+                    }
+                }
+                best
+            }
+        };
+        Ok(picked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_fleet_is_rejected() {
+        assert!(Router::new(RoutingPolicy::RoundRobin, 0).is_err());
+    }
+
+    #[test]
+    fn round_robin_rotates_and_skips_drained() {
+        let r = Router::new(RoutingPolicy::RoundRobin, 3).unwrap();
+        let all = [true, true, true];
+        let depths = [0, 0, 0];
+        let picks: Vec<usize> = (0..6).map(|k| r.route(k, &all, &depths).unwrap()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+        let masked = [true, false, true];
+        let picks: Vec<usize> = (0..4)
+            .map(|k| r.route(k, &masked, &depths).unwrap())
+            .collect();
+        assert_eq!(picks, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn consistent_hash_is_stable_and_sticky() {
+        let r = Router::new(RoutingPolicy::ConsistentHash, 4).unwrap();
+        let all = [true; 4];
+        let depths = [0; 4];
+        for key in 0..256u64 {
+            let a = r.route(key, &all, &depths).unwrap();
+            let b = r.route(key, &all, &depths).unwrap();
+            assert_eq!(a, b, "same key must route to the same replica");
+        }
+        // Draining one replica moves only that replica's keys.
+        let victim = r.route(7, &all, &depths).unwrap();
+        let mut masked = [true; 4];
+        masked[victim] = false;
+        for key in 0..256u64 {
+            let before = r.route(key, &all, &depths).unwrap();
+            let after = r.route(key, &masked, &depths).unwrap();
+            if before != victim {
+                assert_eq!(before, after, "unrelated keys must not move");
+            } else {
+                assert_ne!(after, victim, "the drained replica takes no traffic");
+            }
+        }
+    }
+
+    #[test]
+    fn consistent_hash_spreads_keys() {
+        let n = 5;
+        let r = Router::new(RoutingPolicy::ConsistentHash, n).unwrap();
+        let all = vec![true; n];
+        let depths = vec![0usize; n];
+        let mut counts = vec![0usize; n];
+        for key in 0..4000u64 {
+            counts[r.route(key, &all, &depths).unwrap()] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c > 4000 / (n * 4),
+                "replica {i} starved: {c} of 4000 ({counts:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn least_loaded_follows_depths_with_deterministic_ties() {
+        let r = Router::new(RoutingPolicy::LeastLoaded, 3).unwrap();
+        let all = [true; 3];
+        assert_eq!(r.route(0, &all, &[5, 2, 9]).unwrap(), 1);
+        assert_eq!(r.route(0, &all, &[4, 4, 4]).unwrap(), 0, "tie → lowest");
+        assert_eq!(r.route(0, &[false, true, true], &[0, 7, 7]).unwrap(), 1);
+    }
+
+    #[test]
+    fn all_drained_is_a_typed_error() {
+        let r = Router::new(RoutingPolicy::RoundRobin, 2).unwrap();
+        assert_eq!(
+            r.route(0, &[false, false], &[0, 0]),
+            Err(FleetError::NoRoutableReplica)
+        );
+    }
+
+    #[test]
+    fn slice_mismatch_is_rejected() {
+        let r = Router::new(RoutingPolicy::LeastLoaded, 2).unwrap();
+        assert!(matches!(
+            r.route(0, &[true], &[0]),
+            Err(FleetError::InvalidParameter { .. })
+        ));
+    }
+}

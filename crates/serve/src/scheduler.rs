@@ -588,8 +588,36 @@ impl Scheduler {
     }
 
     /// Current queue depth (admitted, not yet dispatched).
+    ///
+    /// This is the single source of truth for load-aware routing: the
+    /// fleet layer's least-loaded policy and its
+    /// `fleet.replica.*.queue_depth` gauges both read this lock-free
+    /// mirror, so dashboards and routing decisions can never disagree.
     pub fn queue_depth(&self) -> usize {
         self.shared.depth.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until every admitted request has been dispatched and every
+    /// pump has retired — the queue is empty and nothing is in flight.
+    /// Admission stays open throughout; combined with an upstream router
+    /// that has stopped sending traffic here (a *draining* fleet
+    /// replica), this empties the scheduler without dropping a request.
+    ///
+    /// A paused scheduler with a backlog drains only once it is resumed;
+    /// this call keeps waiting until then.
+    pub fn drain(&self) {
+        let mut state = self.shared.state.lock().expect("queue lock");
+        while !(state.queue.is_empty() && state.active_pumps == 0) {
+            // The idle condvar fires when the last pump retires; the
+            // bounded wait also covers wake-ups the pumps cannot signal
+            // (a paused scheduler being resumed by another thread).
+            let (next, _) = self
+                .shared
+                .idle
+                .wait_timeout(state, Duration::from_millis(1))
+                .expect("queue lock");
+            state = next;
+        }
     }
 
     /// Whether the degradation ladder is currently engaged.
