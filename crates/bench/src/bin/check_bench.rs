@@ -1,19 +1,24 @@
 //! CI benchmark regression gate.
 //!
 //! ```text
-//! check_bench <current BENCH_runtime.json> <baseline.json> [--max-regression <frac>]
+//! check_bench <current.json> <baseline.json> [<current.json> <baseline.json> ...]
+//!             [--max-regression <frac>]
 //! ```
 //!
-//! Compares the gated throughput keys (see `vortex_bench::gate`) of a
-//! fresh benchmark payload against the checked-in baseline and exits
-//! non-zero if any regresses more than the allowed fraction
-//! (default 0.30). Exit codes: 0 pass, 1 regression or malformed input,
-//! 2 usage error.
+//! Compares each `(current, baseline)` pair over the gated keys (see
+//! `vortex_bench::gate`) and exits non-zero if any gated key in any pair
+//! fails — throughput regressing more than the allowed fraction
+//! (default 0.30), an exact invariant diverging, or a ceiling exceeded.
+//! Every pair is evaluated (and rendered) even after an earlier pair
+//! fails, so one CI step reports the whole gate matrix. Exit codes:
+//! 0 pass, 1 regression or malformed input, 2 usage error.
 
 use vortex_bench::gate;
 
 fn usage_exit() -> ! {
-    eprintln!("usage: check_bench <current.json> <baseline.json> [--max-regression <frac>]");
+    eprintln!(
+        "usage: check_bench <current.json> <baseline.json> [<current.json> <baseline.json> ...] [--max-regression <frac>]"
+    );
     std::process::exit(2);
 }
 
@@ -38,9 +43,9 @@ fn main() {
             paths.push(a);
         }
     }
-    let [current_path, baseline_path] = paths.as_slice() else {
+    if paths.is_empty() || paths.len() % 2 != 0 {
         usage_exit();
-    };
+    }
 
     let read = |path: &str| -> String {
         std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -48,25 +53,32 @@ fn main() {
             std::process::exit(1);
         })
     };
-    let current = read(current_path);
-    let baseline = read(baseline_path);
 
-    match gate::check(&current, &baseline, max_regression) {
-        Ok(report) => {
-            print!("{}", report.render());
-            if report.pass() {
-                println!("bench gate: ok");
-            } else {
-                eprintln!(
-                    "bench gate: throughput regressed beyond {:.0}%",
-                    100.0 * max_regression
-                );
-                std::process::exit(1);
+    let mut failed = false;
+    for pair in paths.chunks_exact(2) {
+        let (current_path, baseline_path) = (&pair[0], &pair[1]);
+        println!("== {current_path} vs {baseline_path}");
+        let current = read(current_path);
+        let baseline = read(baseline_path);
+        match gate::check(&current, &baseline, max_regression) {
+            Ok(report) => {
+                print!("{}", report.render());
+                if !report.pass() {
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("bench gate: {e}");
+                failed = true;
             }
         }
-        Err(e) => {
-            eprintln!("bench gate: {e}");
-            std::process::exit(1);
-        }
     }
+    if failed {
+        eprintln!(
+            "bench gate: at least one gated key failed (threshold {:.0}%)",
+            100.0 * max_regression
+        );
+        std::process::exit(1);
+    }
+    println!("bench gate: ok");
 }

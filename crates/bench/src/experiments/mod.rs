@@ -12,6 +12,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod fleet;
+pub mod lifetime;
 pub mod runtime;
 pub mod serve;
 pub mod table1;

@@ -1,10 +1,9 @@
 //! The CI benchmark regression gate behind the `check_bench` binary.
 //!
 //! CI's `bench-smoke` job runs `experiments serve runtime chaos fleet
-//! --quick --json`, then compares the fresh `BENCH_runtime.json` /
-//! `BENCH_serve.json` / `BENCH_chaos.json` / `BENCH_fleet.json` against
-//! the checked-in
-//! `bench/baseline*.json` files: any gated throughput key regressing
+//! lifetime --quick --json`, then compares each fresh `BENCH_<name>.json`
+//! against its checked-in
+//! `bench/baseline*.json` file: any gated throughput key regressing
 //! more than the allowed fraction fails the build. The baseline is
 //! intentionally conservative (set well below a warm local run) so
 //! ordinary runner noise passes while a genuine hot-path regression — a
@@ -20,36 +19,53 @@
 //! performs the one extraction this gate needs: finding a numeric field
 //! by key in a flat JSON object.
 
-/// The throughput keys the gate compares (higher is better, samples/sec).
-/// Baselines opt keys in: `bench/baseline.json` gates the runtime
-/// experiment's reference/serial/parallel trio (the f64 reference kernel,
-/// the certified-f32 serial fast path, and the pooled parallel batch),
-/// `bench/baseline_serve.json` gates the serve experiment's
-/// serial/pooled pair, and `bench/baseline_fleet.json` gates the fleet
-/// experiment's five-replica drain.
-pub const GATED_KEYS: [&str; 5] = [
+/// The throughput keys the gate compares (higher is better, samples/sec
+/// — or requests per *virtual* second for the lifetime key, which makes
+/// that floor noise-free). Baselines opt keys in: `bench/baseline.json`
+/// gates the runtime experiment's reference/serial/parallel trio (the
+/// f64 reference kernel, the certified-f32 serial fast path, and the
+/// pooled parallel batch), `bench/baseline_serve.json` gates the serve
+/// experiment's serial/pooled pair, `bench/baseline_fleet.json` gates
+/// the fleet experiment's five-replica drain, and
+/// `bench/baseline_lifetime.json` floors the virtual throughput the
+/// deployed recalibration policy sustains around its blackout windows.
+pub const GATED_KEYS: [&str; 6] = [
     "reference_samples_per_sec",
     "serial_samples_per_sec",
     "parallel_samples_per_sec",
     "pooled_samples_per_sec",
     "fleet_goodput_samples_per_sec",
+    "lifetime_served_per_virtual_sec",
 ];
 
 /// Keys that must match the baseline **exactly** — invariants, not
 /// throughput. `bench/baseline_chaos.json` pins `lost_requests` at 0:
 /// any chaos run that loses an accepted request fails CI outright,
-/// whatever the noise budget.
-pub const EXACT_KEYS: [&str; 1] = ["lost_requests"];
+/// whatever the noise budget. `bench/baseline_lifetime.json` pins
+/// `lifetime_recompile_budget_delta` at 0: the periodic-vs-predictive
+/// comparison is only meaningful when both spend the same number of
+/// recompiles.
+pub const EXACT_KEYS: [&str; 2] = ["lost_requests", "lifetime_recompile_budget_delta"];
 
 /// Keys where the baseline is a **ceiling** — current must not exceed
-/// it (lower is better). `bench/baseline_chaos.json` caps
-/// `recovered_accuracy_delta_pp` at 0.5: the hot-swapped model must land
-/// within half a percentage point of a fresh compile.
-/// `bench/baseline_fleet.json` caps `ensemble_accuracy_delta_pp` (best
-/// single chip minus the 5-chip vote, worst case over sigma ≥ 0.3) at 0:
-/// the ensemble read must beat every single replica once variation
-/// dominates, or CI fails.
-pub const CEILING_KEYS: [&str; 2] = ["recovered_accuracy_delta_pp", "ensemble_accuracy_delta_pp"];
+/// it (lower is better; a negative ceiling demands a strict win).
+/// `bench/baseline_chaos.json` caps `recovered_accuracy_delta_pp` at
+/// 0.5: the hot-swapped model must land within half a percentage point
+/// of a fresh compile. `bench/baseline_fleet.json` caps
+/// `ensemble_accuracy_delta_pp` (best single chip minus the 5-chip
+/// vote, worst case over sigma ≥ 0.3) at 0: the ensemble read must beat
+/// every single replica once variation dominates, or CI fails.
+/// `bench/baseline_lifetime.json` caps the predictive policy's
+/// accuracy-hours lost and holds
+/// `predictive_minus_periodic_accuracy_hours` under a *negative*
+/// ceiling: drift-predictive recalibration must strictly beat the blind
+/// periodic schedule at equal recompile budget.
+pub const CEILING_KEYS: [&str; 4] = [
+    "recovered_accuracy_delta_pp",
+    "ensemble_accuracy_delta_pp",
+    "accuracy_hours_lost_predictive",
+    "predictive_minus_periodic_accuracy_hours",
+];
 
 /// How a gated key is judged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +91,53 @@ pub fn extract_number(json: &str, key: &str) -> Option<f64> {
         .unwrap_or(rest.len());
     rest[..end].parse::<f64>().ok().filter(|v| v.is_finite())
 }
+
+/// Why a gate check could not be evaluated (distinct from a check that
+/// ran and *failed* — that is a [`GateCheck`] with `pass == false`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateError {
+    /// The regression threshold is outside `[0, 1)` or non-finite.
+    InvalidThreshold {
+        /// The rejected threshold.
+        value: f64,
+    },
+    /// A throughput baseline is zero or negative (a floor of 0 would
+    /// pass any regression).
+    NonPositiveBaseline {
+        /// The offending gated key.
+        key: &'static str,
+        /// The rejected baseline value.
+        value: f64,
+    },
+    /// The baseline gates a key the current payload does not carry.
+    MissingCurrentKey {
+        /// The absent gated key.
+        key: &'static str,
+    },
+    /// The baseline opts no gated key in — malformed JSON, NaN values
+    /// and absent keys all land here, because [`extract_number`] yields
+    /// no finite number for any of them.
+    NoGatedKeys,
+}
+
+impl std::fmt::Display for GateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidThreshold { value } => {
+                write!(f, "max regression must lie in [0, 1), got {value}")
+            }
+            Self::NonPositiveBaseline { key, value } => {
+                write!(f, "baseline `{key}` must be positive, got {value}")
+            }
+            Self::MissingCurrentKey { key } => {
+                write!(f, "current payload is missing gated key `{key}`")
+            }
+            Self::NoGatedKeys => write!(f, "baseline contains no gated keys"),
+        }
+    }
+}
+
+impl std::error::Error for GateError {}
 
 /// One gated comparison.
 #[derive(Debug, Clone, PartialEq)]
@@ -142,20 +205,21 @@ impl GateReport {
 ///
 /// Keys missing from the baseline are skipped (the baseline opts keys in);
 /// a gated baseline key missing from the current payload is an error, as
-/// is a non-positive baseline.
+/// is a non-positive throughput baseline. Malformed inputs surface as
+/// typed [`GateError`]s, never panics.
 ///
 /// # Errors
 ///
-/// Returns a description of the malformed input.
+/// Returns the [`GateError`] describing the malformed input.
 pub fn check(
     current_json: &str,
     baseline_json: &str,
     max_regression: f64,
-) -> Result<GateReport, String> {
+) -> Result<GateReport, GateError> {
     if !(max_regression.is_finite() && (0.0..1.0).contains(&max_regression)) {
-        return Err(format!(
-            "max regression must lie in [0, 1), got {max_regression}"
-        ));
+        return Err(GateError::InvalidThreshold {
+            value: max_regression,
+        });
     }
     let mut checks = Vec::new();
     for key in GATED_KEYS {
@@ -163,10 +227,13 @@ pub fn check(
             continue;
         };
         if baseline <= 0.0 {
-            return Err(format!("baseline `{key}` must be positive, got {baseline}"));
+            return Err(GateError::NonPositiveBaseline {
+                key,
+                value: baseline,
+            });
         }
-        let current = extract_number(current_json, key)
-            .ok_or_else(|| format!("current payload is missing gated key `{key}`"))?;
+        let current =
+            extract_number(current_json, key).ok_or(GateError::MissingCurrentKey { key })?;
         let regression = 1.0 - current / baseline;
         checks.push(GateCheck {
             key: key.to_string(),
@@ -185,8 +252,8 @@ pub fn check(
             let Some(baseline) = extract_number(baseline_json, key) else {
                 continue;
             };
-            let current = extract_number(current_json, key)
-                .ok_or_else(|| format!("current payload is missing gated key `{key}`"))?;
+            let current =
+                extract_number(current_json, key).ok_or(GateError::MissingCurrentKey { key })?;
             checks.push(GateCheck {
                 key: key.to_string(),
                 kind,
@@ -201,7 +268,7 @@ pub fn check(
         }
     }
     if checks.is_empty() {
-        return Err("baseline contains no gated keys".to_string());
+        return Err(GateError::NoGatedKeys);
     }
     Ok(GateReport {
         checks,
@@ -247,16 +314,127 @@ mod tests {
     }
 
     #[test]
-    fn gate_rejects_malformed_inputs() {
+    fn gate_rejects_malformed_inputs_with_typed_errors() {
         let baseline = r#"{"serial_samples_per_sec":1000.0}"#;
-        assert!(check("{}", baseline, 0.30).is_err(), "missing current key");
-        assert!(check(baseline, "{}", 0.30).is_err(), "no gated keys");
-        assert!(
-            check(baseline, r#"{"serial_samples_per_sec":0.0}"#, 0.30).is_err(),
-            "non-positive baseline"
+        assert_eq!(
+            check("{}", baseline, 0.30),
+            Err(GateError::MissingCurrentKey {
+                key: "serial_samples_per_sec"
+            })
         );
-        assert!(check(baseline, baseline, 1.5).is_err(), "bad threshold");
-        assert!(check(baseline, baseline, f64::NAN).is_err());
+        assert_eq!(check(baseline, "{}", 0.30), Err(GateError::NoGatedKeys));
+        assert_eq!(
+            check(baseline, r#"{"serial_samples_per_sec":0.0}"#, 0.30),
+            Err(GateError::NonPositiveBaseline {
+                key: "serial_samples_per_sec",
+                value: 0.0
+            })
+        );
+        assert_eq!(
+            check(baseline, baseline, 1.5),
+            Err(GateError::InvalidThreshold { value: 1.5 })
+        );
+        assert!(matches!(
+            check(baseline, baseline, f64::NAN),
+            Err(GateError::InvalidThreshold { .. })
+        ));
+    }
+
+    #[test]
+    fn gate_error_displays_and_boxes() {
+        // The binary prints these and callers may `?` them into a boxed
+        // error; both paths go through Display/Error.
+        let e = GateError::NonPositiveBaseline {
+            key: "serial_samples_per_sec",
+            value: -3.0,
+        };
+        assert!(e.to_string().contains("serial_samples_per_sec"));
+        assert!(e.to_string().contains("-3"));
+        let boxed: Box<dyn std::error::Error> = Box::new(GateError::NoGatedKeys);
+        assert_eq!(boxed.to_string(), "baseline contains no gated keys");
+        assert!(GateError::MissingCurrentKey {
+            key: "lost_requests"
+        }
+        .to_string()
+        .contains("lost_requests"));
+        assert!(GateError::InvalidThreshold { value: f64::NAN }
+            .to_string()
+            .contains("NaN"));
+    }
+
+    #[test]
+    fn nan_and_negative_values_are_typed_failures_not_panics() {
+        // A NaN baseline value never parses as a finite number, so the
+        // key is skipped; if it was the only key the gate reports
+        // NoGatedKeys rather than comparing against NaN.
+        let nan_baseline = r#"{"serial_samples_per_sec":NaN}"#;
+        assert_eq!(
+            check(r#"{"serial_samples_per_sec":1.0}"#, nan_baseline, 0.30),
+            Err(GateError::NoGatedKeys)
+        );
+        // A NaN *current* value reads as a missing key.
+        let baseline = r#"{"serial_samples_per_sec":1000.0}"#;
+        assert_eq!(
+            check(r#"{"serial_samples_per_sec":NaN}"#, baseline, 0.30),
+            Err(GateError::MissingCurrentKey {
+                key: "serial_samples_per_sec"
+            })
+        );
+        // Negative throughput floors are rejected, not silently passed.
+        assert_eq!(
+            check(baseline, r#"{"serial_samples_per_sec":-10.0}"#, 0.30),
+            Err(GateError::NonPositiveBaseline {
+                key: "serial_samples_per_sec",
+                value: -10.0
+            })
+        );
+    }
+
+    #[test]
+    fn malformed_baseline_json_is_a_typed_failure() {
+        let current = r#"{"serial_samples_per_sec":1000.0}"#;
+        for garbage in [
+            "",
+            "not json at all",
+            "{\"serial_samples_per_sec\":",
+            r#"{"serial_samples_per_sec":"fast"}"#,
+            "[1,2,3]",
+        ] {
+            assert_eq!(
+                check(current, garbage, 0.30),
+                Err(GateError::NoGatedKeys),
+                "garbage baseline {garbage:?} must fail typed, not panic"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_ceilings_demand_a_strict_win() {
+        // The lifetime gate holds predictive-minus-periodic under a
+        // negative ceiling: zero (a tie) must FAIL the check while a
+        // clear win passes, and the ceiling boundary itself passes.
+        let baseline = r#"{"predictive_minus_periodic_accuracy_hours":-0.05}"#;
+        let win = check(
+            r#"{"predictive_minus_periodic_accuracy_hours":-0.8}"#,
+            baseline,
+            0.30,
+        )
+        .unwrap();
+        assert!(win.pass());
+        let tie = check(
+            r#"{"predictive_minus_periodic_accuracy_hours":0.0}"#,
+            baseline,
+            0.30,
+        )
+        .unwrap();
+        assert!(!tie.pass(), "a tie is not a strict win");
+        let at = check(
+            r#"{"predictive_minus_periodic_accuracy_hours":-0.05}"#,
+            baseline,
+            0.30,
+        )
+        .unwrap();
+        assert!(at.pass(), "exactly at the ceiling passes");
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | Serving throughput (extension) | [`experiments::serve`] |
 //! | Self-healing chaos (extension) | [`experiments::chaos`] |
 //! | Fleet serving + ensemble (extension) | [`experiments::fleet`] |
+//! | Lifetime policy race (extension) | [`experiments::lifetime`] |
 
 #![warn(missing_docs)]
 

@@ -227,6 +227,110 @@ fn fleet_writes_a_payload_the_bench_gate_accepts() {
 }
 
 #[test]
+fn lifetime_writes_a_payload_the_policy_gate_accepts() {
+    // --quick, because that is exactly what the CI bench-smoke step runs
+    // and gates; the payload is bit-deterministic, so what passes here
+    // passes there.
+    let dir = std::env::temp_dir().join(format!("vortex-cli-lifetime-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["lifetime", "--quick"])
+        .current_dir(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "experiments failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Lifetime policy race"));
+    assert!(stdout.contains("drift-predictive"));
+    assert!(stdout.contains("wrote BENCH_lifetime.json"));
+
+    let json = std::fs::read_to_string(dir.join("BENCH_lifetime.json")).expect("payload written");
+    // The virtual-throughput key and the budget pin must be present and
+    // sane; the strict-win key must be negative (predictive beats
+    // periodic) before the baseline ceiling even applies.
+    let served = vortex_bench::gate::extract_number(&json, "lifetime_served_per_virtual_sec")
+        .expect("virtual throughput present");
+    assert!(served > 0.0, "served/s must be positive, got {served}");
+    assert_eq!(
+        vortex_bench::gate::extract_number(&json, "lifetime_recompile_budget_delta"),
+        Some(0.0),
+        "periodic must spend exactly the predictive budget"
+    );
+    let win = vortex_bench::gate::extract_number(&json, "predictive_minus_periodic_accuracy_hours")
+        .expect("strict-win key present");
+    assert!(win < 0.0, "predictive must beat periodic, got {win:+}");
+
+    let baseline = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench/baseline_lifetime.json"),
+    )
+    .expect("baseline readable");
+    let report = vortex_bench::gate::check(&json, &baseline, 0.30).expect("gateable payload");
+    assert_eq!(report.checks.len(), 4, "baseline gates four lifetime keys");
+    assert!(
+        report.pass(),
+        "lifetime payload failed its own gate:\n{}",
+        report.render()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn check_bench_gates_multiple_pairs_in_one_invocation() {
+    let dir = std::env::temp_dir().join(format!("vortex-cli-gate-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let write = |name: &str, body: &str| {
+        let path = dir.join(name);
+        std::fs::write(&path, body).expect("write fixture");
+        path.to_string_lossy().into_owned()
+    };
+    let base_a = write("base_a.json", r#"{"serial_samples_per_sec":1000.0}"#);
+    let cur_ok = write("cur_ok.json", r#"{"serial_samples_per_sec":950.0}"#);
+    let base_b = write("base_b.json", r#"{"lost_requests":0}"#);
+    let cur_b = write("cur_b.json", r#"{"lost_requests":0}"#);
+    let cur_bad = write("cur_bad.json", r#"{"serial_samples_per_sec":100.0}"#);
+
+    // Two passing pairs in one invocation: exit 0, both sections
+    // rendered.
+    let out = Command::new(env!("CARGO_BIN_EXE_check_bench"))
+        .args([&cur_ok, &base_a, &cur_b, &base_b])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "two clean pairs must pass: {stdout}");
+    assert!(stdout.contains("cur_ok.json"));
+    assert!(stdout.contains("lost_requests"));
+    assert!(stdout.contains("bench gate: ok"));
+
+    // A failing pair fails the whole invocation — but the later pair is
+    // still evaluated and rendered (one CI step reports the full
+    // matrix).
+    let out = Command::new(env!("CARGO_BIN_EXE_check_bench"))
+        .args([&cur_bad, &base_a, &cur_b, &base_b])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FAIL"));
+    assert!(
+        stdout.contains("lost_requests"),
+        "later pairs must still render after an earlier failure"
+    );
+
+    // An odd path count is a usage error.
+    let out = Command::new(env!("CARGO_BIN_EXE_check_bench"))
+        .args([&cur_ok, &base_a, &cur_b])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn metrics_flag_requires_a_path() {
     let (_, stderr, ok) = run(&["fig2", "--bench", "--metrics"]);
     assert!(!ok);

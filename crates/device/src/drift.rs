@@ -123,6 +123,57 @@ impl RetentionModel {
     }
 }
 
+/// **The** workspace drift implementation: a [`RetentionModel`] plus the
+/// seed its per-device exponents are drawn from.
+///
+/// Every consumer that ages a differential crossbar pair — the chaos
+/// plan's one-shot aging (`CompiledModel::age_with`), the lifetime
+/// timeline's continuous aging (`vortex_serve::lifetime`) — goes through
+/// this type, so there is exactly one definition of "drift at time t":
+/// one generator seeded with [`DriftProcess::seed`], the positive
+/// crossbar's ν sampled first (row-major), then the negative crossbar's,
+/// each device decaying as `(1 + t/τ)^{−ν}`. That draw order is part of
+/// the determinism contract; a regression test pins it bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftProcess {
+    /// The power-law retention model ν is drawn from.
+    pub retention: RetentionModel,
+    /// Seed of the ν draws; equal seeds yield bit-identical populations.
+    pub seed: u64,
+}
+
+impl DriftProcess {
+    /// A drift process drawing its exponents from `retention` under
+    /// `seed`.
+    pub fn new(retention: RetentionModel, seed: u64) -> Self {
+        Self { retention, seed }
+    }
+
+    /// The frozen per-device exponent populations of a `rows` × `cols`
+    /// differential pair: `(ν_pos, ν_neg)`, positive crossbar sampled
+    /// first, row-major, from one generator seeded with
+    /// [`Self::seed`].
+    pub fn nu_matrices(&self, rows: usize, cols: usize) -> (Matrix, Matrix) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(self.seed);
+        let nu_pos = self.retention.sample_nu_matrix(rows, cols, &mut rng);
+        let nu_neg = self.retention.sample_nu_matrix(rows, cols, &mut rng);
+        (nu_pos, nu_neg)
+    }
+
+    /// The decay-factor matrices `(d_pos, d_neg)` of the pair after
+    /// `t_s` seconds — [`Self::nu_matrices`] pushed through
+    /// [`RetentionModel::decay_matrix`]. Pure in `(seed, t_s)`: the same
+    /// process evaluated at several times describes *one* population
+    /// aging monotonically.
+    pub fn decay_matrices(&self, rows: usize, cols: usize, t_s: f64) -> (Matrix, Matrix) {
+        let (nu_pos, nu_neg) = self.nu_matrices(rows, cols);
+        (
+            self.retention.decay_matrix(&nu_pos, t_s),
+            self.retention.decay_matrix(&nu_neg, t_s),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,6 +238,59 @@ mod tests {
         for (a, b) in nu.as_slice().iter().zip(nu2.as_slice()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn drift_process_reproduces_pre_refactor_values_bit_for_bit() {
+        // Pinned from the pre-unification chaos path (an inline
+        // seed_from_u64 → sample_nu_matrix(pos) → sample_nu_matrix(neg)
+        // → decay_matrix sequence): the refactor onto DriftProcess must
+        // not move a single bit, or every chaos/lifetime replay breaks.
+        let process = DriftProcess::new(RetentionModel::new(0.6, 0.3, 1e-3).unwrap(), 0xC0FFEE);
+        let (d_pos, d_neg) = process.decay_matrices(3, 2, 1e6);
+        let expect_pos: [u64; 6] = [
+            4518005782706378296,
+            4458723452706915587,
+            4472439513132427618,
+            4529014695660425918,
+            4526183680163417058,
+            4572551542985347622,
+        ];
+        let expect_neg: [u64; 6] = [
+            4520508902767501407,
+            4560851213747250929,
+            4559927379194066258,
+            4574849801410893411,
+            4536156391521418422,
+            4460434047817344323,
+        ];
+        for (got, want) in d_pos.as_slice().iter().zip(expect_pos) {
+            assert_eq!(got.to_bits(), want, "positive-crossbar decay moved");
+        }
+        for (got, want) in d_neg.as_slice().iter().zip(expect_neg) {
+            assert_eq!(got.to_bits(), want, "negative-crossbar decay moved");
+        }
+    }
+
+    #[test]
+    fn drift_process_is_pure_in_seed_and_time() {
+        let process = DriftProcess::new(model(), 42);
+        assert_eq!(
+            process.decay_matrices(4, 3, 1e5),
+            process.decay_matrices(4, 3, 1e5)
+        );
+        // One population aging: ν is frozen, so decay is monotone per
+        // device across evaluation times.
+        let (early, _) = process.decay_matrices(4, 3, 1e3);
+        let (late, _) = process.decay_matrices(4, 3, 1e6);
+        for (e, l) in early.as_slice().iter().zip(late.as_slice()) {
+            assert!(l <= e);
+        }
+        let other = DriftProcess::new(model(), 43);
+        assert_ne!(
+            process.decay_matrices(4, 3, 1e5),
+            other.decay_matrices(4, 3, 1e5)
+        );
     }
 
     #[test]

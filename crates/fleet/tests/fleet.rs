@@ -247,6 +247,75 @@ fn drain_routes_around_a_replica_without_losing_in_flight_requests() {
 /// The served ensemble verdict must equal the offline majority vote of
 /// the individual chips, leg for leg.
 #[test]
+fn staggered_replica_ages_and_heal_reset() {
+    use std::time::Duration;
+    use vortex_device::drift::RetentionModel;
+
+    // Replica 0 serves a drift-aged chip with a frozen canary set; the
+    // rest are fresh. Ages are staggered the way a rolling deployment
+    // leaves them.
+    let with_canaries = |m: Arc<CompiledModel>| {
+        Arc::new(
+            (*m).clone()
+                .with_canary_inputs((0..16).map(input).collect())
+                .unwrap(),
+        )
+    };
+    let fresh0 = with_canaries(chip(100));
+    let retention = RetentionModel::new(0.6, 0.3, 1e-3).unwrap();
+    let aged0 = Arc::new(fresh0.age_with(&retention, 1e8, 7).unwrap());
+    assert!(aged0.canary_accuracy().unwrap() < 1.0);
+    let models = vec![
+        (100u64, aged0),
+        (101, with_canaries(chip(101))),
+        (102, with_canaries(chip(102))),
+    ];
+    let pool = Arc::new(WorkerPool::new(2));
+    let fleet = Fleet::on_pool(
+        pool,
+        models,
+        FleetConfig::new(RoutingPolicy::RoundRobin)
+            .with_scheduler(SchedulerConfig::deterministic()),
+    )
+    .unwrap();
+
+    // Fresh fleet: every age is zero until the lifetime clock advances.
+    assert_eq!(fleet.replica_ages(), vec![0.0, 0.0, 0.0]);
+    fleet.set_replica_age(0, 3.0e6).unwrap();
+    fleet.set_replica_age(1, 2.0e6).unwrap();
+    fleet.set_replica_age(2, 1.0e6).unwrap();
+    assert_eq!(fleet.replica_ages(), vec![3.0e6, 2.0e6, 1.0e6]);
+    assert!(fleet.set_replica_age(0, -1.0).is_err());
+    assert!(fleet.set_replica_age(0, f64::NAN).is_err());
+
+    // Healing the oldest replica hot-swaps a fresh compile in and
+    // restarts its lifetime clock; the others keep their stagger.
+    let replacement = fresh0;
+    let outcome = fleet
+        .heal_replica(
+            0,
+            HealthConfig::new(1.0, Duration::from_millis(10)).unwrap(),
+            move || Ok(Arc::clone(&replacement)),
+        )
+        .unwrap();
+    assert!(matches!(outcome, ProbeOutcome::Recovered { .. }));
+    assert_eq!(fleet.replica_ages(), vec![0.0, 2.0e6, 1.0e6]);
+
+    // A heal that finds a healthy replica leaves its age alone.
+    let replacement1 = with_canaries(chip(101));
+    let outcome = fleet
+        .heal_replica(
+            1,
+            HealthConfig::new(0.5, Duration::from_millis(10)).unwrap(),
+            move || Ok(Arc::clone(&replacement1)),
+        )
+        .unwrap();
+    assert!(matches!(outcome, ProbeOutcome::Healthy { .. }));
+    assert_eq!(fleet.replica_age(1), 2.0e6);
+    fleet.shutdown();
+}
+
+#[test]
 fn ensemble_read_votes_exactly_like_the_offline_models() {
     let models = chips(5);
     let pool = Arc::new(WorkerPool::new(4));

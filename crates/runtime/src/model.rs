@@ -20,8 +20,7 @@
 //! floating-point operation order — so a compiled model reproduces the
 //! training-side evaluation numbers exactly.
 
-use vortex_device::drift::RetentionModel;
-use vortex_linalg::rng::Xoshiro256PlusPlus;
+use vortex_device::drift::{DriftProcess, RetentionModel};
 use vortex_linalg::{vector, Matrix};
 use vortex_nn::dataset::Dataset;
 use vortex_nn::executor::Parallelism;
@@ -524,16 +523,42 @@ impl CompiledModel {
     /// the wrong shape or with entries outside `(0, 1]`.
     pub fn aged(&self, decay_pos: &Matrix, decay_neg: &Matrix) -> Result<Self> {
         for (name, d) in [("decay_pos", decay_pos), ("decay_neg", decay_neg)] {
-            if d.shape() != self.g_pos.shape() {
-                return Err(RuntimeError::InvalidParameter {
-                    name,
-                    requirement: "decay matrix must match the crossbar shape",
-                });
-            }
-            if d.as_slice().iter().any(|&v| !(v > 0.0 && v <= 1.0)) {
+            if d.shape() == self.g_pos.shape()
+                && d.as_slice().iter().any(|&v| !(v > 0.0 && v <= 1.0))
+            {
                 return Err(RuntimeError::InvalidParameter {
                     name,
                     requirement: "decay factors must lie in (0, 1]",
+                });
+            }
+        }
+        self.with_conductance_factors(decay_pos, decay_neg)
+    }
+
+    /// A copy whose conductances are multiplied elementwise by arbitrary
+    /// positive factor matrices — the general form of [`Self::aged`].
+    /// Retention decay shrinks a device (factor ≤ 1); a temperature
+    /// excursion can *raise* its conductance (factor > 1), which is why
+    /// lifetime simulation needs this wider-domain sibling. Calibration
+    /// maps and the canary set carry over unchanged, as in
+    /// [`Self::aged`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidParameter`] for factor matrices of
+    /// the wrong shape or with non-finite/non-positive entries.
+    pub fn with_conductance_factors(&self, f_pos: &Matrix, f_neg: &Matrix) -> Result<Self> {
+        for (name, m) in [("f_pos", f_pos), ("f_neg", f_neg)] {
+            if m.shape() != self.g_pos.shape() {
+                return Err(RuntimeError::InvalidParameter {
+                    name,
+                    requirement: "factor matrix must match the crossbar shape",
+                });
+            }
+            if m.as_slice().iter().any(|&v| !(v.is_finite() && v > 0.0)) {
+                return Err(RuntimeError::InvalidParameter {
+                    name,
+                    requirement: "conductance factors must be finite and positive",
                 });
             }
         }
@@ -545,30 +570,37 @@ impl CompiledModel {
             self.dac,
             self.physical_rows,
             self.assignment.clone(),
-            self.g_pos.hadamard(decay_pos),
-            self.g_neg.hadamard(decay_neg),
+            self.g_pos.hadamard(f_pos),
+            self.g_neg.hadamard(f_neg),
             self.att_pos.clone(),
             self.att_neg.clone(),
             self.canary.clone(),
         )
     }
 
-    /// [`Self::aged`] with decay matrices drawn from a retention model:
-    /// one ν per device (seeded, so bit-reproducible — positive crossbar
-    /// sampled first, row-major), evaluated after `t_s` seconds.
+    /// [`Self::aged`] under the workspace's one drift implementation:
+    /// [`Self::age_with_process`] with `DriftProcess::new(*retention,
+    /// seed)` — one ν per device (seeded, so bit-reproducible — positive
+    /// crossbar sampled first, row-major), evaluated after `t_s` seconds.
     ///
     /// # Errors
     ///
     /// See [`Self::aged`].
     pub fn age_with(&self, retention: &RetentionModel, t_s: f64, seed: u64) -> Result<Self> {
-        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        self.age_with_process(&DriftProcess::new(*retention, seed), t_s)
+    }
+
+    /// [`Self::aged`] with decay matrices drawn from a
+    /// [`DriftProcess`] — the single drift definition shared by the
+    /// chaos plan and the lifetime timeline. Pure in `(process, t_s)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::aged`].
+    pub fn age_with_process(&self, process: &DriftProcess, t_s: f64) -> Result<Self> {
         let (rows, cols) = self.g_pos.shape();
-        let nu_pos = retention.sample_nu_matrix(rows, cols, &mut rng);
-        let nu_neg = retention.sample_nu_matrix(rows, cols, &mut rng);
-        self.aged(
-            &retention.decay_matrix(&nu_pos, t_s),
-            &retention.decay_matrix(&nu_neg, t_s),
-        )
+        let (decay_pos, decay_neg) = process.decay_matrices(rows, cols, t_s);
+        self.aged(&decay_pos, &decay_neg)
     }
 
     /// A copy with stuck-at device faults applied: each fault pins one
@@ -1115,6 +1147,57 @@ mod tests {
             .zip(&same.scores(&x).unwrap())
         {
             assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn conductance_factors_generalize_aged() {
+        let pair = programmed_pair(4, 2, 0.0, 3);
+        let model = CompiledModel::compile(
+            &pair.freeze(),
+            &identity(4),
+            &ReadOptions::new(Fidelity::Ideal),
+            None,
+        )
+        .unwrap();
+        // Factors above 1 are rejected by `aged` but fine here — a hot
+        // chip conducts more, it does not "un-decay".
+        let hot = Matrix::from_fn(4, 2, |_, _| 1.02);
+        let ones = Matrix::from_fn(4, 2, |_, _| 1.0);
+        assert!(model.aged(&hot, &ones).is_err());
+        let warmed = model.with_conductance_factors(&hot, &ones).unwrap();
+        let x = [0.3, 0.9, 0.1, 0.7];
+        let (base, warm) = (model.scores(&x).unwrap(), warmed.scores(&x).unwrap());
+        assert!(warm[0] > base[0], "positive crossbar must conduct more");
+        // Shape and domain are still validated.
+        let wrong_shape = Matrix::from_fn(3, 2, |_, _| 1.0);
+        assert!(model.with_conductance_factors(&wrong_shape, &ones).is_err());
+        let zero = Matrix::from_fn(4, 2, |_, _| 0.0);
+        assert!(model.with_conductance_factors(&zero, &ones).is_err());
+        let nan = Matrix::from_fn(4, 2, |_, _| f64::NAN);
+        assert!(model.with_conductance_factors(&ones, &nan).is_err());
+    }
+
+    #[test]
+    fn age_with_process_is_the_age_with_path() {
+        let pair = programmed_pair(4, 2, 0.0, 3);
+        let model = CompiledModel::compile(
+            &pair.freeze(),
+            &identity(4),
+            &ReadOptions::new(Fidelity::Ideal),
+            None,
+        )
+        .unwrap();
+        let retention = RetentionModel::new(0.6, 0.3, 1e-3).unwrap();
+        let a = model.age_with(&retention, 1e6, 99).unwrap();
+        let b = model
+            .age_with_process(&DriftProcess::new(retention, 99), 1e6)
+            .unwrap();
+        for (x, y) in a.g_pos.as_slice().iter().zip(b.g_pos.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in a.g_neg.as_slice().iter().zip(b.g_neg.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
         }
     }
 

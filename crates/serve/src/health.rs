@@ -23,10 +23,11 @@
 
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use vortex_runtime::CompiledModel;
 
+use crate::lifetime::{CanaryTriggered, PolicyObservation, RecalibrationPolicy};
 use crate::scheduler::Scheduler;
 use crate::{Result, ServeError};
 
@@ -123,26 +124,55 @@ pub struct HealthMonitor {
     scheduler: Arc<Scheduler>,
     config: HealthConfig,
     recompile: Box<dyn Recompile>,
+    policy: Mutex<Box<dyn RecalibrationPolicy>>,
+    started: Instant,
+    /// `(completed recalibrations, elapsed seconds at the last one)`.
+    recal_state: Mutex<(u64, f64)>,
 }
 
 impl HealthMonitor {
     /// Builds a monitor over `scheduler` whose floor breaches are healed
-    /// by `recompile`.
+    /// by `recompile` — the classic canary-triggered loop
+    /// ([`Self::with_policy`] with [`CanaryTriggered`]).
     pub fn new(
         scheduler: Arc<Scheduler>,
         config: HealthConfig,
         recompile: impl Recompile + 'static,
     ) -> Self {
+        Self::with_policy(scheduler, config, recompile, CanaryTriggered)
+    }
+
+    /// Builds a monitor whose *when to recalibrate* decision is
+    /// delegated to `policy` — periodic refresh, predictive
+    /// recalibration ahead of the floor breach, or the default
+    /// [`CanaryTriggered`]. The policy observes wall-clock seconds since
+    /// the monitor was built.
+    ///
+    /// Acceptance of the recompiled model is trigger-aware: a
+    /// floor-breach recalibration keeps the strict requirement that the
+    /// replacement be *better* on the canaries, while a policy firing on
+    /// a still-healthy model (a scheduled or predictive refresh) accepts
+    /// any replacement that is no worse — refreshing a perfect chip with
+    /// another perfect chip is the intended outcome, not a failure.
+    pub fn with_policy(
+        scheduler: Arc<Scheduler>,
+        config: HealthConfig,
+        recompile: impl Recompile + 'static,
+        policy: impl RecalibrationPolicy + 'static,
+    ) -> Self {
         Self {
             scheduler,
             config,
             recompile: Box::new(recompile),
+            policy: Mutex::new(Box::new(policy)),
+            started: Instant::now(),
+            recal_state: Mutex::new((0, 0.0)),
         }
     }
 
-    /// Runs one probe: replay the primary's canaries, and on a floor
-    /// breach recompile → verify → hot-swap. Deterministic end to end
-    /// when the [`Recompile`] hook is (fixed-seed compiles are).
+    /// Runs one probe: replay the primary's canaries, ask the policy,
+    /// and on a trigger recompile → verify → hot-swap. Deterministic end
+    /// to end when the [`Recompile`] hook is (fixed-seed compiles are).
     ///
     /// # Errors
     ///
@@ -156,12 +186,28 @@ impl HealthMonitor {
         let before = primary.canary_accuracy()?;
         vortex_obs::counter!("serve.health.probes").incr();
         vortex_obs::gauge!("serve.health.canary_accuracy").set(before);
-        if before >= self.config.accuracy_floor {
+        let breached = before < self.config.accuracy_floor;
+        let t_s = self.started.elapsed().as_secs_f64();
+        let (reprograms, last_recal_s) = *self.recal_state.lock().expect("recal state");
+        let triggered = self
+            .policy
+            .lock()
+            .expect("health policy")
+            .decide(&PolicyObservation {
+                t_s,
+                canary_accuracy: before,
+                accuracy_floor: self.config.accuracy_floor,
+                since_reprogram_s: t_s - last_recal_s,
+                reprograms,
+            });
+        if !triggered {
             return Ok(ProbeOutcome::Healthy {
                 canary_accuracy: before,
             });
         }
-        vortex_obs::counter!("serve.health.floor_breaches").incr();
+        if breached {
+            vortex_obs::counter!("serve.health.floor_breaches").incr();
+        }
         let replacement = match self.recompile.recompile() {
             Ok(model) => model,
             Err(e) => {
@@ -172,12 +218,14 @@ impl HealthMonitor {
             }
         };
         // Judge the replacement against the *degraded* model's canary
-        // set — the golden answers frozen when the model was fresh.
+        // set — the golden answers frozen when the model was fresh. A
+        // breach demands strict improvement; a healthy-model refresh
+        // only demands no regression.
         let canary = primary
             .canary()
             .expect("canary_accuracy succeeded, so a canary set exists");
         let after = canary.accuracy_on(&replacement)?;
-        if after <= before {
+        if after < before || (breached && after == before) {
             return Ok(ProbeOutcome::RecompileFailed {
                 canary_accuracy: before,
                 error: format!(
@@ -186,6 +234,12 @@ impl HealthMonitor {
             });
         }
         self.scheduler.swap_primary(replacement)?;
+        let t_done = self.started.elapsed().as_secs_f64();
+        *self.recal_state.lock().expect("recal state") = (reprograms + 1, t_done);
+        self.policy
+            .lock()
+            .expect("health policy")
+            .notify_reprogrammed(t_done);
         Ok(ProbeOutcome::Recovered { before, after })
     }
 

@@ -44,12 +44,17 @@
 pub mod chaos;
 pub mod degradation;
 pub mod health;
+pub mod lifetime;
 pub mod retry;
 pub mod scheduler;
 
 pub use chaos::{ChaosConfig, ChaosPlan};
 pub use degradation::{Hysteresis, Transition};
 pub use health::{HealthConfig, HealthHandle, HealthMonitor, ProbeOutcome, Recompile};
+pub use lifetime::{
+    CanaryTriggered, DeviceTimeline, DriftPredictive, LifetimeConfig, Periodic, PolicyObservation,
+    RecalibrationPolicy, TemperatureProfile, ThermalModel, WearModel,
+};
 pub use retry::RetryPolicy;
 pub use scheduler::{Prediction, Scheduler, SchedulerConfig, Ticket};
 
@@ -60,8 +65,9 @@ pub use vortex_runtime::{CanarySet, CellFault, CompiledModel, Fidelity, RuntimeE
 /// Canonical imports for serving: `use vortex_serve::prelude::*;`.
 pub mod prelude {
     pub use crate::{
-        ChaosConfig, ChaosPlan, CompiledModel, Fidelity, HealthConfig, HealthMonitor, Parallelism,
-        Prediction, ProbeOutcome, RetryPolicy, Scheduler, SchedulerConfig, ServeError, Ticket,
+        ChaosConfig, ChaosPlan, CompiledModel, DeviceTimeline, Fidelity, HealthConfig,
+        HealthMonitor, LifetimeConfig, Parallelism, Prediction, ProbeOutcome, RecalibrationPolicy,
+        RetryPolicy, Scheduler, SchedulerConfig, ServeError, Ticket,
     };
 }
 

@@ -1,0 +1,813 @@
+//! Lifetime scenario engine: a seeded device timeline over virtual time.
+//!
+//! PR-5's chaos layer breaks a model *once* — one drift age, one set of
+//! stuck cells. Real crossbars degrade continuously: conductances relax
+//! along power-law retention curves, every reprogramming cycle wears the
+//! devices (widening the effective programming variation), and ambient
+//! temperature scales conductance while accelerating drift. A
+//! [`DeviceTimeline`] composes all three over a *virtual* clock:
+//!
+//! * **Retention drift** — the workspace's one drift implementation
+//!   ([`DriftProcess`]): per-device `(1 + t/τ)^{−ν}` decay, ν frozen per
+//!   programming epoch, the drift clock restarting at each reprogram.
+//! * **Write-endurance wear** — [`WearModel`]: reprogram `n` lands each
+//!   device at `g·exp(σ(n)·z)` with
+//!   `σ(n) = σ_fresh·(1 + (n/endurance)^p)`, so an old chip reprograms
+//!   *worse* than a young one.
+//! * **Temperature** — [`TemperatureProfile`] gives the ambient at any
+//!   instant; [`ThermalModel`] turns it into per-device conductance
+//!   factors (device-spread tempco, so a hot chip does not merely scale
+//!   every score equally) and into an Arrhenius acceleration of the
+//!   drift clock (hot hours age the chip faster than cool ones).
+//!
+//! Everything is a pure function of `(seed, t)` given the reprogram
+//! history: like a `ChaosPlan`, the same seed replays the same lifetime
+//! bit for bit at any thread or pool count, which is what makes
+//! policy comparisons ([`RecalibrationPolicy`]) assertable in CI. The
+//! virtual-time harness that scores policies lives in
+//! `vortex_bench::experiments::lifetime`.
+
+use vortex_device::drift::{DriftProcess, RetentionModel};
+use vortex_linalg::distributions::standard_normal;
+use vortex_linalg::rng::Xoshiro256PlusPlus;
+use vortex_linalg::Matrix;
+use vortex_runtime::CompiledModel;
+
+use crate::{Result, ServeError};
+
+/// Reference temperature (°C) at which thermal factors are exactly 1.
+pub const REFERENCE_C: f64 = 25.0;
+
+/// Trapezoid steps of the Arrhenius age integral — fixed, so the
+/// effective age is a deterministic function of `(profile, interval)`.
+const THERMAL_STEPS: usize = 32;
+
+/// Stream offset of the per-device tempco draws.
+const TEMPCO_STREAM: u64 = 0x7E11_C0DE;
+/// Stream offset of the per-reprogram wear draws.
+const WEAR_STREAM: u64 = 0x5EAD_BEEF;
+/// Weyl increment separating programming epochs.
+const EPOCH_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Write-endurance wear: how programming variation widens with
+/// cumulative reprogram count.
+///
+/// Reprogram `n` perturbs each device by `exp(σ(n)·z)`, `z ~ N(0,1)`,
+/// with `σ(n) = σ_fresh · (1 + (n/endurance)^exponent)` — σ_fresh for a
+/// young chip, doubled at the endurance rating, growing without bound
+/// past it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WearModel {
+    /// Log-domain programming spread of reprogram 1 on a fresh chip.
+    pub sigma_fresh: f64,
+    /// Reprogram count at which wear doubles the spread.
+    pub endurance: f64,
+    /// Shape of the wear curve (1 = linear, >1 = sublinear early life).
+    pub exponent: f64,
+}
+
+impl WearModel {
+    /// Creates a wear model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidParameter`] for a negative or
+    /// non-finite spread, a non-positive endurance, or a non-positive
+    /// exponent.
+    pub fn new(sigma_fresh: f64, endurance: f64, exponent: f64) -> Result<Self> {
+        if !(sigma_fresh.is_finite() && sigma_fresh >= 0.0) {
+            return Err(ServeError::InvalidParameter {
+                name: "sigma_fresh",
+                requirement: "must be finite and non-negative",
+            });
+        }
+        if !(endurance.is_finite() && endurance > 0.0) {
+            return Err(ServeError::InvalidParameter {
+                name: "endurance",
+                requirement: "must be finite and positive",
+            });
+        }
+        if !(exponent.is_finite() && exponent > 0.0) {
+            return Err(ServeError::InvalidParameter {
+                name: "exponent",
+                requirement: "must be finite and positive",
+            });
+        }
+        Ok(Self {
+            sigma_fresh,
+            endurance,
+            exponent,
+        })
+    }
+
+    /// The effective programming spread of reprogram number `n` (1-based;
+    /// monotone non-decreasing in `n`).
+    pub fn sigma_at(&self, n: u64) -> f64 {
+        self.sigma_fresh * (1.0 + (n as f64 / self.endurance).powf(self.exponent))
+    }
+}
+
+/// Ambient temperature (°C) as a function of virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TemperatureProfile {
+    /// A constant ambient.
+    Constant(f64),
+    /// A raised-cosine day/night swing: `base_c` at t = 0, peaking at
+    /// `peak_c` half a period in.
+    Diurnal {
+        /// Coolest ambient of the cycle (°C).
+        base_c: f64,
+        /// Hottest ambient of the cycle (°C).
+        peak_c: f64,
+        /// Cycle length in seconds (86 400 for a day).
+        period_s: f64,
+    },
+}
+
+impl TemperatureProfile {
+    /// Validates the profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidParameter`] for non-finite
+    /// temperatures, a peak below the base, or a non-positive period.
+    pub fn validate(&self) -> Result<()> {
+        match *self {
+            Self::Constant(c) if c.is_finite() => Ok(()),
+            Self::Constant(_) => Err(ServeError::InvalidParameter {
+                name: "temperature",
+                requirement: "ambient must be finite",
+            }),
+            Self::Diurnal {
+                base_c,
+                peak_c,
+                period_s,
+            } => {
+                if !(base_c.is_finite() && peak_c.is_finite() && peak_c >= base_c) {
+                    return Err(ServeError::InvalidParameter {
+                        name: "temperature",
+                        requirement: "peak must be finite and at or above the base",
+                    });
+                }
+                if !(period_s.is_finite() && period_s > 0.0) {
+                    return Err(ServeError::InvalidParameter {
+                        name: "period_s",
+                        requirement: "must be finite and positive",
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The ambient at virtual time `t_s`.
+    pub fn at(&self, t_s: f64) -> f64 {
+        match *self {
+            Self::Constant(c) => c,
+            Self::Diurnal {
+                base_c,
+                peak_c,
+                period_s,
+            } => {
+                let phase = (t_s / period_s) * std::f64::consts::TAU;
+                base_c + (peak_c - base_c) * 0.5 * (1.0 - phase.cos())
+            }
+        }
+    }
+}
+
+/// How temperature couples into the devices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalModel {
+    /// Mean conductance temperature coefficient (per kelvin): a device's
+    /// factor is `1 + tc·(T − 25)`.
+    pub tempco_per_k: f64,
+    /// Device-to-device spread of the tempco. A non-zero spread is what
+    /// makes temperature *matter*: a uniform factor on both crossbars
+    /// scales every class score equally and never flips an argmax.
+    pub tempco_sigma: f64,
+    /// Arrhenius drift acceleration (per kelvin): drift time advances at
+    /// `exp(k·(T − 25))` — 1 at the reference, e^k per degree above it.
+    pub arrhenius_per_k: f64,
+}
+
+impl ThermalModel {
+    /// Creates a thermal model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidParameter`] for non-finite
+    /// parameters or negative spreads/accelerations.
+    pub fn new(tempco_per_k: f64, tempco_sigma: f64, arrhenius_per_k: f64) -> Result<Self> {
+        if !tempco_per_k.is_finite() {
+            return Err(ServeError::InvalidParameter {
+                name: "tempco_per_k",
+                requirement: "must be finite",
+            });
+        }
+        if !(tempco_sigma.is_finite() && tempco_sigma >= 0.0) {
+            return Err(ServeError::InvalidParameter {
+                name: "tempco_sigma",
+                requirement: "must be finite and non-negative",
+            });
+        }
+        if !(arrhenius_per_k.is_finite() && arrhenius_per_k >= 0.0) {
+            return Err(ServeError::InvalidParameter {
+                name: "arrhenius_per_k",
+                requirement: "must be finite and non-negative",
+            });
+        }
+        Ok(Self {
+            tempco_per_k,
+            tempco_sigma,
+            arrhenius_per_k,
+        })
+    }
+
+    /// The drift-clock acceleration at ambient `temp_c` (1.0 at the
+    /// reference temperature).
+    pub fn accel(&self, temp_c: f64) -> f64 {
+        (self.arrhenius_per_k * (temp_c - REFERENCE_C)).exp()
+    }
+}
+
+/// Everything a [`DeviceTimeline`] needs: the master seed and the three
+/// degradation mechanisms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LifetimeConfig {
+    /// Master seed; every per-device draw (ν, tempco, wear) derives from
+    /// it through fixed stream offsets.
+    pub seed: u64,
+    /// The retention model drift exponents are drawn from.
+    pub retention: RetentionModel,
+    /// Write-endurance wear.
+    pub wear: WearModel,
+    /// Ambient temperature over virtual time.
+    pub temperature: TemperatureProfile,
+    /// How temperature couples into conductance and drift speed.
+    pub thermal: ThermalModel,
+    /// Virtual seconds a reprogram keeps the chip out of service — the
+    /// recalibration window the policy harness charges lost requests to.
+    pub reprogram_s: f64,
+}
+
+impl LifetimeConfig {
+    /// A timeline configuration with benign defaults: no wear, constant
+    /// reference ambient, no thermal coupling, a 120-virtual-second
+    /// reprogram window. Opt mechanisms in with the builder methods.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible (defaults are valid); kept fallible for
+    /// parity with the builder validations.
+    pub fn new(seed: u64, retention: RetentionModel) -> Result<Self> {
+        Ok(Self {
+            seed,
+            retention,
+            wear: WearModel::new(0.0, 1e6, 1.0)?,
+            temperature: TemperatureProfile::Constant(REFERENCE_C),
+            thermal: ThermalModel::new(0.0, 0.0, 0.0)?,
+            reprogram_s: 120.0,
+        })
+    }
+
+    /// This configuration with the given wear model.
+    pub fn with_wear(mut self, wear: WearModel) -> Self {
+        self.wear = wear;
+        self
+    }
+
+    /// This configuration under the given temperature profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidParameter`] for an invalid profile.
+    pub fn with_temperature(mut self, profile: TemperatureProfile) -> Result<Self> {
+        profile.validate()?;
+        self.temperature = profile;
+        Ok(self)
+    }
+
+    /// This configuration with the given thermal coupling.
+    pub fn with_thermal(mut self, thermal: ThermalModel) -> Self {
+        self.thermal = thermal;
+        self
+    }
+
+    /// This configuration with a `window_s`-second reprogram blackout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidParameter`] for a negative or
+    /// non-finite window.
+    pub fn with_reprogram_window(mut self, window_s: f64) -> Result<Self> {
+        if !(window_s.is_finite() && window_s >= 0.0) {
+            return Err(ServeError::InvalidParameter {
+                name: "reprogram_s",
+                requirement: "must be finite and non-negative",
+            });
+        }
+        self.reprogram_s = window_s;
+        Ok(self)
+    }
+}
+
+/// One chip's life: the frozen fresh compile, the conductances as last
+/// programmed, and the degradation state evolving over virtual time.
+/// See the module docs for the mechanism composition and the
+/// determinism contract.
+#[derive(Debug, Clone)]
+pub struct DeviceTimeline {
+    config: LifetimeConfig,
+    fresh: CompiledModel,
+    base: CompiledModel,
+    drift: DriftProcess,
+    tc_pos: Matrix,
+    tc_neg: Matrix,
+    reprograms: u64,
+    last_program_s: f64,
+}
+
+impl DeviceTimeline {
+    /// Starts a timeline at virtual t = 0 with `model` freshly
+    /// programmed. Per-device temperature coefficients are drawn once
+    /// here (they are device properties, not time-varying state):
+    /// positive crossbar first, row-major, from the seed's tempco
+    /// stream.
+    pub fn new(config: LifetimeConfig, model: CompiledModel) -> Self {
+        let (rows, cols) = (model.rows(), model.classes());
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(config.seed ^ TEMPCO_STREAM);
+        let mut tc = |_: usize, _: usize| {
+            config.thermal.tempco_per_k + config.thermal.tempco_sigma * standard_normal(&mut rng)
+        };
+        let tc_pos = Matrix::from_fn(rows, cols, &mut tc);
+        let tc_neg = Matrix::from_fn(rows, cols, &mut tc);
+        let drift = DriftProcess::new(config.retention, config.seed);
+        Self {
+            config,
+            fresh: model.clone(),
+            base: model,
+            drift,
+            tc_pos,
+            tc_neg,
+            reprograms: 0,
+            last_program_s: 0.0,
+        }
+    }
+
+    /// The timeline's configuration.
+    pub fn config(&self) -> &LifetimeConfig {
+        &self.config
+    }
+
+    /// The fresh compile the timeline started from (never degraded).
+    pub fn fresh(&self) -> &CompiledModel {
+        &self.fresh
+    }
+
+    /// Completed reprogram cycles.
+    pub fn reprograms(&self) -> u64 {
+        self.reprograms
+    }
+
+    /// Virtual time of the last (re)programming.
+    pub fn last_program_s(&self) -> f64 {
+        self.last_program_s
+    }
+
+    /// The programming spread the *next* reprogram would suffer.
+    pub fn next_wear_sigma(&self) -> f64 {
+        self.config.wear.sigma_at(self.reprograms + 1)
+    }
+
+    /// The drift-clock age accumulated over `[last_program, t_s]`: the
+    /// trapezoidal integral of the Arrhenius acceleration along the
+    /// temperature profile, over a fixed step count — deterministic, and
+    /// exactly `t − last_program` at constant reference ambient.
+    pub fn effective_age_s(&self, t_s: f64) -> f64 {
+        let (a, b) = (self.last_program_s, t_s.max(self.last_program_s));
+        let h = (b - a) / THERMAL_STEPS as f64;
+        if h == 0.0 {
+            return 0.0;
+        }
+        let accel = |u: f64| self.config.thermal.accel(self.config.temperature.at(u));
+        let mut sum = 0.5 * (accel(a) + accel(b));
+        for k in 1..THERMAL_STEPS {
+            sum += accel(a + h * k as f64);
+        }
+        sum * h
+    }
+
+    /// The chip as it reads at virtual time `t_s` (at or after the last
+    /// reprogram): last-programmed conductances × this epoch's drift
+    /// decay at the Arrhenius-effective age × the instant's per-device
+    /// thermal factors. Pure in `(seed, reprogram history, t_s)` — equal
+    /// timelines materialize bit-identical models.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidParameter`] for a non-finite `t_s`
+    /// or one before the last reprogram.
+    pub fn model_at(&self, t_s: f64) -> Result<CompiledModel> {
+        if !t_s.is_finite() || t_s < self.last_program_s {
+            return Err(ServeError::InvalidParameter {
+                name: "t_s",
+                requirement: "must be finite and at or after the last reprogram",
+            });
+        }
+        let (rows, cols) = (self.base.rows(), self.base.classes());
+        let age = self.effective_age_s(t_s);
+        let (d_pos, d_neg) = self.drift.decay_matrices(rows, cols, age);
+        let d_t = self.config.temperature.at(t_s) - REFERENCE_C;
+        // Thermal factors can exceed 1 (hot devices conduct more), so the
+        // composition goes through the wide-domain factor path rather
+        // than `aged`; the tiny clamp keeps a pathological tempco draw
+        // from producing a non-positive factor.
+        let f_pos = d_pos.hadamard(&self.tc_pos.map(|tc| (1.0 + tc * d_t).max(1e-12)));
+        let f_neg = d_neg.hadamard(&self.tc_neg.map(|tc| (1.0 + tc * d_t).max(1e-12)));
+        vortex_obs::counter!("lifetime.models_materialized").incr();
+        vortex_obs::gauge!("lifetime.virtual_age_s").set(t_s - self.last_program_s);
+        self.base
+            .with_conductance_factors(&f_pos, &f_neg)
+            .map_err(Into::into)
+    }
+
+    /// Reprograms the chip at virtual time `t_s`: the fresh target
+    /// conductances are rewritten through the wear model's widened
+    /// spread (`g·exp(σ(n)·z)`, positive crossbar drawn first,
+    /// row-major, from this epoch's wear stream), the drift clock
+    /// restarts with a fresh ν population, and the reprogram counter
+    /// advances. The canary set rides along unchanged — golden answers
+    /// come from the fresh compile, which is the point of reprogramming
+    /// back toward it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidParameter`] for a non-finite `t_s`
+    /// or one before the last reprogram (virtual time is monotone).
+    pub fn reprogram(&mut self, t_s: f64) -> Result<()> {
+        if !t_s.is_finite() || t_s < self.last_program_s {
+            return Err(ServeError::InvalidParameter {
+                name: "t_s",
+                requirement: "must be finite and at or after the last reprogram",
+            });
+        }
+        self.reprograms += 1;
+        let epoch = self
+            .config
+            .seed
+            .wrapping_add(self.reprograms.wrapping_mul(EPOCH_MIX));
+        let sigma = self.config.wear.sigma_at(self.reprograms);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(epoch ^ WEAR_STREAM);
+        let (rows, cols) = (self.fresh.rows(), self.fresh.classes());
+        let mut wear = |_: usize, _: usize| (sigma * standard_normal(&mut rng)).exp();
+        let w_pos = Matrix::from_fn(rows, cols, &mut wear);
+        let w_neg = Matrix::from_fn(rows, cols, &mut wear);
+        self.base = self.fresh.with_conductance_factors(&w_pos, &w_neg)?;
+        self.drift = DriftProcess::new(self.config.retention, epoch);
+        self.last_program_s = t_s;
+        vortex_obs::counter!("lifetime.reprograms").incr();
+        vortex_obs::gauge!("lifetime.wear_sigma").set(sigma);
+        Ok(())
+    }
+}
+
+/// What a policy sees at each probe instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyObservation {
+    /// Virtual time of the probe.
+    pub t_s: f64,
+    /// Canary accuracy of the currently serving model.
+    pub canary_accuracy: f64,
+    /// The operating floor the deployment promises.
+    pub accuracy_floor: f64,
+    /// Virtual seconds since the chip was last (re)programmed.
+    pub since_reprogram_s: f64,
+    /// Completed reprogram cycles.
+    pub reprograms: u64,
+}
+
+/// When to recalibrate: the decision half of the healing loop, decoupled
+/// from the mechanism (drain → recompile → verify → swap) so policies
+/// can be compared on equal footing. Implementations may carry state
+/// (the predictive policy keeps a canary-accuracy history); the harness
+/// calls [`RecalibrationPolicy::notify_reprogrammed`] after acting on a
+/// `true` decision.
+pub trait RecalibrationPolicy: Send {
+    /// Short name for tables and logs.
+    fn name(&self) -> &'static str;
+    /// Whether to recalibrate now.
+    fn decide(&mut self, obs: &PolicyObservation) -> bool;
+    /// Called after a recalibration this policy requested completes.
+    fn notify_reprogrammed(&mut self, _t_s: f64) {}
+}
+
+/// Today's `HealthMonitor` behavior as a policy: recalibrate exactly
+/// when canary accuracy has already breached the floor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CanaryTriggered;
+
+impl RecalibrationPolicy for CanaryTriggered {
+    fn name(&self) -> &'static str {
+        "canary-triggered"
+    }
+
+    fn decide(&mut self, obs: &PolicyObservation) -> bool {
+        obs.canary_accuracy < obs.accuracy_floor
+    }
+}
+
+/// Recalibrate on a fixed virtual-time cadence, blind to accuracy.
+#[derive(Debug, Clone, Copy)]
+pub struct Periodic {
+    /// Virtual seconds between recalibrations.
+    pub interval_s: f64,
+}
+
+impl Periodic {
+    /// A periodic policy on the given cadence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidParameter`] for a non-positive or
+    /// non-finite interval.
+    pub fn new(interval_s: f64) -> Result<Self> {
+        if !(interval_s.is_finite() && interval_s > 0.0) {
+            return Err(ServeError::InvalidParameter {
+                name: "interval_s",
+                requirement: "must be finite and positive",
+            });
+        }
+        Ok(Self { interval_s })
+    }
+}
+
+impl RecalibrationPolicy for Periodic {
+    fn name(&self) -> &'static str {
+        "periodic"
+    }
+
+    fn decide(&mut self, obs: &PolicyObservation) -> bool {
+        obs.since_reprogram_s >= self.interval_s
+    }
+}
+
+/// Extrapolate the canary-accuracy slope and recalibrate *before* the
+/// floor is breached: a least-squares line through the last `window`
+/// observations of the current epoch, triggered when the line predicts
+/// a sub-floor accuracy within `lead_s` virtual seconds (or the floor
+/// is already gone).
+#[derive(Debug, Clone)]
+pub struct DriftPredictive {
+    window: usize,
+    lead_s: f64,
+    history: Vec<(f64, f64)>,
+}
+
+impl DriftPredictive {
+    /// A predictive policy fitting the last `window` probes and looking
+    /// `lead_s` virtual seconds ahead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidParameter`] for a window below 2 or
+    /// a negative/non-finite lead.
+    pub fn new(window: usize, lead_s: f64) -> Result<Self> {
+        if window < 2 {
+            return Err(ServeError::InvalidParameter {
+                name: "window",
+                requirement: "a slope needs at least 2 observations",
+            });
+        }
+        if !(lead_s.is_finite() && lead_s >= 0.0) {
+            return Err(ServeError::InvalidParameter {
+                name: "lead_s",
+                requirement: "must be finite and non-negative",
+            });
+        }
+        Ok(Self {
+            window,
+            lead_s,
+            history: Vec::new(),
+        })
+    }
+
+    /// Least-squares slope of the buffered (t, accuracy) observations,
+    /// `None` below 2 points or on a degenerate (zero-variance) abscissa.
+    fn slope(&self) -> Option<f64> {
+        let n = self.history.len();
+        if n < 2 {
+            return None;
+        }
+        let mean_t = self.history.iter().map(|(t, _)| t).sum::<f64>() / n as f64;
+        let mean_a = self.history.iter().map(|(_, a)| a).sum::<f64>() / n as f64;
+        let (mut num, mut den) = (0.0, 0.0);
+        for &(t, a) in &self.history {
+            num += (t - mean_t) * (a - mean_a);
+            den += (t - mean_t) * (t - mean_t);
+        }
+        (den > 0.0).then(|| num / den)
+    }
+}
+
+impl RecalibrationPolicy for DriftPredictive {
+    fn name(&self) -> &'static str {
+        "drift-predictive"
+    }
+
+    fn decide(&mut self, obs: &PolicyObservation) -> bool {
+        self.history.push((obs.t_s, obs.canary_accuracy));
+        if self.history.len() > self.window {
+            self.history.remove(0);
+        }
+        if obs.canary_accuracy < obs.accuracy_floor {
+            return true;
+        }
+        match self.slope() {
+            Some(slope) if slope < 0.0 => {
+                obs.canary_accuracy + slope * self.lead_s < obs.accuracy_floor
+            }
+            _ => false,
+        }
+    }
+
+    fn notify_reprogrammed(&mut self, _t_s: f64) {
+        // The slope of the previous epoch says nothing about the freshly
+        // programmed one.
+        self.history.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn retention() -> RetentionModel {
+        RetentionModel::new(0.05, 0.02, 1.0).unwrap()
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(WearModel::new(-0.1, 1e4, 1.0).is_err());
+        assert!(WearModel::new(0.1, 0.0, 1.0).is_err());
+        assert!(WearModel::new(0.1, 1e4, 0.0).is_err());
+        assert!(TemperatureProfile::Constant(f64::NAN).validate().is_err());
+        assert!(TemperatureProfile::Diurnal {
+            base_c: 40.0,
+            peak_c: 20.0,
+            period_s: 86_400.0
+        }
+        .validate()
+        .is_err());
+        assert!(TemperatureProfile::Diurnal {
+            base_c: 20.0,
+            peak_c: 40.0,
+            period_s: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(ThermalModel::new(f64::INFINITY, 0.0, 0.0).is_err());
+        assert!(ThermalModel::new(0.001, -0.1, 0.0).is_err());
+        assert!(ThermalModel::new(0.001, 0.0, -0.1).is_err());
+        assert!(Periodic::new(0.0).is_err());
+        assert!(DriftPredictive::new(1, 10.0).is_err());
+        assert!(DriftPredictive::new(4, -1.0).is_err());
+        let cfg = LifetimeConfig::new(1, retention()).unwrap();
+        assert!(cfg.with_reprogram_window(f64::NAN).is_err());
+        let cfg = LifetimeConfig::new(1, retention()).unwrap();
+        assert!(cfg
+            .with_temperature(TemperatureProfile::Constant(f64::NAN))
+            .is_err());
+    }
+
+    #[test]
+    fn wear_widens_with_reprogram_count() {
+        let wear = WearModel::new(0.05, 100.0, 1.0).unwrap();
+        assert!((wear.sigma_at(1) - 0.0505).abs() < 1e-12);
+        assert!(
+            (wear.sigma_at(100) - 0.10).abs() < 1e-12,
+            "doubled at rating"
+        );
+        let mut last = 0.0;
+        for n in 1..300 {
+            let s = wear.sigma_at(n);
+            assert!(s >= last, "wear must be monotone");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn temperature_profile_cycles() {
+        let day = TemperatureProfile::Diurnal {
+            base_c: 20.0,
+            peak_c: 40.0,
+            period_s: 86_400.0,
+        };
+        day.validate().unwrap();
+        assert!((day.at(0.0) - 20.0).abs() < 1e-9);
+        assert!(
+            (day.at(43_200.0) - 40.0).abs() < 1e-9,
+            "peak at half period"
+        );
+        assert!((day.at(86_400.0) - 20.0).abs() < 1e-9, "periodic");
+        let c = TemperatureProfile::Constant(55.0);
+        assert_eq!(c.at(0.0), 55.0);
+        assert_eq!(c.at(1e9), 55.0);
+    }
+
+    #[test]
+    fn arrhenius_accelerates_above_reference() {
+        let thermal = ThermalModel::new(0.0, 0.0, 0.05).unwrap();
+        assert!((thermal.accel(REFERENCE_C) - 1.0).abs() < 1e-12);
+        assert!(thermal.accel(45.0) > 1.0);
+        assert!(thermal.accel(5.0) < 1.0);
+        // No coupling ⇒ no acceleration anywhere.
+        let off = ThermalModel::new(0.001, 0.0, 0.0).unwrap();
+        assert_eq!(off.accel(80.0), 1.0);
+    }
+
+    #[test]
+    fn canary_policy_mirrors_the_monitor() {
+        let mut p = CanaryTriggered;
+        let mut obs = PolicyObservation {
+            t_s: 100.0,
+            canary_accuracy: 0.95,
+            accuracy_floor: 0.9,
+            since_reprogram_s: 100.0,
+            reprograms: 0,
+        };
+        assert!(!p.decide(&obs));
+        obs.canary_accuracy = 0.85;
+        assert!(p.decide(&obs));
+    }
+
+    #[test]
+    fn periodic_policy_fires_on_cadence() {
+        let mut p = Periodic::new(1000.0).unwrap();
+        let mut obs = PolicyObservation {
+            t_s: 500.0,
+            canary_accuracy: 1.0,
+            accuracy_floor: 0.9,
+            since_reprogram_s: 500.0,
+            reprograms: 0,
+        };
+        assert!(!p.decide(&obs), "healthy and young: no recalibration");
+        obs.since_reprogram_s = 1000.0;
+        assert!(p.decide(&obs), "cadence reached, accuracy ignored");
+    }
+
+    #[test]
+    fn predictive_policy_acts_before_the_breach() {
+        let mut p = DriftPredictive::new(4, 200.0).unwrap();
+        let floor = 0.9;
+        // Accuracy sliding 0.01 per 100 s: at 0.93 the 200 s lookahead
+        // predicts 0.91 (hold), at 0.915 it predicts 0.895 (trigger) —
+        // while the floor itself is still intact.
+        let mut fired_at = None;
+        for (k, acc) in [1.0, 0.99, 0.97, 0.95, 0.93, 0.915, 0.905]
+            .iter()
+            .enumerate()
+        {
+            let obs = PolicyObservation {
+                t_s: 100.0 * k as f64,
+                canary_accuracy: *acc,
+                accuracy_floor: floor,
+                since_reprogram_s: 100.0 * k as f64,
+                reprograms: 0,
+            };
+            if p.decide(&obs) {
+                fired_at = Some(*acc);
+                break;
+            }
+        }
+        let acc = fired_at.expect("the slope must eventually trigger");
+        assert!(acc >= floor, "fired before the floor was breached: {acc}");
+        // An already-breached floor triggers regardless of slope.
+        let mut fresh = DriftPredictive::new(4, 0.0).unwrap();
+        assert!(fresh.decide(&PolicyObservation {
+            t_s: 0.0,
+            canary_accuracy: 0.5,
+            accuracy_floor: floor,
+            since_reprogram_s: 0.0,
+            reprograms: 0,
+        }));
+        // Reprogramming clears the epoch history.
+        fresh.notify_reprogrammed(0.0);
+        assert!(fresh.history.is_empty());
+    }
+
+    #[test]
+    fn stable_accuracy_never_triggers_the_predictor() {
+        let mut p = DriftPredictive::new(4, 1e6).unwrap();
+        for k in 0..50 {
+            let obs = PolicyObservation {
+                t_s: 100.0 * k as f64,
+                canary_accuracy: 0.95,
+                accuracy_floor: 0.9,
+                since_reprogram_s: 100.0 * k as f64,
+                reprograms: 0,
+            };
+            assert!(!p.decide(&obs), "flat history must not trigger");
+        }
+    }
+}

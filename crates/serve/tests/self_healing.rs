@@ -437,6 +437,70 @@ fn panicked_pool_task_poisons_nothing_and_the_slot_is_reusable() {
 }
 
 #[test]
+fn policy_monitor_refreshes_a_healthy_model_without_failing() {
+    use vortex_serve::lifetime::{Periodic, PolicyObservation, RecalibrationPolicy};
+
+    // A healthy primary (canary accuracy 1.0). The classic monitor never
+    // recompiles it; a periodic policy with a zero interval refreshes it
+    // on every probe — and the equal-accuracy replacement is accepted,
+    // because a scheduled refresh only demands "no worse", not the
+    // strict improvement a floor breach does.
+    let scheduler = Arc::new(
+        Scheduler::new(
+            Arc::new(fresh_model()),
+            None,
+            SchedulerConfig::deterministic(),
+        )
+        .unwrap(),
+    );
+    let classic = HealthMonitor::new(
+        Arc::clone(&scheduler),
+        HealthConfig::new(0.9, Duration::from_millis(50)).unwrap(),
+        move || Ok::<_, Box<dyn std::error::Error + Send + Sync>>(Arc::new(fresh_model())),
+    );
+    assert!(matches!(
+        classic.probe().unwrap(),
+        ProbeOutcome::Healthy { .. }
+    ));
+
+    struct EveryProbe;
+    impl RecalibrationPolicy for EveryProbe {
+        fn name(&self) -> &'static str {
+            "every-probe"
+        }
+        fn decide(&mut self, _obs: &PolicyObservation) -> bool {
+            true
+        }
+    }
+    let refresher = HealthMonitor::with_policy(
+        Arc::clone(&scheduler),
+        HealthConfig::new(0.9, Duration::from_millis(50)).unwrap(),
+        move || Ok::<_, Box<dyn std::error::Error + Send + Sync>>(Arc::new(fresh_model())),
+        EveryProbe,
+    );
+    match refresher.probe().unwrap() {
+        ProbeOutcome::Recovered { before, after } => {
+            assert_eq!(before, 1.0);
+            assert_eq!(after, 1.0, "equal accuracy is an accepted refresh");
+        }
+        other => panic!("expected a scheduled refresh to swap, got {other:?}"),
+    }
+    // The interval-based policy exists end to end too: a huge interval
+    // never fires on a young chip.
+    let lazy = HealthMonitor::with_policy(
+        Arc::clone(&scheduler),
+        HealthConfig::new(0.9, Duration::from_millis(50)).unwrap(),
+        move || Ok::<_, Box<dyn std::error::Error + Send + Sync>>(Arc::new(fresh_model())),
+        Periodic::new(3600.0).unwrap(),
+    );
+    assert!(matches!(
+        lazy.probe().unwrap(),
+        ProbeOutcome::Healthy { .. }
+    ));
+    assert!(scheduler.submit_wait(input(2)).is_ok());
+}
+
+#[test]
 fn predictions_are_bit_identical_across_pool_sizes_under_chaos() {
     let model = Arc::new(fresh_model());
     let trace: Vec<Vec<f64>> = (0..40).map(input).collect();

@@ -459,6 +459,34 @@ mod shared_pool {
 // ---------------------------------------------------------------------------
 
 #[test]
+fn lifetime_policy_race_is_deterministic_in_virtual_time() {
+    use vortex_bench::experiments::lifetime;
+
+    // The whole two-day virtual timeline — wear, diurnal temperature,
+    // Arrhenius-accelerated drift, three policies racing over the same
+    // seeded arrival trace — is a pure function of the scale. Like the
+    // chaos loop below, this also runs in CI's `VORTEX_MC_THREADS=1`
+    // re-invocation, so nothing here may depend on the pool size.
+    let baseline = lifetime::run(&Scale::bench());
+    assert_eq!(
+        baseline,
+        lifetime::run(&Scale::bench()),
+        "lifetime race diverged between identical runs"
+    );
+    assert_eq!(
+        baseline.to_json(),
+        lifetime::run(&Scale::bench()).to_json(),
+        "lifetime JSON payload is not byte-stable"
+    );
+    // The gated invariants hold at bench scale too, not just --quick.
+    assert_eq!(baseline.recompile_budget_delta(), 0);
+    assert!(
+        baseline.predictive_minus_periodic_accuracy_hours() < 0.0,
+        "drift-predictive must strictly beat periodic at equal budget"
+    );
+}
+
+#[test]
 fn chaos_self_healing_loop_is_deterministic_and_loses_nothing() {
     use vortex_bench::experiments::chaos;
 
