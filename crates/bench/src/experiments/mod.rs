@@ -3,6 +3,7 @@
 pub mod ablation;
 pub mod chaos;
 pub mod common;
+pub mod encoding;
 pub mod extensions;
 pub mod fig1;
 pub mod fig2;

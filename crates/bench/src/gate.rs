@@ -44,8 +44,14 @@ pub const GATED_KEYS: [&str; 6] = [
 /// whatever the noise budget. `bench/baseline_lifetime.json` pins
 /// `lifetime_recompile_budget_delta` at 0: the periodic-vs-predictive
 /// comparison is only meaningful when both spend the same number of
-/// recompiles.
-pub const EXACT_KEYS: [&str; 2] = ["lost_requests", "lifetime_recompile_budget_delta"];
+/// recompiles. `bench/baseline_encoding.json` likewise pins
+/// `encoding_pulse_budget_delta` at 0: the adaptive-vs-fixed accuracy
+/// comparison is only honest at an identical programming pulse budget.
+pub const EXACT_KEYS: [&str; 3] = [
+    "lost_requests",
+    "lifetime_recompile_budget_delta",
+    "encoding_pulse_budget_delta",
+];
 
 /// Keys where the baseline is a **ceiling** — current must not exceed
 /// it (lower is better; a negative ceiling demands a strict win).
@@ -60,11 +66,17 @@ pub const EXACT_KEYS: [&str; 2] = ["lost_requests", "lifetime_recompile_budget_d
 /// `predictive_minus_periodic_accuracy_hours` under a *negative*
 /// ceiling: drift-predictive recalibration must strictly beat the blind
 /// periodic schedule at equal recompile budget.
-pub const CEILING_KEYS: [&str; 4] = [
+/// `bench/baseline_encoding.json` caps
+/// `encoding_fixed_minus_adaptive_pp` (fixed 4-bit minus adaptive
+/// accuracy, worst case over sigma ≥ 0.3) at 0: sensitivity-driven
+/// level allocation must meet or beat the uniform grid at the same
+/// pulse budget.
+pub const CEILING_KEYS: [&str; 5] = [
     "recovered_accuracy_delta_pp",
     "ensemble_accuracy_delta_pp",
     "accuracy_hours_lost_predictive",
     "predictive_minus_periodic_accuracy_hours",
+    "encoding_fixed_minus_adaptive_pp",
 ];
 
 /// How a gated key is judged.

@@ -279,6 +279,58 @@ fn lifetime_writes_a_payload_the_policy_gate_accepts() {
 }
 
 #[test]
+fn encoding_writes_a_payload_the_equal_budget_gate_accepts() {
+    // --quick, because that is exactly what the CI bench-smoke step runs
+    // and gates; the sweep is pure seeded computation, so what passes
+    // here passes there bit-for-bit.
+    let dir = std::env::temp_dir().join(format!("vortex-cli-encoding-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["encoding", "--quick"])
+        .current_dir(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "experiments failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Weight encoding"));
+    assert!(stdout.contains("adaptive"));
+    assert!(stdout.contains("wrote BENCH_encoding.json"));
+
+    let json = std::fs::read_to_string(dir.join("BENCH_encoding.json")).expect("payload written");
+    // The pulse pin must hold exactly (adaptive spends the fixed 4-bit
+    // budget) and the accuracy delta must already be non-positive before
+    // the baseline ceiling even applies.
+    assert_eq!(
+        vortex_bench::gate::extract_number(&json, "encoding_pulse_budget_delta"),
+        Some(0.0),
+        "adaptive must spend exactly the fixed-bit pulse budget"
+    );
+    let delta = vortex_bench::gate::extract_number(&json, "encoding_fixed_minus_adaptive_pp")
+        .expect("accuracy-delta key present");
+    assert!(
+        delta <= 0.0,
+        "adaptive must meet or beat fixed 4-bit at equal budget, got {delta:+} pp"
+    );
+
+    let baseline = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench/baseline_encoding.json"),
+    )
+    .expect("baseline readable");
+    let report = vortex_bench::gate::check(&json, &baseline, 0.30).expect("gateable payload");
+    assert_eq!(report.checks.len(), 2, "baseline gates two encoding keys");
+    assert!(
+        report.pass(),
+        "encoding payload failed its own gate:\n{}",
+        report.render()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn check_bench_gates_multiple_pairs_in_one_invocation() {
     let dir = std::env::temp_dir().join(format!("vortex-cli-gate-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");

@@ -15,20 +15,24 @@
 //! [`DifferentialPair::read`], so evaluation numbers are unchanged.
 
 use serde::{Deserialize, Serialize};
+use vortex_device::cell::CellKind;
 use vortex_device::defects::DefectModel;
 use vortex_device::{DeviceParams, VariationModel};
-use vortex_linalg::rng::Xoshiro256PlusPlus;
+use vortex_linalg::rng::{SplitMix64, Xoshiro256PlusPlus};
 use vortex_linalg::Matrix;
 use vortex_nn::dataset::Dataset;
 use vortex_nn::executor::{run_trials, Parallelism};
+use vortex_nn::pool::WorkerPool;
 use vortex_runtime::{CompiledModel, Fidelity, ReadOptions};
 use vortex_xbar::crossbar::CrossbarConfig;
+use vortex_xbar::encoding::{EncodingContext, EncodingSpec, EncodingTable};
 use vortex_xbar::irdrop::ProgramVoltageMap;
 use vortex_xbar::pair::{DifferentialPair, WeightMapping};
 use vortex_xbar::program::{program_with_protocol, ProgramOptions};
 use vortex_xbar::sensing::Adc;
 
 use crate::amp::greedy::RowMapping;
+use crate::amp::sensitivity::row_sensitivity;
 use crate::{CoreError, Result};
 
 /// Read-path circuit fidelity.
@@ -69,6 +73,11 @@ pub struct HardwareEnv {
     pub compensate_program_irdrop: bool,
     /// Largest weight magnitude the conductance mapping must represent.
     pub w_max: f64,
+    /// Cell topology: the paper's passive 1R crossbar (default) or a
+    /// 1T-1R array whose access transistor compresses effective
+    /// conductance; programming targets are pre-distorted NEAT-style to
+    /// counteract it (saturating at the top of the weight range).
+    pub cell: CellKind,
 }
 
 impl HardwareEnv {
@@ -86,6 +95,7 @@ impl HardwareEnv {
             program_irdrop: false,
             compensate_program_irdrop: false,
             w_max: 2.0,
+            cell: CellKind::OneR,
         }
     }
 
@@ -327,6 +337,22 @@ impl ModelCompiler {
         &self.env
     }
 
+    /// Starts a [`CompileRequest`] for `weights` under `mapping`: the
+    /// builder form of the compile path, carrying encoding, seed, canary
+    /// and parallelism choices in one options struct.
+    pub fn request<'a>(
+        &'a self,
+        weights: &'a Matrix,
+        mapping: &'a RowMapping,
+    ) -> CompileRequest<'a> {
+        CompileRequest {
+            compiler: self,
+            weights,
+            mapping,
+            options: CompileOptions::new(),
+        }
+    }
+
     /// Fabricates a pair and open-loop programs `weights` through
     /// `mapping` (the physical array has `mapping.physical_rows()` rows).
     ///
@@ -339,6 +365,49 @@ impl ModelCompiler {
         mapping: &RowMapping,
         rng: &mut Xoshiro256PlusPlus,
     ) -> Result<DifferentialPair> {
+        self.program_encoded(weights, mapping, EncodingSpec::DifferentialPair, rng)
+            .map(|(pair, _)| pair)
+    }
+
+    /// Per-physical-row AMP sensitivity `|x̄·w|` from the calibration
+    /// input, routed through `mapping`; `None` when no calibration is
+    /// set (encodings then fall back to the row weight mass).
+    fn physical_sensitivity(
+        &self,
+        physical_weights: &Matrix,
+        mapping: &RowMapping,
+    ) -> Result<Option<Vec<f64>>> {
+        let Some(cal) = self.calibration.as_deref() else {
+            return Ok(None);
+        };
+        if cal.len() != mapping.logical_rows() {
+            return Err(CoreError::InvalidParameter {
+                name: "calibration",
+                requirement: "length must match the logical row count",
+            });
+        }
+        let mut mean_abs = vec![0.0; physical_weights.rows()];
+        for (p, &q) in mapping.assignment().iter().enumerate() {
+            mean_abs[q] = cal[p].abs();
+        }
+        Ok(Some(row_sensitivity(physical_weights, &mean_abs)))
+    }
+
+    /// The programming stage with an explicit weight encoding: fabricate,
+    /// encode the physical weights into per-crossbar targets (quantizing
+    /// and pre-distorting for the cell topology as the spec and
+    /// [`HardwareEnv::cell`] demand), then run the open-loop protocol.
+    ///
+    /// The default differential encoding on a 1R array takes a transform-
+    /// free fast path that is bit-identical to the historical programming
+    /// code — same float operations, no RNG consumed by the encoder.
+    fn program_encoded(
+        &self,
+        weights: &Matrix,
+        mapping: &RowMapping,
+        spec: EncodingSpec,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> Result<(DifferentialPair, EncodingTable)> {
         let env = &self.env;
         let cols = weights.cols();
         let physical_rows = mapping.physical_rows();
@@ -347,7 +416,35 @@ impl ModelCompiler {
         let mut pair = DifferentialPair::fabricate(config, wm, rng).map_err(CoreError::Xbar)?;
 
         let physical_weights = mapping.apply_to_rows(weights, 0.0);
-        let (targets_pos, targets_neg) = pair.mapping().weights_to_targets(&physical_weights);
+        let (targets_pos, targets_neg, table) = if spec.is_differential() && env.cell.is_one_r() {
+            // The paper's path, untouched: no quantizer, no cell
+            // transform, bit-for-bit the pre-encoding target math.
+            let (pos, neg) = pair.mapping().weights_to_targets(&physical_weights);
+            (pos, neg, EncodingTable::differential(physical_rows))
+        } else {
+            let sensitivity = if matches!(spec, EncodingSpec::AdaptiveRowQuant { .. }) {
+                self.physical_sensitivity(&physical_weights, mapping)?
+            } else {
+                None
+            };
+            let ctx = EncodingContext {
+                row_sensitivity: sensitivity.as_deref(),
+            };
+            let encoder = spec.build().map_err(CoreError::Xbar)?;
+            let encoded = encoder
+                .encode(&physical_weights, pair.mapping(), &ctx)
+                .map_err(CoreError::Xbar)?;
+            let (mut pos, mut neg) = (encoded.pos, encoded.neg);
+            if !env.cell.is_one_r() {
+                // NEAT-style pre-distortion: program the conductance that
+                // reads as the desired one through the access transistor.
+                let (g_min, g_max) = (pair.mapping().g_min(), pair.mapping().g_max());
+                let cell = env.cell;
+                pos.map_inplace(|g| cell.program_target(g, g_min, g_max));
+                neg.map_inplace(|g| cell.program_target(g, g_min, g_max));
+            }
+            (pos, neg, encoded.table)
+        };
 
         let (actual_pos, actual_neg, estimate_pos, estimate_neg) =
             if env.program_irdrop && env.r_wire > 0.0 {
@@ -390,7 +487,7 @@ impl ModelCompiler {
             rng,
         )
         .map_err(CoreError::Xbar)?;
-        Ok(pair)
+        Ok((pair, table))
     }
 
     /// Freezes a programmed pair into an immutable [`CompiledModel`]
@@ -401,18 +498,41 @@ impl ModelCompiler {
     ///
     /// Propagates calibration and configuration errors.
     pub fn freeze(&self, pair: &DifferentialPair, mapping: &RowMapping) -> Result<CompiledModel> {
+        self.freeze_with_table(pair, mapping, EncodingTable::differential(pair.rows()))
+    }
+
+    /// [`Self::freeze`] carrying the encoding table the programming stage
+    /// produced. On a 1T-1R substrate the frozen conductances are mapped
+    /// through the access transistor here, so the compiled read path —
+    /// and its calibration — see what the sense amplifiers would.
+    fn freeze_with_table(
+        &self,
+        pair: &DifferentialPair,
+        mapping: &RowMapping,
+        table: EncodingTable,
+    ) -> Result<CompiledModel> {
         let options = self.env.read_options(pair.rows())?;
-        CompiledModel::compile(
-            &pair.freeze(),
+        let mut state = pair.freeze();
+        if !self.env.cell.is_one_r() {
+            let cell = self.env.cell;
+            state.g_pos.map_inplace(|g| cell.effective_conductance(g));
+            state.g_neg.map_inplace(|g| cell.effective_conductance(g));
+        }
+        CompiledModel::compile_encoded(
+            &state,
             mapping.assignment(),
             &options,
             self.calibration.as_deref(),
+            table,
         )
         .map_err(CoreError::Runtime)
     }
 
     /// Fabricates, programs and freezes in one step: the full compile
     /// path from trained weights to a servable [`CompiledModel`].
+    ///
+    /// Equivalent to `self.request(weights, mapping).compile_with(rng)`
+    /// with default options.
     ///
     /// # Errors
     ///
@@ -423,9 +543,7 @@ impl ModelCompiler {
         mapping: &RowMapping,
         rng: &mut Xoshiro256PlusPlus,
     ) -> Result<CompiledModel> {
-        let _span = vortex_obs::span!("pipeline.compile_seconds");
-        let pair = self.program(weights, mapping, rng)?;
-        self.freeze(&pair, mapping)
+        self.request(weights, mapping).compile_with(rng)
     }
 
     /// [`Self::compile`] from a bare variation seed: fabricates a fresh
@@ -443,8 +561,7 @@ impl ModelCompiler {
         mapping: &RowMapping,
         seed: u64,
     ) -> Result<CompiledModel> {
-        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
-        self.compile(weights, mapping, &mut rng)
+        self.request(weights, mapping).seed(seed).compile()
     }
 
     /// Compiles `n` replicas from `n` distinct variation seeds derived
@@ -454,7 +571,8 @@ impl ModelCompiler {
     ///
     /// # Errors
     ///
-    /// See [`Self::compile`]; the first failing replica aborts the batch.
+    /// See [`Self::compile`]; the first failing replica (by replica
+    /// index) aborts the batch.
     pub fn compile_replicas(
         &self,
         weights: &Matrix,
@@ -462,13 +580,202 @@ impl ModelCompiler {
         base_seed: u64,
         n: usize,
     ) -> Result<Vec<(u64, CompiledModel)>> {
-        let mut seeds = vortex_linalg::rng::SplitMix64::new(base_seed);
-        (0..n)
-            .map(|_| {
-                let seed = seeds.next_u64();
-                Ok((seed, self.compile_seeded(weights, mapping, seed)?))
-            })
+        self.request(weights, mapping)
+            .seed(base_seed)
+            .compile_replicas(n)
+    }
+}
+
+/// Options carried by a [`CompileRequest`].
+///
+/// Marked `#[non_exhaustive]` so future compile knobs don't break
+/// callers: construct via [`CompileOptions::new`] (or the builder methods
+/// on [`CompileRequest`]) and mutate fields.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct CompileOptions {
+    /// Weight→conductance encoding strategy (default: the paper's
+    /// continuous differential pair).
+    pub encoding: EncodingSpec,
+    /// Variation seed for fabrication. Required by
+    /// [`CompileRequest::compile`] and [`CompileRequest::compile_replicas`]
+    /// (as the replica base seed); unused by
+    /// [`CompileRequest::compile_with`], which takes an external stream.
+    pub seed: Option<u64>,
+    /// Probe inputs to freeze as the model's canary set right after
+    /// compilation (see `CompiledModel::with_canary_inputs`).
+    pub canary_inputs: Option<Vec<Vec<f64>>>,
+    /// Fan-out for [`CompileRequest::compile_replicas`]. Defaults to
+    /// [`Parallelism::Serial`] — the historical replica loop; any setting
+    /// produces bit-identical models because every replica's RNG stream
+    /// is derived from its own seed.
+    pub parallelism: Parallelism,
+}
+
+impl CompileOptions {
+    /// Default options: differential encoding, no seed, no canaries,
+    /// serial replica compilation.
+    pub fn new() -> Self {
+        Self {
+            encoding: EncodingSpec::DifferentialPair,
+            seed: None,
+            canary_inputs: None,
+            parallelism: Parallelism::Serial,
+        }
+    }
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A single compile invocation, built fluently from
+/// [`ModelCompiler::request`]: weights + routing + [`CompileOptions`].
+///
+/// This is the one place all compile paths meet — the legacy positional
+/// methods ([`ModelCompiler::compile`], [`ModelCompiler::compile_seeded`],
+/// [`ModelCompiler::compile_replicas`]) are thin delegates over it, pinned
+/// bit-equal by the equivalence tests.
+///
+/// # Example
+///
+/// ```no_run
+/// # use vortex_core::pipeline::HardwareEnv;
+/// # use vortex_core::amp::greedy::RowMapping;
+/// # use vortex_linalg::Matrix;
+/// # use vortex_xbar::encoding::EncodingSpec;
+/// # fn demo(weights: &Matrix, mapping: &RowMapping,
+/// #         calibration: &[f64]) -> vortex_core::Result<()> {
+/// let env = HardwareEnv::with_sigma(0.3)?;
+/// let compiler = env.compiler().with_calibration(calibration);
+/// let model = compiler
+///     .request(weights, mapping)
+///     .encoding(EncodingSpec::AdaptiveRowQuant {
+///         low_bits: 2,
+///         high_bits: 6,
+///         fine_fraction: 0.5,
+///     })
+///     .seed(42)
+///     .compile()?;
+/// # let _ = model; Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompileRequest<'a> {
+    compiler: &'a ModelCompiler,
+    weights: &'a Matrix,
+    mapping: &'a RowMapping,
+    options: CompileOptions,
+}
+
+impl CompileRequest<'_> {
+    /// Sets the weight encoding strategy.
+    pub fn encoding(mut self, spec: EncodingSpec) -> Self {
+        self.options.encoding = spec;
+        self
+    }
+
+    /// Sets the variation seed (replica base seed for
+    /// [`Self::compile_replicas`]).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.options.seed = Some(seed);
+        self
+    }
+
+    /// Freezes `inputs` as the compiled model's canary probe set.
+    pub fn canary_inputs(mut self, inputs: Vec<Vec<f64>>) -> Self {
+        self.options.canary_inputs = Some(inputs);
+        self
+    }
+
+    /// Sets the replica fan-out parallelism.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.options.parallelism = parallelism;
+        self
+    }
+
+    /// Replaces the whole options struct at once.
+    pub fn with_options(mut self, options: CompileOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The options as currently configured.
+    pub fn options(&self) -> &CompileOptions {
+        &self.options
+    }
+
+    /// Compiles with an external RNG stream (the Monte-Carlo harness
+    /// path); `options.seed` is ignored here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fabrication, programming, calibration and canary
+    /// errors.
+    pub fn compile_with(&self, rng: &mut Xoshiro256PlusPlus) -> Result<CompiledModel> {
+        let _span = vortex_obs::span!("pipeline.compile_seconds");
+        let (pair, table) = self.compiler.program_encoded(
+            self.weights,
+            self.mapping,
+            self.options.encoding,
+            rng,
+        )?;
+        let model = self
+            .compiler
+            .freeze_with_table(&pair, self.mapping, table)?;
+        match &self.options.canary_inputs {
+            Some(inputs) => model
+                .with_canary_inputs(inputs.clone())
+                .map_err(CoreError::Runtime),
+            None => Ok(model),
+        }
+    }
+
+    /// Compiles from `options.seed` alone — one seed, one simulated chip,
+    /// bit-reproducible.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] when no seed was set; otherwise
+    /// see [`Self::compile_with`].
+    pub fn compile(&self) -> Result<CompiledModel> {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(self.require_seed()?);
+        self.compile_with(&mut rng)
+    }
+
+    /// Compiles `n` replicas from seeds pre-split off `options.seed`,
+    /// fanning out over `options.parallelism` (results are in replica
+    /// order and bit-identical at any setting). Returns `(seed, model)`
+    /// pairs.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] when no seed was set; the first
+    /// failing replica (by replica index) aborts the batch.
+    pub fn compile_replicas(&self, n: usize) -> Result<Vec<(u64, CompiledModel)>> {
+        let mut stream = SplitMix64::new(self.require_seed()?);
+        let seeds: Vec<u64> = (0..n).map(|_| stream.next_u64()).collect();
+        let compile_one = |i: usize| -> Result<(u64, CompiledModel)> {
+            let mut rng = Xoshiro256PlusPlus::seed_from_u64(seeds[i]);
+            Ok((seeds[i], self.compile_with(&mut rng)?))
+        };
+        let workers = self.options.parallelism.resolve().min(n);
+        if workers <= 1 {
+            return (0..n).map(compile_one).collect();
+        }
+        WorkerPool::global()
+            .run_indexed(n, workers, compile_one)
+            .into_iter()
             .collect()
+    }
+
+    fn require_seed(&self) -> Result<u64> {
+        self.options.seed.ok_or(CoreError::InvalidParameter {
+            name: "seed",
+            requirement: "set a seed on the request (or use compile_with an external rng)",
+        })
     }
 }
 

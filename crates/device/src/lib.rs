@@ -14,6 +14,9 @@
 //! * [`variation`] — lognormal parametric variation and Gaussian switching
 //!   variation (Lee et al., VLSIT 2012 — the paper's variation model).
 //! * [`defects`] — stuck-at-HRS / stuck-at-LRS fabrication defects.
+//! * [`cell`] — cell topologies: the paper's passive 1R crossbar vs. a
+//!   1T-1R array whose access transistor compresses effective conductance
+//!   (NEAT-style program-time compensation).
 //!
 //! # Example
 //!
@@ -32,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cell;
 pub mod defects;
 pub mod drift;
 pub mod memristor;
@@ -40,6 +44,7 @@ pub mod pulse;
 pub mod switching;
 pub mod variation;
 
+pub use cell::CellKind;
 pub use memristor::Memristor;
 pub use params::DeviceParams;
 pub use pulse::Pulse;

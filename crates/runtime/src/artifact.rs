@@ -22,23 +22,27 @@
 //! | `APOS` | v1    | attenuation matrix, only for calibrated models         |
 //! | `ANEG` | v1    | likewise for the negative crossbar                     |
 //! | `CNRY` | v2    | probe count u64 · input len u64 · inputs f64 × count·len · golden u8 × count |
+//! | `ENCT` | v3    | scheme u8 · row count u64 · levels u16 × rows          |
 //!
 //! `flags` bit 0 marks an ADC present, bit 1 a DAC. All floats are
 //! serialized via [`f64::to_le_bytes`], so a round-trip is bit-exact and
 //! a loaded model infers identically to the in-memory one. Unknown
 //! section tags are skipped (minor extensions don't need a version bump);
 //! a major layout change must bump `FORMAT_VERSION`. Version 2 only
-//! *adds* the optional `CNRY` canary section, so this build still reads
-//! every version from [`MIN_FORMAT_VERSION`] up — a v1 artifact simply
-//! loads as a model without a canary. Decoding verifies the checksum
-//! before touching any section, and every failure mode is a distinct
-//! [`ArtifactError`] variant.
+//! *added* the optional `CNRY` canary section and version 3 only adds the
+//! `ENCT` per-row encoding table, so this build still reads every version
+//! from [`MIN_FORMAT_VERSION`] up — a v1 artifact simply loads as a model
+//! without a canary, and any pre-v3 artifact loads with the all-continuous
+//! differential encoding table (which is exactly how it was programmed).
+//! Decoding verifies the checksum before touching any section, and every
+//! failure mode is a distinct [`ArtifactError`] variant.
 
 use std::io::Read as _;
 use std::io::Write as _;
 use std::path::Path;
 
 use vortex_linalg::Matrix;
+use vortex_xbar::encoding::{EncodingScheme, EncodingTable};
 use vortex_xbar::sensing::{Adc, Dac};
 
 use crate::model::{CanarySet, CompiledModel, Fidelity};
@@ -48,7 +52,7 @@ use crate::{Result, RuntimeError};
 pub const MAGIC: [u8; 8] = *b"VXRTMODL";
 
 /// The format version this build writes.
-pub const FORMAT_VERSION: u32 = 2;
+pub const FORMAT_VERSION: u32 = 3;
 
 /// The oldest format version this build still reads.
 pub const MIN_FORMAT_VERSION: u32 = 1;
@@ -60,6 +64,7 @@ const TAG_GNEG: [u8; 4] = *b"GNEG";
 const TAG_APOS: [u8; 4] = *b"APOS";
 const TAG_ANEG: [u8; 4] = *b"ANEG";
 const TAG_CNRY: [u8; 4] = *b"CNRY";
+const TAG_ENCT: [u8; 4] = *b"ENCT";
 
 const FLAG_ADC: u8 = 1 << 0;
 const FLAG_DAC: u8 = 1 << 1;
@@ -223,6 +228,16 @@ pub(crate) fn encode(model: &CompiledModel) -> Vec<u8> {
         payload.extend_from_slice(canary.golden());
         sections.push((TAG_CNRY, payload));
     }
+    {
+        let levels = model.encoding.levels();
+        let mut payload = Vec::with_capacity(9 + 2 * levels.len());
+        payload.push(model.encoding.scheme().code());
+        payload.extend_from_slice(&(levels.len() as u64).to_le_bytes());
+        for &l in levels {
+            payload.extend_from_slice(&l.to_le_bytes());
+        }
+        sections.push((TAG_ENCT, payload));
+    }
 
     let mut out = Vec::new();
     out.extend_from_slice(&MAGIC);
@@ -268,6 +283,12 @@ impl<'a> Cursor<'a> {
 
     fn u8(&mut self, context: &'static str) -> std::result::Result<u8, ArtifactError> {
         Ok(self.take(1, context)?[0])
+    }
+
+    fn u16(&mut self, context: &'static str) -> std::result::Result<u16, ArtifactError> {
+        Ok(u16::from_le_bytes(
+            self.take(2, context)?.try_into().expect("2 bytes"),
+        ))
     }
 
     fn u32(&mut self, context: &'static str) -> std::result::Result<u32, ArtifactError> {
@@ -324,6 +345,7 @@ struct Decoded {
     att_pos: Option<Matrix>,
     att_neg: Option<Matrix>,
     canary: Option<CanarySet>,
+    encoding: Option<EncodingTable>,
 }
 
 struct Meta {
@@ -415,6 +437,37 @@ fn decode_cnry(payload: &[u8]) -> std::result::Result<CanarySet, ArtifactError> 
     })
 }
 
+fn decode_enct(payload: &[u8]) -> std::result::Result<EncodingTable, ArtifactError> {
+    let mut c = Cursor::new(payload);
+    let scheme =
+        EncodingScheme::from_code(c.u8("ENCT scheme")?).ok_or(ArtifactError::Malformed {
+            context: "ENCT scheme code",
+        })?;
+    let rows = c.u64_usize("ENCT row count")?;
+    // Size the announced contents against the payload *before* any
+    // allocation, as the canary decoder does.
+    let announced = rows.checked_mul(2).ok_or(ArtifactError::Malformed {
+        context: "ENCT announced size",
+    })?;
+    if announced != payload.len() - 9 {
+        return Err(ArtifactError::Malformed {
+            context: "ENCT announced size",
+        });
+    }
+    let mut levels = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        levels.push(c.u16("ENCT levels")?);
+    }
+    if !c.is_empty() {
+        return Err(ArtifactError::Malformed {
+            context: "ENCT trailing bytes",
+        });
+    }
+    EncodingTable::new(scheme, levels).map_err(|_| ArtifactError::Malformed {
+        context: "ENCT level table",
+    })
+}
+
 fn decode_rout(payload: &[u8]) -> std::result::Result<(usize, Vec<usize>), ArtifactError> {
     let mut c = Cursor::new(payload);
     let physical_rows = c.u64_usize("ROUT physical rows")?;
@@ -470,6 +523,7 @@ fn decode(bytes: &[u8]) -> std::result::Result<Decoded, ArtifactError> {
     let mut att_pos = None;
     let mut att_neg = None;
     let mut canary = None;
+    let mut encoding = None;
     for _ in 0..section_count {
         let tag: [u8; 4] = c.take(4, "section tag")?.try_into().expect("4 bytes");
         let len = c.u64_usize("section length")?;
@@ -482,6 +536,7 @@ fn decode(bytes: &[u8]) -> std::result::Result<Decoded, ArtifactError> {
             TAG_APOS => att_pos = Some(get_matrix(&mut Cursor::new(payload), "APOS matrix")?),
             TAG_ANEG => att_neg = Some(get_matrix(&mut Cursor::new(payload), "ANEG matrix")?),
             TAG_CNRY => canary = Some(decode_cnry(payload)?),
+            TAG_ENCT => encoding = Some(decode_enct(payload)?),
             // Unknown tags are future minor extensions: skipped.
             _ => {}
         }
@@ -520,6 +575,7 @@ fn decode(bytes: &[u8]) -> std::result::Result<Decoded, ArtifactError> {
         att_pos,
         att_neg,
         canary,
+        encoding,
     })
 }
 
@@ -540,6 +596,11 @@ impl CompiledModel {
     /// [`RuntimeError::InvalidParameter`].
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         let d = decode(bytes).map_err(RuntimeError::Artifact)?;
+        // Pre-v3 artifacts carry no table; they were programmed with the
+        // continuous differential encoding by definition.
+        let encoding = d
+            .encoding
+            .unwrap_or_else(|| EncodingTable::differential(d.physical_rows));
         Self::from_parts(
             d.fidelity,
             d.r_wire,
@@ -553,6 +614,7 @@ impl CompiledModel {
             d.att_pos,
             d.att_neg,
             d.canary,
+            encoding,
         )
     }
 

@@ -41,6 +41,7 @@ pub mod prelude {
         ArtifactError, CanarySet, CellFault, CompiledModel, Fidelity, ReadOptions, RuntimeError,
     };
     pub use vortex_nn::executor::Parallelism;
+    pub use vortex_xbar::encoding::{EncodingScheme, EncodingSpec, EncodingTable, WeightEncoding};
 }
 
 /// Errors produced by the inference runtime.

@@ -26,6 +26,7 @@ use vortex_nn::dataset::Dataset;
 use vortex_nn::executor::Parallelism;
 use vortex_nn::pool::WorkerPool;
 use vortex_xbar::circuit::NodalAnalysis;
+use vortex_xbar::encoding::EncodingTable;
 use vortex_xbar::irdrop::ComputeAttenuationMap;
 use vortex_xbar::pair::FrozenPairState;
 use vortex_xbar::sensing::{Adc, Dac};
@@ -161,12 +162,17 @@ impl CanarySet {
     ///
     /// See [`CompiledModel::infer`].
     pub fn accuracy_on(&self, model: &CompiledModel) -> Result<f64> {
-        let mut hits = 0usize;
-        for (x, &gold) in self.inputs.iter().zip(&self.golden) {
-            if model.infer(x)? == gold {
-                hits += 1;
-            }
-        }
+        // Batched so the probes share one scratch allocation and go
+        // through the same (possibly certified-f32) kernel as serving
+        // traffic; labels are identical to per-sample `infer` by the
+        // certification contract.
+        let samples: Vec<&[f64]> = self.inputs.iter().map(Vec::as_slice).collect();
+        let predicted = model.infer_batch(&samples, Parallelism::Serial)?;
+        let hits = predicted
+            .iter()
+            .zip(&self.golden)
+            .filter(|(p, g)| p == g)
+            .count();
         Ok(hits as f64 / self.inputs.len() as f64)
     }
 }
@@ -212,6 +218,7 @@ pub struct CompiledModel {
     pub(crate) att_pos: Option<Matrix>,
     pub(crate) att_neg: Option<Matrix>,
     pub(crate) canary: Option<CanarySet>,
+    pub(crate) encoding: EncodingTable,
     // --- derived state, rebuilt on load ---
     eff_pos: Matrix,
     eff_neg: Matrix,
@@ -240,6 +247,31 @@ impl CompiledModel {
         assignment: &[usize],
         options: &ReadOptions,
         calibration: Option<&[f64]>,
+    ) -> Result<Self> {
+        Self::compile_encoded(
+            state,
+            assignment,
+            options,
+            calibration,
+            EncodingTable::differential(state.rows()),
+        )
+    }
+
+    /// [`Self::compile`] carrying the per-row [`EncodingTable`] the
+    /// compiler's weight encoding produced; the table is persisted with
+    /// the artifact (format v3) so a reloaded model still knows its own
+    /// programming resolution and pulse cost.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::compile`]; additionally rejects a table whose row
+    /// count disagrees with the frozen pair.
+    pub fn compile_encoded(
+        state: &FrozenPairState,
+        assignment: &[usize],
+        options: &ReadOptions,
+        calibration: Option<&[f64]>,
+        encoding: EncodingTable,
     ) -> Result<Self> {
         let _span = vortex_obs::span!("runtime.compile_seconds");
         vortex_obs::counter!("runtime.compiles").incr();
@@ -277,6 +309,7 @@ impl CompiledModel {
             att_pos,
             att_neg,
             None,
+            encoding,
         )
     }
 
@@ -297,7 +330,14 @@ impl CompiledModel {
         att_pos: Option<Matrix>,
         att_neg: Option<Matrix>,
         canary: Option<CanarySet>,
+        encoding: EncodingTable,
     ) -> Result<Self> {
+        if encoding.rows() != physical_rows {
+            return Err(RuntimeError::InvalidParameter {
+                name: "encoding",
+                requirement: "encoding table must cover every physical row",
+            });
+        }
         if g_pos.rows() == 0 || g_pos.cols() == 0 {
             return Err(RuntimeError::InvalidParameter {
                 name: "g_pos",
@@ -410,6 +450,7 @@ impl CompiledModel {
             att_pos,
             att_neg,
             canary,
+            encoding,
             eff_pos,
             eff_neg,
             exact,
@@ -470,6 +511,14 @@ impl CompiledModel {
     /// The frozen canary set, if one was baked into this model.
     pub fn canary(&self) -> Option<&CanarySet> {
         self.canary.as_ref()
+    }
+
+    /// How this model's weights were encoded onto devices: the per-row
+    /// level table the compile-time [`vortex_xbar::encoding`] strategy
+    /// produced (all-continuous for pre-v3 artifacts and the default
+    /// differential encoding).
+    pub fn encoding(&self) -> &EncodingTable {
+        &self.encoding
     }
 
     /// Freezes `inputs` as the model's canary set: the *current* read
@@ -575,6 +624,7 @@ impl CompiledModel {
             self.att_pos.clone(),
             self.att_neg.clone(),
             self.canary.clone(),
+            self.encoding.clone(),
         )
     }
 
@@ -643,6 +693,7 @@ impl CompiledModel {
             self.att_pos.clone(),
             self.att_neg.clone(),
             self.canary.clone(),
+            self.encoding.clone(),
         )
     }
 

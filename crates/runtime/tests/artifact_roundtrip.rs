@@ -205,6 +205,101 @@ fn every_canary_artifact_prefix_fails_loudly() {
     }
 }
 
+/// Byte offset of a section's payload: tag (4) + length (8).
+const SECTION_HEADER: usize = 12;
+
+fn enct_tag_at(bytes: &[u8]) -> usize {
+    bytes
+        .windows(4)
+        .rposition(|w| w == b"ENCT")
+        .expect("encoding section present")
+}
+
+fn reseal_crc(bytes: &mut [u8]) {
+    let body = bytes.len() - 4;
+    let crc = crc32(&bytes[..body]).to_le_bytes();
+    bytes[body..].copy_from_slice(&crc);
+}
+
+#[test]
+fn version_two_artifacts_without_enct_load_as_differential() {
+    // v2 writers never emitted ENCT: excise the section, stamp version 2
+    // and re-seal the CRC to synthesize a faithful v2 artifact. It must
+    // load with the default continuous differential-pair table.
+    let model = compiled(6, 3, 0.0, Fidelity::Ideal, 5);
+    let mut bytes = model.to_bytes();
+    let tag_at = enct_tag_at(&bytes);
+    let len = u64::from_le_bytes(bytes[tag_at + 4..tag_at + 12].try_into().unwrap()) as usize;
+    bytes.drain(tag_at..tag_at + SECTION_HEADER + len);
+    bytes[MAGIC.len()..MAGIC.len() + 4].copy_from_slice(&2u32.to_le_bytes());
+    // One fewer section than the writer announced.
+    let count_at = MAGIC.len() + 4;
+    let count = u32::from_le_bytes(bytes[count_at..count_at + 4].try_into().unwrap());
+    bytes[count_at..count_at + 4].copy_from_slice(&(count - 1).to_le_bytes());
+    reseal_crc(&mut bytes);
+    let loaded = CompiledModel::from_bytes(&bytes).unwrap();
+    assert_eq!(
+        loaded.encoding().scheme(),
+        vortex_xbar::encoding::EncodingScheme::Differential
+    );
+    assert_eq!(loaded.encoding().rows(), 6);
+    assert!(loaded.encoding().levels().iter().all(|&l| l == 0));
+    for x in probe_inputs(6) {
+        assert_eq!(model.infer(&x).unwrap(), loaded.infer(&x).unwrap());
+    }
+}
+
+#[test]
+fn version_three_roundtrips_per_row_encoding_tables() {
+    use vortex_xbar::encoding::{EncodingScheme, EncodingTable};
+    let device = DeviceParams::default();
+    let config = CrossbarConfig::ideal(6, 3, device);
+    let mapping = WeightMapping::new(&device, 1.0).unwrap();
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(17);
+    let mut pair = DifferentialPair::fabricate(config, mapping, &mut rng).unwrap();
+    let w = Matrix::from_fn(6, 3, |i, j| ((i * 3 + j) as f64 * 0.37).sin() * 0.7);
+    pair.program_open_loop(&w, None, &mut rng).unwrap();
+    let assignment: Vec<usize> = (0..6).collect();
+    let options = ReadOptions::new(Fidelity::Ideal);
+    // A mixed table: continuous rows (0) interleaved with quantized ones.
+    let table = EncodingTable::new(EncodingScheme::AdaptiveRow, vec![0, 4, 16, 64, 4, 0]).unwrap();
+    let model =
+        CompiledModel::compile_encoded(&pair.freeze(), &assignment, &options, None, table.clone())
+            .unwrap();
+    assert_eq!(model.encoding(), &table);
+    let revived = CompiledModel::from_bytes(&model.to_bytes()).unwrap();
+    assert_eq!(revived.encoding(), &table);
+    let reloaded = CompiledModel::from_bytes(&revived.to_bytes()).unwrap();
+    assert_eq!(reloaded.encoding(), &table);
+}
+
+#[test]
+fn corrupt_enct_scheme_is_a_typed_error() {
+    let mut bytes = compiled(6, 3, 0.0, Fidelity::Ideal, 5).to_bytes();
+    let tag_at = enct_tag_at(&bytes);
+    // The payload's first byte is the scheme code; 99 maps to nothing.
+    bytes[tag_at + SECTION_HEADER] = 99;
+    reseal_crc(&mut bytes);
+    match artifact_err(CompiledModel::from_bytes(&bytes)) {
+        ArtifactError::Malformed { .. } => {}
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+}
+
+#[test]
+fn corrupt_enct_row_count_is_a_typed_error() {
+    let mut bytes = compiled(6, 3, 0.0, Fidelity::Ideal, 5).to_bytes();
+    let tag_at = enct_tag_at(&bytes);
+    // Announce far more rows than the payload carries.
+    bytes[tag_at + SECTION_HEADER + 1..tag_at + SECTION_HEADER + 9]
+        .copy_from_slice(&u64::MAX.to_le_bytes());
+    reseal_crc(&mut bytes);
+    match artifact_err(CompiledModel::from_bytes(&bytes)) {
+        ArtifactError::Malformed { .. } | ArtifactError::Truncated { .. } => {}
+        other => panic!("expected Malformed/Truncated, got {other:?}"),
+    }
+}
+
 #[test]
 fn wrong_magic_yields_bad_magic() {
     let mut bytes = compiled(6, 3, 0.0, Fidelity::Ideal, 5).to_bytes();

@@ -1,0 +1,709 @@
+//! Pluggable weight→conductance encodings (§2.2.1 generalized).
+//!
+//! The paper programs every weight onto a differential pair through one
+//! global affine transfer — an *analog* encoding with a single scale. This
+//! module makes the encoding a compile-time strategy choice:
+//!
+//! * [`DifferentialPair`] — the paper's behaviour, bit-for-bit: targets
+//!   come straight from [`WeightMapping::weights_to_targets`].
+//! * [`MultiLevelCell`] — quantizes every conductance target to one of
+//!   `2^bits` uniform levels (endpoints included, so the `g_min` baseline
+//!   of a zero weight stays exactly representable), modelling an MLC
+//!   program-verify write at a configurable resolution.
+//! * [`AdaptiveRowQuant`] — per-row level selection driven by the AMP
+//!   sensitivity metric `|x·w|`: only the most output-critical rows get
+//!   fine quantization, the rest are written coarsely at a lower
+//!   pulse cost.
+//!
+//! Every encoding returns an [`EncodingTable`] — the per-physical-row
+//! level counts actually used — which travels with the compiled model into
+//! the on-disk artifact (format v3) and prices the programming effort via
+//! [`pulse_plan`].
+
+use serde::{Deserialize, Serialize};
+use vortex_device::pulse::precalculate_pulse_conductance;
+use vortex_device::DeviceParams;
+use vortex_linalg::Matrix;
+
+use crate::pair::WeightMapping;
+use crate::{Result, XbarError};
+
+/// Snaps a conductance to the nearest of `levels` uniform points spanning
+/// `[g_min, g_max]` inclusive.
+///
+/// The grid includes both endpoints (`level_k = g_min + k·Δ` with
+/// `Δ = (g_max − g_min)/(levels − 1)`), so the zero-weight baseline
+/// `g_min` survives quantization exactly at any level count. Inputs
+/// outside the window clamp first. `levels == 0` (the continuous/analog
+/// sentinel used by [`EncodingTable`]) and `levels == 1` return the input
+/// clamped but unquantized.
+pub fn quantize_to_levels(g: f64, g_min: f64, g_max: f64, levels: u16) -> f64 {
+    let g = g.clamp(g_min, g_max);
+    if levels < 2 || g_max <= g_min {
+        return g;
+    }
+    let step = (g_max - g_min) / f64::from(levels - 1);
+    let k = ((g - g_min) / step).round();
+    g_min + k * step
+}
+
+/// Identifies which [`WeightEncoding`] strategy produced a table; stored
+/// as a single byte in the artifact's `ENCT` section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EncodingScheme {
+    /// Continuous differential-pair targets (the paper's encoding).
+    Differential,
+    /// Fixed multi-level-cell quantization, same level count on each row.
+    MultiLevel,
+    /// Sensitivity-driven per-row level selection.
+    AdaptiveRow,
+}
+
+impl EncodingScheme {
+    /// Wire code used by the artifact codec.
+    pub fn code(self) -> u8 {
+        match self {
+            EncodingScheme::Differential => 0,
+            EncodingScheme::MultiLevel => 1,
+            EncodingScheme::AdaptiveRow => 2,
+        }
+    }
+
+    /// Inverse of [`Self::code`]; `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(EncodingScheme::Differential),
+            1 => Some(EncodingScheme::MultiLevel),
+            2 => Some(EncodingScheme::AdaptiveRow),
+            _ => None,
+        }
+    }
+}
+
+/// Per-physical-row record of how a compiled model's weights were encoded.
+///
+/// `levels[q]` is the number of discrete conductance levels used on
+/// physical row `q`; `0` marks a continuous (analog differential) row.
+/// The table is persisted in artifact format v3 so a reloaded model still
+/// knows its own programming cost and resolution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncodingTable {
+    scheme: EncodingScheme,
+    levels: Vec<u16>,
+}
+
+impl EncodingTable {
+    /// Level counts must be `0` (continuous) or at least 2; a 1-level row
+    /// could only store a constant.
+    pub fn new(scheme: EncodingScheme, levels: Vec<u16>) -> Result<Self> {
+        if levels.contains(&1) {
+            return Err(XbarError::InvalidParameter {
+                name: "levels",
+                requirement: "each row must use 0 (continuous) or >= 2 levels",
+            });
+        }
+        Ok(Self { scheme, levels })
+    }
+
+    /// The all-continuous table the paper's encoding produces — also what
+    /// pre-v3 artifacts decode to.
+    pub fn differential(rows: usize) -> Self {
+        Self {
+            scheme: EncodingScheme::Differential,
+            levels: vec![0; rows],
+        }
+    }
+
+    /// Which strategy family produced this table.
+    pub fn scheme(&self) -> EncodingScheme {
+        self.scheme
+    }
+
+    /// Number of physical rows covered.
+    pub fn rows(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Per-row level counts (`0` = continuous).
+    pub fn levels(&self) -> &[u16] {
+        &self.levels
+    }
+
+    /// Bits needed to address `levels` states (`ceil(log2)`); rows are
+    /// written with one program-verify pulse per bit.
+    pub fn bits_for(levels: u16) -> u32 {
+        debug_assert!(levels >= 2);
+        16 - (levels - 1).leading_zeros()
+    }
+
+    /// Mean per-row resolution in bits. Continuous rows have no finite
+    /// bit count, so any table containing one reports `f64::INFINITY`
+    /// (render as "analog").
+    pub fn effective_bits(&self) -> f64 {
+        if self.levels.is_empty() {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for &l in &self.levels {
+            if l == 0 {
+                return f64::INFINITY;
+            }
+            sum += f64::from(Self::bits_for(l));
+        }
+        sum / self.levels.len() as f64
+    }
+
+    /// Programming-pulse slots for one device on a row with `levels`
+    /// states: a global reset plus either one pre-calculated SET
+    /// (continuous row, the paper's open-loop write) or one
+    /// successive-approximation pulse per bit.
+    pub fn pulses_per_device(levels: u16) -> u64 {
+        if levels == 0 {
+            2
+        } else {
+            1 + u64::from(Self::bits_for(levels))
+        }
+    }
+
+    /// Total programming-pulse slots to write a `rows × cols` weight
+    /// matrix under this table — both crossbars of the differential pair.
+    pub fn programming_pulses(&self, cols: usize) -> u64 {
+        self.levels
+            .iter()
+            .map(|&l| Self::pulses_per_device(l) * cols as u64 * 2)
+            .sum()
+    }
+}
+
+/// Targets produced by an encoding: conductance matrices for the two
+/// crossbars plus the per-row table describing how they were discretized.
+#[derive(Debug, Clone)]
+pub struct EncodedTargets {
+    /// Target conductances for the positive crossbar.
+    pub pos: Matrix,
+    /// Target conductances for the negative crossbar.
+    pub neg: Matrix,
+    /// Per-row level counts used.
+    pub table: EncodingTable,
+}
+
+/// Side information an encoding may consult.
+///
+/// `row_sensitivity[q]` is the AMP sensitivity metric `|x̄·w|` for
+/// physical row `q` (mean absolute input times the row's L1 weight mass);
+/// when absent, sensitivity-driven encodings fall back to the weight mass
+/// alone.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EncodingContext<'a> {
+    /// Per-physical-row sensitivity, if the compiler has calibration data.
+    pub row_sensitivity: Option<&'a [f64]>,
+}
+
+/// Strategy turning a physical weight matrix into programming targets.
+///
+/// Implementations must be deterministic (no RNG) — the Monte-Carlo
+/// determinism harness relies on encodings adding no stream consumption.
+///
+/// # Example
+///
+/// ```
+/// use vortex_device::DeviceParams;
+/// use vortex_linalg::Matrix;
+/// use vortex_xbar::encoding::{EncodingContext, EncodingSpec, WeightEncoding};
+/// use vortex_xbar::pair::WeightMapping;
+///
+/// # fn main() -> Result<(), vortex_xbar::XbarError> {
+/// let mapping = WeightMapping::new(&DeviceParams::default(), 1.0)?;
+/// let weights = Matrix::from_rows(&[vec![0.8, -0.2], vec![0.1, -0.9]]);
+/// let encoder = EncodingSpec::MultiLevelCell { bits: 4 }.build()?;
+/// let encoded = encoder.encode(&weights, &mapping, &EncodingContext::default())?;
+/// assert_eq!(encoded.table.rows(), 2);
+/// assert_eq!(encoded.table.levels(), &[16, 16]);
+/// # Ok(())
+/// # }
+/// ```
+pub trait WeightEncoding {
+    /// Stable human-readable strategy name (used in bench tables).
+    fn name(&self) -> &'static str;
+
+    /// Encodes a physical weight matrix (already routed to crossbar rows)
+    /// into per-crossbar conductance targets.
+    fn encode(
+        &self,
+        weights: &Matrix,
+        mapping: &WeightMapping,
+        ctx: &EncodingContext<'_>,
+    ) -> Result<EncodedTargets>;
+}
+
+/// The paper's continuous differential-pair encoding — targets are
+/// exactly [`WeightMapping::weights_to_targets`], no quantization.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DifferentialPair;
+
+impl WeightEncoding for DifferentialPair {
+    fn name(&self) -> &'static str {
+        "differential"
+    }
+
+    fn encode(
+        &self,
+        weights: &Matrix,
+        mapping: &WeightMapping,
+        _ctx: &EncodingContext<'_>,
+    ) -> Result<EncodedTargets> {
+        let (pos, neg) = mapping.weights_to_targets(weights);
+        Ok(EncodedTargets {
+            pos,
+            neg,
+            table: EncodingTable::differential(weights.rows()),
+        })
+    }
+}
+
+/// Fixed-resolution multi-level-cell encoding: every device target snaps
+/// to one of `2^bits` uniform conductance levels.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiLevelCell {
+    bits: u8,
+}
+
+impl MultiLevelCell {
+    /// `bits` per cell in `1..=12` (4096 levels is already beyond any
+    /// demonstrated MLC device).
+    pub fn new(bits: u8) -> Result<Self> {
+        if !(1..=12).contains(&bits) {
+            return Err(XbarError::InvalidParameter {
+                name: "bits",
+                requirement: "must be in 1..=12",
+            });
+        }
+        Ok(Self { bits })
+    }
+
+    /// Level count `2^bits`.
+    pub fn levels(&self) -> u16 {
+        1 << self.bits
+    }
+}
+
+impl WeightEncoding for MultiLevelCell {
+    fn name(&self) -> &'static str {
+        "mlc"
+    }
+
+    fn encode(
+        &self,
+        weights: &Matrix,
+        mapping: &WeightMapping,
+        _ctx: &EncodingContext<'_>,
+    ) -> Result<EncodedTargets> {
+        let (mut pos, mut neg) = mapping.weights_to_targets(weights);
+        let (g_min, g_max) = (mapping.g_min(), mapping.g_max());
+        let levels = self.levels();
+        pos.map_inplace(|g| quantize_to_levels(g, g_min, g_max, levels));
+        neg.map_inplace(|g| quantize_to_levels(g, g_min, g_max, levels));
+        Ok(EncodedTargets {
+            pos,
+            neg,
+            table: EncodingTable::new(EncodingScheme::MultiLevel, vec![levels; weights.rows()])?,
+        })
+    }
+}
+
+/// Sensitivity-driven per-row quantization: the `fine_fraction` most
+/// sensitive rows (by the AMP metric `|x̄·w|`) are written at `high_bits`,
+/// the rest at `low_bits`. Ties break on the lower row index so the
+/// selection is deterministic.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveRowQuant {
+    low_bits: u8,
+    high_bits: u8,
+    fine_fraction: f64,
+}
+
+impl AdaptiveRowQuant {
+    /// `low_bits <= high_bits`, both in `1..=12`; `fine_fraction` in
+    /// `[0, 1]` is the share of rows (rounded to nearest) written fine.
+    pub fn new(low_bits: u8, high_bits: u8, fine_fraction: f64) -> Result<Self> {
+        if !(1..=12).contains(&low_bits) || !(1..=12).contains(&high_bits) {
+            return Err(XbarError::InvalidParameter {
+                name: "bits",
+                requirement: "must be in 1..=12",
+            });
+        }
+        if low_bits > high_bits {
+            return Err(XbarError::InvalidParameter {
+                name: "low_bits",
+                requirement: "must not exceed high_bits",
+            });
+        }
+        if !(0.0..=1.0).contains(&fine_fraction) {
+            return Err(XbarError::InvalidParameter {
+                name: "fine_fraction",
+                requirement: "must be in [0, 1]",
+            });
+        }
+        Ok(Self {
+            low_bits,
+            high_bits,
+            fine_fraction,
+        })
+    }
+
+    /// Indices of the rows that get `high_bits`, by descending
+    /// sensitivity with index tie-break.
+    fn fine_rows(&self, sensitivity: &[f64]) -> Vec<usize> {
+        let n_fine = (self.fine_fraction * sensitivity.len() as f64).round() as usize;
+        let n_fine = n_fine.min(sensitivity.len());
+        let mut order: Vec<usize> = (0..sensitivity.len()).collect();
+        order.sort_by(|&a, &b| {
+            sensitivity[b]
+                .partial_cmp(&sensitivity[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        order.truncate(n_fine);
+        order
+    }
+}
+
+impl WeightEncoding for AdaptiveRowQuant {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn encode(
+        &self,
+        weights: &Matrix,
+        mapping: &WeightMapping,
+        ctx: &EncodingContext<'_>,
+    ) -> Result<EncodedTargets> {
+        let rows = weights.rows();
+        // AMP sensitivity if the compiler supplied calibration; otherwise
+        // the row L1 mass (the x̄ = 1 special case of the same metric).
+        let sensitivity: Vec<f64> = match ctx.row_sensitivity {
+            Some(s) => {
+                if s.len() != rows {
+                    return Err(XbarError::ShapeMismatch {
+                        context: "adaptive row sensitivity",
+                        expected: rows,
+                        actual: s.len(),
+                    });
+                }
+                s.to_vec()
+            }
+            None => (0..rows)
+                .map(|q| weights.row(q).iter().map(|w| w.abs()).sum())
+                .collect(),
+        };
+        let mut levels = vec![1u16 << self.low_bits; rows];
+        for q in self.fine_rows(&sensitivity) {
+            levels[q] = 1 << self.high_bits;
+        }
+        let (mut pos, mut neg) = mapping.weights_to_targets(weights);
+        let (g_min, g_max) = (mapping.g_min(), mapping.g_max());
+        for (q, &l) in levels.iter().enumerate() {
+            for g in pos.row_mut(q) {
+                *g = quantize_to_levels(*g, g_min, g_max, l);
+            }
+            for g in neg.row_mut(q) {
+                *g = quantize_to_levels(*g, g_min, g_max, l);
+            }
+        }
+        Ok(EncodedTargets {
+            pos,
+            neg,
+            table: EncodingTable::new(EncodingScheme::AdaptiveRow, levels)?,
+        })
+    }
+}
+
+/// Plain-data description of an encoding choice — what travels in compile
+/// options, environments, and bench configs. [`EncodingSpec::build`]
+/// instantiates the matching [`WeightEncoding`] strategy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum EncodingSpec {
+    /// The paper's continuous differential-pair encoding (default).
+    #[default]
+    DifferentialPair,
+    /// Fixed multi-level-cell quantization.
+    MultiLevelCell {
+        /// Bits per cell (`2^bits` levels), in `1..=12`.
+        bits: u8,
+    },
+    /// Sensitivity-driven per-row level selection.
+    AdaptiveRowQuant {
+        /// Bits for insensitive rows, in `1..=12`.
+        low_bits: u8,
+        /// Bits for sensitive rows, `>= low_bits`, in `1..=12`.
+        high_bits: u8,
+        /// Share of rows written at `high_bits`, in `[0, 1]`.
+        fine_fraction: f64,
+    },
+}
+
+impl EncodingSpec {
+    /// Instantiates the strategy this spec describes.
+    ///
+    /// # Errors
+    ///
+    /// [`XbarError::InvalidParameter`] if the spec's parameters are out of
+    /// range (see the strategy constructors).
+    pub fn build(&self) -> Result<Box<dyn WeightEncoding + Send + Sync>> {
+        Ok(match *self {
+            EncodingSpec::DifferentialPair => Box::new(DifferentialPair),
+            EncodingSpec::MultiLevelCell { bits } => Box::new(MultiLevelCell::new(bits)?),
+            EncodingSpec::AdaptiveRowQuant {
+                low_bits,
+                high_bits,
+                fine_fraction,
+            } => Box::new(AdaptiveRowQuant::new(low_bits, high_bits, fine_fraction)?),
+        })
+    }
+
+    /// True for the paper's continuous encoding — the compile fast path
+    /// that must stay bit-exact with pre-encoding builds.
+    pub fn is_differential(&self) -> bool {
+        matches!(self, EncodingSpec::DifferentialPair)
+    }
+}
+
+/// Programming-effort estimate for a set of encoded targets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PulseBudget {
+    /// Total pulse slots issued (reset + program, both crossbars).
+    pub pulses: u64,
+    /// Summed pulse width in seconds over all non-trivial pulses.
+    pub total_width_s: f64,
+}
+
+/// Prices the programming effort of `encoded` under the device's real
+/// switching dynamics.
+///
+/// Continuous rows cost a reset plus one pre-calculated SET per device
+/// (the paper's open-loop write). Quantized rows cost a reset plus one
+/// successive-approximation program-verify pulse per bit, each pulse
+/// width obtained from the nominal switching model
+/// ([`precalculate_pulse_conductance`]) along the bisection trajectory.
+/// The slot count always matches [`EncodingTable::programming_pulses`];
+/// the width is where level count and target placement actually matter.
+pub fn pulse_plan(params: &DeviceParams, encoded: &EncodedTargets) -> Result<PulseBudget> {
+    let (g_min, g_max) = (params.g_off(), params.g_on());
+    let reset = precalculate_pulse_conductance(params, g_max, g_min)?;
+    let mut pulses = 0u64;
+    let mut total_width_s = 0.0;
+    for (q, &levels) in encoded.table.levels().iter().enumerate() {
+        for side in [&encoded.pos, &encoded.neg] {
+            for j in 0..side.cols() {
+                let target = side[(q, j)];
+                pulses += EncodingTable::pulses_per_device(levels);
+                total_width_s += reset.width_s();
+                if levels == 0 {
+                    // One pre-calculated SET from the freshly reset state.
+                    if target > g_min {
+                        total_width_s +=
+                            precalculate_pulse_conductance(params, g_min, target)?.width_s();
+                    }
+                } else {
+                    // Successive approximation: one bisection step per bit.
+                    let (mut lo, mut hi, mut cur) = (g_min, g_max, g_min);
+                    for _ in 0..EncodingTable::bits_for(levels) {
+                        let mid = 0.5 * (lo + hi);
+                        if (mid - cur).abs() > f64::EPSILON * g_max {
+                            total_width_s +=
+                                precalculate_pulse_conductance(params, cur, mid)?.width_s();
+                        }
+                        cur = mid;
+                        if target > mid {
+                            lo = mid;
+                        } else {
+                            hi = mid;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(PulseBudget {
+        pulses,
+        total_width_s,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapping() -> WeightMapping {
+        WeightMapping::new(&DeviceParams::default(), 1.0).unwrap()
+    }
+
+    fn weights() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.9, -0.1, 0.0],
+            vec![0.05, -0.02, 0.01],
+            vec![-0.7, 0.6, -0.5],
+            vec![0.2, 0.0, -0.2],
+        ])
+    }
+
+    #[test]
+    fn differential_encoding_matches_legacy_targets_bitwise() {
+        let m = mapping();
+        let w = weights();
+        let enc = DifferentialPair
+            .encode(&w, &m, &EncodingContext::default())
+            .unwrap();
+        let (pos, neg) = m.weights_to_targets(&w);
+        assert_eq!(enc.pos.as_slice(), pos.as_slice());
+        assert_eq!(enc.neg.as_slice(), neg.as_slice());
+        assert_eq!(enc.table, EncodingTable::differential(4));
+        assert!(enc.table.effective_bits().is_infinite());
+    }
+
+    #[test]
+    fn mlc_snaps_to_grid_and_keeps_zero_exact() {
+        let m = mapping();
+        let w = weights();
+        let enc = MultiLevelCell::new(3)
+            .unwrap()
+            .encode(&w, &m, &EncodingContext::default())
+            .unwrap();
+        let step = (m.g_max() - m.g_min()) / 7.0;
+        for &g in enc.pos.as_slice().iter().chain(enc.neg.as_slice()) {
+            let k = (g - m.g_min()) / step;
+            assert!((k - k.round()).abs() < 1e-9, "off-grid target {g:e}");
+        }
+        // Zero weight → baseline on both sides, exactly.
+        assert_eq!(enc.pos[(0, 2)], m.g_min());
+        assert_eq!(enc.neg[(0, 2)], m.g_min());
+        assert_eq!(enc.table.effective_bits(), 3.0);
+    }
+
+    #[test]
+    fn quantizer_is_idempotent_and_monotone_on_a_sweep() {
+        let (g_min, g_max) = (1e-6, 1e-4);
+        let mut last = -1.0;
+        for k in 0..=100 {
+            let g = g_min + (g_max - g_min) * f64::from(k) / 100.0;
+            let q = quantize_to_levels(g, g_min, g_max, 16);
+            assert_eq!(quantize_to_levels(q, g_min, g_max, 16), q);
+            assert!(q >= last);
+            last = q;
+        }
+    }
+
+    #[test]
+    fn adaptive_gives_fine_levels_to_sensitive_rows() {
+        let m = mapping();
+        let w = weights();
+        // Row 2 has the largest L1 mass, row 0 second; fraction 0.5 of 4
+        // rows = 2 fine rows.
+        let enc = AdaptiveRowQuant::new(2, 6, 0.5)
+            .unwrap()
+            .encode(&w, &m, &EncodingContext::default())
+            .unwrap();
+        assert_eq!(enc.table.levels(), &[64, 4, 64, 4]);
+        // Explicit sensitivity overrides the weight-mass fallback.
+        let sens = [0.0, 9.0, 0.1, 8.0];
+        let ctx = EncodingContext {
+            row_sensitivity: Some(&sens),
+        };
+        let enc = AdaptiveRowQuant::new(2, 6, 0.5)
+            .unwrap()
+            .encode(&w, &m, &ctx)
+            .unwrap();
+        assert_eq!(enc.table.levels(), &[4, 64, 4, 64]);
+    }
+
+    #[test]
+    fn adaptive_rejects_mismatched_sensitivity() {
+        let sens = [1.0; 3];
+        let ctx = EncodingContext {
+            row_sensitivity: Some(&sens),
+        };
+        let err = AdaptiveRowQuant::new(2, 6, 0.5)
+            .unwrap()
+            .encode(&weights(), &mapping(), &ctx)
+            .unwrap_err();
+        assert!(matches!(err, XbarError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn spec_validation() {
+        assert!(EncodingSpec::MultiLevelCell { bits: 0 }.build().is_err());
+        assert!(EncodingSpec::MultiLevelCell { bits: 13 }.build().is_err());
+        assert!(EncodingSpec::AdaptiveRowQuant {
+            low_bits: 6,
+            high_bits: 2,
+            fine_fraction: 0.5
+        }
+        .build()
+        .is_err());
+        assert!(EncodingSpec::AdaptiveRowQuant {
+            low_bits: 2,
+            high_bits: 6,
+            fine_fraction: 1.5
+        }
+        .build()
+        .is_err());
+        assert!(EncodingSpec::default().is_differential());
+    }
+
+    #[test]
+    fn pulse_accounting_matches_table_arithmetic() {
+        let m = mapping();
+        let w = weights();
+        let cols = w.cols();
+        for spec in [
+            EncodingSpec::DifferentialPair,
+            EncodingSpec::MultiLevelCell { bits: 4 },
+            EncodingSpec::AdaptiveRowQuant {
+                low_bits: 2,
+                high_bits: 6,
+                fine_fraction: 0.5,
+            },
+        ] {
+            let enc = spec
+                .build()
+                .unwrap()
+                .encode(&w, &m, &EncodingContext::default())
+                .unwrap();
+            let budget = pulse_plan(&DeviceParams::default(), &enc).unwrap();
+            assert_eq!(budget.pulses, enc.table.programming_pulses(cols));
+            assert!(budget.total_width_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn equal_budget_construction_holds_for_even_rows() {
+        // low=2 / high=6 at fraction 1/2 prices identically to fixed 4-bit
+        // whenever the row count is even: (3 + 7)/2 = 5 slots per device.
+        let fixed = EncodingTable::new(EncodingScheme::MultiLevel, vec![16; 8]).unwrap();
+        let mut mixed = vec![4u16; 4];
+        mixed.extend_from_slice(&[64; 4]);
+        let adaptive = EncodingTable::new(EncodingScheme::AdaptiveRow, mixed).unwrap();
+        assert_eq!(
+            fixed.programming_pulses(10),
+            adaptive.programming_pulses(10)
+        );
+    }
+
+    #[test]
+    fn scheme_codes_round_trip() {
+        for s in [
+            EncodingScheme::Differential,
+            EncodingScheme::MultiLevel,
+            EncodingScheme::AdaptiveRow,
+        ] {
+            assert_eq!(EncodingScheme::from_code(s.code()), Some(s));
+        }
+        assert_eq!(EncodingScheme::from_code(7), None);
+    }
+
+    #[test]
+    fn table_rejects_single_level_rows() {
+        assert!(EncodingTable::new(EncodingScheme::MultiLevel, vec![1, 4]).is_err());
+    }
+}

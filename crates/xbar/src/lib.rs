@@ -17,6 +17,10 @@
 //! * [`pretest`] — AMP's device pre-testing procedure (§4.2.1).
 //! * [`pair`] — differential (positive/negative) crossbar pair mapping of
 //!   signed weight matrices (§2.2.1).
+//! * [`encoding`] — pluggable weight→conductance encodings: continuous
+//!   differential (the paper), fixed multi-level-cell quantization, and
+//!   sensitivity-driven per-row adaptive quantization, with
+//!   programming-pulse cost accounting.
 //!
 //! # Example
 //!
@@ -42,6 +46,7 @@
 pub mod circuit;
 pub mod cost;
 pub mod crossbar;
+pub mod encoding;
 pub mod ideal;
 pub mod irdrop;
 pub mod pair;
@@ -51,6 +56,7 @@ pub mod sensing;
 pub mod sneak;
 
 pub use crossbar::{Crossbar, CrossbarConfig};
+pub use encoding::{EncodingScheme, EncodingSpec, EncodingTable, WeightEncoding};
 pub use pair::{DifferentialPair, FrozenPairState};
 pub use sensing::Adc;
 

@@ -68,6 +68,16 @@ impl WeightMapping {
         self.w_max
     }
 
+    /// Baseline conductance (a zero weight programs both sides here).
+    pub fn g_min(&self) -> f64 {
+        self.g_min
+    }
+
+    /// Top of the conductance window (`±w_max` lands here on one side).
+    pub fn g_max(&self) -> f64 {
+        self.g_max
+    }
+
     /// Maps one signed weight to its `(g⁺, g⁻)` conductance pair. Weights
     /// beyond `±w_max` saturate.
     pub fn to_conductance_pair(&self, w: f64) -> (f64, f64) {

@@ -161,6 +161,60 @@ proptest! {
     }
 
     #[test]
+    fn quantizer_is_idempotent(g in 0.0..2e-4f64, bits in 1u32..9) {
+        let (g_min, g_max) = (1e-6, 1e-4);
+        let levels = 1u16 << bits;
+        let q = vortex_xbar::encoding::quantize_to_levels(g, g_min, g_max, levels);
+        prop_assert_eq!(
+            vortex_xbar::encoding::quantize_to_levels(q, g_min, g_max, levels),
+            q
+        );
+    }
+
+    #[test]
+    fn quantizer_is_monotone(g1 in 0.0..2e-4f64, dg in 0.0..1e-4f64, bits in 1u32..9) {
+        let (g_min, g_max) = (1e-6, 1e-4);
+        let levels = 1u16 << bits;
+        let a = vortex_xbar::encoding::quantize_to_levels(g1, g_min, g_max, levels);
+        let b = vortex_xbar::encoding::quantize_to_levels(g1 + dg, g_min, g_max, levels);
+        prop_assert!(b >= a);
+    }
+
+    #[test]
+    fn quantizer_respects_level_count_bounds(gvals in proptest::collection::vec(0.0..2e-4f64, 64),
+                                             bits in 1u32..7) {
+        // The output set has at most 2^bits distinct values, all inside
+        // the window, endpoints representable.
+        let (g_min, g_max) = (1e-6, 1e-4);
+        let levels = 1u16 << bits;
+        let mut distinct: Vec<u64> = gvals
+            .iter()
+            .map(|&g| vortex_xbar::encoding::quantize_to_levels(g, g_min, g_max, levels).to_bits())
+            .collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert!(distinct.len() <= usize::from(levels));
+        for bitsq in distinct {
+            let q = f64::from_bits(bitsq);
+            prop_assert!((g_min..=g_max).contains(&q));
+        }
+        let lo = vortex_xbar::encoding::quantize_to_levels(g_min, g_min, g_max, levels);
+        let hi = vortex_xbar::encoding::quantize_to_levels(g_max, g_min, g_max, levels);
+        prop_assert_eq!(lo, g_min);
+        prop_assert_eq!(hi, g_max);
+    }
+
+    #[test]
+    fn one_t1r_program_target_round_trips(g in 1e-6..1e-4f64, r_access in 100.0..2e4f64) {
+        // Anything inside the programmable window survives the
+        // pre-distort → compress round trip.
+        let cell = vortex_device::cell::CellKind::one_t1r(r_access).unwrap();
+        let desired = cell.effective_conductance(g);
+        let target = cell.program_target(desired, 1e-6, 1e-4);
+        prop_assert!((cell.effective_conductance(target) - desired).abs() / desired < 1e-9);
+    }
+
+    #[test]
     fn analytic_map_corner_ordering_for_uniform_arrays(gval in 1e-6..1e-4f64,
                                                        r_wire in 0.0..50.0f64) {
         // For *uniform* conductances the near corner (bottom-left) is at
