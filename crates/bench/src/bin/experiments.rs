@@ -9,9 +9,9 @@
 //! `--quick` shrinks the workloads to seconds, `--bench` further still.
 //! With `--json`, each experiment also writes its tables to
 //! `BENCH_<name>.json` in the working directory. The `runtime`, `serve`,
-//! `chaos`, `fleet`, `lifetime` and `encoding` experiments always write
-//! their `BENCH_<name>.json` (their gated numbers are the point of
-//! running them). With `--metrics <path>`, the
+//! `chaos`, `fleet`, `lifetime`, `encoding` and `training` experiments
+//! always write their `BENCH_<name>.json` (their gated numbers are the
+//! point of running them). With `--metrics <path>`, the
 //! `vortex_obs` registry snapshot — span timings, counters and gauges
 //! collected from every hot path the run touched — is written to `<path>`
 //! after all experiments finish, so each benchmark run carries its own
@@ -22,7 +22,7 @@ use std::time::Instant;
 use vortex_bench::experiments::common::tables_to_json;
 use vortex_bench::experiments::{
     chaos, encoding, extensions, fig1, fig2, fig3, fig4, fig7, fig8, fig9, fleet, lifetime,
-    runtime, serve, table1,
+    runtime, serve, table1, training,
 };
 use vortex_bench::Scale;
 
@@ -36,7 +36,7 @@ fn write_json(name: &str, payload: &str) {
 
 fn usage_exit() -> ! {
     eprintln!(
-        "usage: experiments [fig1|fig2|fig3|fig4|fig7|fig8|fig9|table1|ext|runtime|serve|chaos|fleet|lifetime|encoding|all] [--quick|--bench] [--json] [--metrics <path>]"
+        "usage: experiments [fig1|fig2|fig3|fig4|fig7|fig8|fig9|table1|ext|runtime|serve|chaos|fleet|lifetime|encoding|training|all] [--quick|--bench] [--json] [--metrics <path>]"
     );
     std::process::exit(2);
 }
@@ -76,7 +76,7 @@ fn main() {
     let which: Vec<&str> = if which.is_empty() || which.contains(&"all") {
         vec![
             "fig1", "fig2", "fig3", "fig4", "fig7", "fig8", "fig9", "table1", "ext", "runtime",
-            "serve", "chaos", "fleet", "lifetime", "encoding",
+            "serve", "chaos", "fleet", "lifetime", "encoding", "training",
         ]
     } else {
         which
@@ -159,18 +159,23 @@ fn main() {
                 write_json("encoding", &r.to_json());
                 (r.render(), r.tables())
             }
+            "training" => {
+                let r = training::run(&scale);
+                write_json("training", &r.to_json());
+                (r.render(), r.tables())
+            }
             other => {
                 eprintln!("unknown experiment `{other}`");
                 usage_exit();
             }
         };
-        // `runtime`, `serve`, `chaos`, `fleet`, `lifetime` and
-        // `encoding` already wrote their richer flat-field payloads
+        // `runtime`, `serve`, `chaos`, `fleet`, `lifetime`, `encoding`
+        // and `training` already wrote their richer flat-field payloads
         // above.
         if json
             && !matches!(
                 name,
-                "runtime" | "serve" | "chaos" | "fleet" | "lifetime" | "encoding"
+                "runtime" | "serve" | "chaos" | "fleet" | "lifetime" | "encoding" | "training"
             )
         {
             write_json(name, &tables_to_json(&tables));

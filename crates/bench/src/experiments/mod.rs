@@ -17,3 +17,4 @@ pub mod lifetime;
 pub mod runtime;
 pub mod serve;
 pub mod table1;
+pub mod training;

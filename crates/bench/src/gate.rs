@@ -1,7 +1,8 @@
 //! The CI benchmark regression gate behind the `check_bench` binary.
 //!
 //! CI's `bench-smoke` job runs `experiments serve runtime chaos fleet
-//! lifetime --quick --json`, then compares each fresh `BENCH_<name>.json`
+//! lifetime encoding training --quick --json`, then compares each fresh
+//! `BENCH_<name>.json`
 //! against its checked-in
 //! `bench/baseline*.json` file: any gated throughput key regressing
 //! more than the allowed fraction fails the build. The baseline is
@@ -47,10 +48,15 @@ pub const GATED_KEYS: [&str; 6] = [
 /// recompiles. `bench/baseline_encoding.json` likewise pins
 /// `encoding_pulse_budget_delta` at 0: the adaptive-vs-fixed accuracy
 /// comparison is only honest at an identical programming pulse budget.
-pub const EXACT_KEYS: [&str; 3] = [
+/// `bench/baseline_training.json` pins `training_recovery_delta_pp` at
+/// 0: a chaos-battered training job must recover onto **exactly** the
+/// undisturbed run's weights — any drift in the recovered test
+/// accuracy, however small, is a determinism bug, not noise.
+pub const EXACT_KEYS: [&str; 4] = [
     "lost_requests",
     "lifetime_recompile_budget_delta",
     "encoding_pulse_budget_delta",
+    "training_recovery_delta_pp",
 ];
 
 /// Keys where the baseline is a **ceiling** — current must not exceed
@@ -70,13 +76,17 @@ pub const EXACT_KEYS: [&str; 3] = [
 /// `encoding_fixed_minus_adaptive_pp` (fixed 4-bit minus adaptive
 /// accuracy, worst case over sigma ≥ 0.3) at 0: sensitivity-driven
 /// level allocation must meet or beat the uniform grid at the same
-/// pulse budget.
-pub const CEILING_KEYS: [&str; 5] = [
+/// pulse budget. `bench/baseline_training.json` caps
+/// `training_p99_inflation_x`: the p99 inference latency with a
+/// *yielding* co-resident trainer, as a multiple of inference running
+/// alone — the priority-class discipline must keep the tail bounded.
+pub const CEILING_KEYS: [&str; 6] = [
     "recovered_accuracy_delta_pp",
     "ensemble_accuracy_delta_pp",
     "accuracy_hours_lost_predictive",
     "predictive_minus_periodic_accuracy_hours",
     "encoding_fixed_minus_adaptive_pp",
+    "training_p99_inflation_x",
 ];
 
 /// How a gated key is judged.

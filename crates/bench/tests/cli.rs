@@ -331,6 +331,64 @@ fn encoding_writes_a_payload_the_equal_budget_gate_accepts() {
 }
 
 #[test]
+fn training_writes_a_payload_the_recovery_gate_accepts() {
+    // --quick, because that is exactly what the CI bench-smoke step runs
+    // and gates; both the real recovery jobs (explicit fixed-size pools)
+    // and the virtual-time tail simulation are bit-deterministic, so
+    // what passes here passes there.
+    let dir = std::env::temp_dir().join(format!("vortex-cli-training-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["training", "--quick"])
+        .current_dir(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "experiments failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Crash recovery at equal seed"));
+    assert!(stdout.contains("co-resident trainer"));
+    assert!(stdout.contains("wrote BENCH_training.json"));
+
+    let json = std::fs::read_to_string(dir.join("BENCH_training.json")).expect("payload written");
+    // The exactness pin must hold (bit-identical recovery means the
+    // accuracy delta is exactly 0) and the chaos plan must actually
+    // have bitten: no kills means the recovery path went untested.
+    assert_eq!(
+        vortex_bench::gate::extract_number(&json, "training_recovery_delta_pp"),
+        Some(0.0),
+        "recovery must be exact"
+    );
+    let kills = vortex_bench::gate::extract_number(&json, "training_kills").expect("kills present");
+    assert!(
+        kills >= 1.0,
+        "the chaos plan must kill the job, got {kills}"
+    );
+    let inflation = vortex_bench::gate::extract_number(&json, "training_p99_inflation_x")
+        .expect("inflation key present");
+    assert!(
+        inflation >= 1.0,
+        "co-residency cannot improve the tail, got {inflation}"
+    );
+
+    let baseline = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench/baseline_training.json"),
+    )
+    .expect("baseline readable");
+    let report = vortex_bench::gate::check(&json, &baseline, 0.30).expect("gateable payload");
+    assert_eq!(report.checks.len(), 2, "baseline gates two training keys");
+    assert!(
+        report.pass(),
+        "training payload failed its own gate:\n{}",
+        report.render()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn check_bench_gates_multiple_pairs_in_one_invocation() {
     let dir = std::env::temp_dir().join(format!("vortex-cli-gate-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");

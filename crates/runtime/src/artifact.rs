@@ -23,19 +23,26 @@
 //! | `ANEG` | v1    | likewise for the negative crossbar                     |
 //! | `CNRY` | v2    | probe count u64 · input len u64 · inputs f64 × count·len · golden u8 × count |
 //! | `ENCT` | v3    | scheme u8 · row count u64 · levels u16 × rows          |
+//! | `TRNC` | v4    | training checkpoint (see [`crate::checkpoint`]); never written into model artifacts |
 //!
 //! `flags` bit 0 marks an ADC present, bit 1 a DAC. All floats are
 //! serialized via [`f64::to_le_bytes`], so a round-trip is bit-exact and
 //! a loaded model infers identically to the in-memory one. Unknown
 //! section tags are skipped (minor extensions don't need a version bump);
 //! a major layout change must bump `FORMAT_VERSION`. Version 2 only
-//! *added* the optional `CNRY` canary section and version 3 only adds the
-//! `ENCT` per-row encoding table, so this build still reads every version
-//! from [`MIN_FORMAT_VERSION`] up — a v1 artifact simply loads as a model
+//! *added* the optional `CNRY` canary section, version 3 only adds the
+//! `ENCT` per-row encoding table, and version 4 only adds the `TRNC`
+//! training-checkpoint section (carried by standalone checkpoint files,
+//! not by model artifacts), so this build still reads every version from
+//! [`MIN_FORMAT_VERSION`] up — a v1 artifact simply loads as a model
 //! without a canary, and any pre-v3 artifact loads with the all-continuous
 //! differential encoding table (which is exactly how it was programmed).
 //! Decoding verifies the checksum before touching any section, and every
 //! failure mode is a distinct [`ArtifactError`] variant.
+//!
+//! Every on-disk write goes through [`atomic_write`] — temp file, fsync,
+//! atomic rename — so a crash mid-save can never leave a torn file where
+//! a good one used to be.
 
 use std::io::Read as _;
 use std::io::Write as _;
@@ -52,10 +59,12 @@ use crate::{Result, RuntimeError};
 pub const MAGIC: [u8; 8] = *b"VXRTMODL";
 
 /// The format version this build writes.
-pub const FORMAT_VERSION: u32 = 3;
+pub const FORMAT_VERSION: u32 = 4;
 
 /// The oldest format version this build still reads.
 pub const MIN_FORMAT_VERSION: u32 = 1;
+
+pub(crate) const TAG_TRNC: [u8; 4] = *b"TRNC";
 
 const TAG_META: [u8; 4] = *b"META";
 const TAG_ROUT: [u8; 4] = *b"ROUT";
@@ -142,6 +151,33 @@ impl From<std::io::Error> for ArtifactError {
     }
 }
 
+/// Writes `bytes` to `path` atomically: the bytes land in a sibling temp
+/// file first, are fsynced, and only then renamed over the target.
+///
+/// A crash — or a panic, or a pulled plug — at any point of the sequence
+/// leaves either the complete previous file or the complete new file at
+/// `path`, never a torn mixture. Every artifact and checkpoint save in the
+/// workspace routes through this helper. The temp file carries a
+/// `.tmp-vxrt` suffix next to the target so the rename stays on one
+/// filesystem; it is removed on failure.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O failure (create, write, fsync or rename).
+pub fn atomic_write<P: AsRef<Path>>(path: P, bytes: &[u8]) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let tmp = path.with_extension("tmp-vxrt");
+    let write = || -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    };
+    write().inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
 /// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) of `bytes`.
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
@@ -159,7 +195,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 // Encoding.
 // ---------------------------------------------------------------------------
 
-fn put_matrix(payload: &mut Vec<u8>, m: &Matrix) {
+pub(crate) fn put_matrix(payload: &mut Vec<u8>, m: &Matrix) {
     payload.extend_from_slice(&(m.rows() as u64).to_le_bytes());
     payload.extend_from_slice(&(m.cols() as u64).to_le_bytes());
     for &v in m.as_slice() {
@@ -167,7 +203,7 @@ fn put_matrix(payload: &mut Vec<u8>, m: &Matrix) {
     }
 }
 
-fn put_section(out: &mut Vec<u8>, tag: [u8; 4], payload: &[u8]) {
+pub(crate) fn put_section(out: &mut Vec<u8>, tag: [u8; 4], payload: &[u8]) {
     out.extend_from_slice(&tag);
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     out.extend_from_slice(payload);
@@ -256,17 +292,17 @@ pub(crate) fn encode(model: &CompiledModel) -> Vec<u8> {
 // ---------------------------------------------------------------------------
 
 /// A bounds-checked little-endian byte cursor.
-struct Cursor<'a> {
+pub(crate) struct Cursor<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
         Self { bytes, pos: 0 }
     }
 
-    fn take(
+    pub(crate) fn take(
         &mut self,
         n: usize,
         context: &'static str,
@@ -281,7 +317,7 @@ impl<'a> Cursor<'a> {
         Ok(slice)
     }
 
-    fn u8(&mut self, context: &'static str) -> std::result::Result<u8, ArtifactError> {
+    pub(crate) fn u8(&mut self, context: &'static str) -> std::result::Result<u8, ArtifactError> {
         Ok(self.take(1, context)?[0])
     }
 
@@ -291,29 +327,38 @@ impl<'a> Cursor<'a> {
         ))
     }
 
-    fn u32(&mut self, context: &'static str) -> std::result::Result<u32, ArtifactError> {
+    pub(crate) fn u32(&mut self, context: &'static str) -> std::result::Result<u32, ArtifactError> {
         Ok(u32::from_le_bytes(
             self.take(4, context)?.try_into().expect("4 bytes"),
         ))
     }
 
-    fn u64_usize(&mut self, context: &'static str) -> std::result::Result<usize, ArtifactError> {
-        let v = u64::from_le_bytes(self.take(8, context)?.try_into().expect("8 bytes"));
+    pub(crate) fn u64(&mut self, context: &'static str) -> std::result::Result<u64, ArtifactError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, context)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    pub(crate) fn u64_usize(
+        &mut self,
+        context: &'static str,
+    ) -> std::result::Result<usize, ArtifactError> {
+        let v = self.u64(context)?;
         usize::try_from(v).map_err(|_| ArtifactError::Malformed { context })
     }
 
-    fn f64(&mut self, context: &'static str) -> std::result::Result<f64, ArtifactError> {
+    pub(crate) fn f64(&mut self, context: &'static str) -> std::result::Result<f64, ArtifactError> {
         Ok(f64::from_le_bytes(
             self.take(8, context)?.try_into().expect("8 bytes"),
         ))
     }
 
-    fn is_empty(&self) -> bool {
+    pub(crate) fn is_empty(&self) -> bool {
         self.pos == self.bytes.len()
     }
 }
 
-fn get_matrix(
+pub(crate) fn get_matrix(
     c: &mut Cursor<'_>,
     context: &'static str,
 ) -> std::result::Result<Matrix, ArtifactError> {
@@ -618,25 +663,15 @@ impl CompiledModel {
         )
     }
 
-    /// Writes the artifact to `path` (atomically via a sibling temp file,
-    /// so a crash never leaves a torn artifact behind).
+    /// Writes the artifact to `path` through [`atomic_write`], so a crash
+    /// mid-save never leaves a torn artifact behind.
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::Artifact`] wrapping the I/O failure.
     pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<()> {
-        let path = path.as_ref();
-        let tmp = path.with_extension("tmp-vxrt");
-        let write = || -> std::result::Result<(), std::io::Error> {
-            let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(&self.to_bytes())?;
-            f.sync_all()?;
-            std::fs::rename(&tmp, path)
-        };
-        write().map_err(|e| {
-            let _ = std::fs::remove_file(&tmp);
-            RuntimeError::Artifact(ArtifactError::from(e))
-        })
+        atomic_write(path, &self.to_bytes())
+            .map_err(|e| RuntimeError::Artifact(ArtifactError::from(e)))
     }
 
     /// Reads an artifact from `path`.

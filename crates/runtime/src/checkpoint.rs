@@ -1,0 +1,361 @@
+//! Training-job checkpoints: the `TRNC` section of the artifact format.
+//!
+//! A close-loop training job (see `vortex-train`) periodically freezes its
+//! full resumable state — learned weights, optimizer scale, epoch counter
+//! and the exact RNG stream position — so that a crashed job restarted
+//! from the last good checkpoint replays the remaining epochs
+//! *bit-identically* to a run that was never interrupted.
+//!
+//! Checkpoints reuse the artifact container of [`crate::artifact`]
+//! verbatim (magic, format version, length-prefixed tagged sections,
+//! trailing CRC-32), carrying a single `TRNC` section:
+//!
+//! ```text
+//! TRNC   epoch u64 · samples seen u64 · job seed u64 ·
+//!        step scale f64 · last mse f64 · rng state u64 × 4 ·
+//!        weights (rows u64 · cols u64 · values f64 × rows·cols)
+//! ```
+//!
+//! The section is new in format version 4; model artifacts never carry it
+//! (and pre-v4 readers would skip the unknown tag by design). Decoding
+//! verifies magic, version range and checksum before trusting any field,
+//! and structurally impossible contents — an all-zero RNG state, a weight
+//! count that disagrees with the payload length — fail with typed
+//! [`ArtifactError::Malformed`] errors rather than a panic or a silently
+//! wrong resume. Saves go through [`artifact::atomic_write`], so a crash
+//! mid-checkpoint leaves the previous checkpoint intact.
+
+use std::io::Read as _;
+use std::path::Path;
+
+use vortex_linalg::rng::Xoshiro256PlusPlus;
+use vortex_linalg::Matrix;
+
+use crate::artifact::{
+    self, atomic_write, crc32, ArtifactError, FORMAT_VERSION, MAGIC, MIN_FORMAT_VERSION, TAG_TRNC,
+};
+use crate::{Result, RuntimeError};
+
+/// The complete resumable state of a training job at a mini-epoch
+/// boundary.
+///
+/// Restoring a checkpoint and replaying the remaining epochs produces
+/// weights bit-identical to an uninterrupted run: the weights, the
+/// normalized-LMS step scale and the generator state are all captured
+/// exactly (floats round-trip via [`f64::to_le_bytes`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingCheckpoint {
+    /// Learned weight matrix (features × classes) at the boundary.
+    pub weights: Matrix,
+    /// Completed mini-epochs.
+    pub epoch: u64,
+    /// Total training samples consumed so far.
+    pub samples_seen: u64,
+    /// Seed of the job this checkpoint belongs to; a supervisor refuses
+    /// to resume a job from a checkpoint carrying a different seed.
+    pub seed: u64,
+    /// Normalized-LMS step scale (the optimizer state of the delta rule).
+    pub step_scale: f64,
+    /// Mean squared sensed error of the last completed mini-epoch.
+    pub last_mse: f64,
+    /// xoshiro256++ state at the boundary, for bit-exact stream resume.
+    pub rng_state: [u64; 4],
+}
+
+impl TrainingCheckpoint {
+    /// Rebuilds the training RNG positioned exactly where the checkpoint
+    /// captured it.
+    ///
+    /// Returns `None` for an all-zero state, which no live generator can
+    /// occupy (decoding already rejects it, so this only fires on a
+    /// hand-constructed checkpoint).
+    pub fn rng(&self) -> Option<Xoshiro256PlusPlus> {
+        Xoshiro256PlusPlus::from_state(self.rng_state)
+    }
+
+    /// Serializes the checkpoint into the versioned artifact container.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload =
+            Vec::with_capacity(88 + 8 * self.weights.rows() * self.weights.cols() + 16);
+        payload.extend_from_slice(&self.epoch.to_le_bytes());
+        payload.extend_from_slice(&self.samples_seen.to_le_bytes());
+        payload.extend_from_slice(&self.seed.to_le_bytes());
+        payload.extend_from_slice(&self.step_scale.to_le_bytes());
+        payload.extend_from_slice(&self.last_mse.to_le_bytes());
+        for &s in &self.rng_state {
+            payload.extend_from_slice(&s.to_le_bytes());
+        }
+        artifact::put_matrix(&mut payload, &self.weights);
+
+        let mut out = Vec::with_capacity(MAGIC.len() + 12 + payload.len() + 16);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&1u32.to_le_bytes());
+        artifact::put_section(&mut out, TAG_TRNC, &payload);
+        let checksum = crc32(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Deserializes a checkpoint, verifying magic, version and checksum
+    /// before trusting any field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Artifact`] with a typed [`ArtifactError`]:
+    /// `BadMagic` / `UnsupportedVersion` / `ChecksumMismatch` for a file
+    /// that is not a healthy artifact, `Truncated` or `Malformed` for a
+    /// structurally broken `TRNC` section (corrupt epoch/length fields,
+    /// an impossible RNG state, a missing section).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        decode(bytes).map_err(RuntimeError::Artifact)
+    }
+
+    /// Writes the checkpoint to `path` through
+    /// [`artifact::atomic_write`]: a crash mid-save leaves the previous
+    /// checkpoint file intact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Artifact`] wrapping the I/O failure.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<()> {
+        atomic_write(path, &self.to_bytes())
+            .map_err(|e| RuntimeError::Artifact(ArtifactError::from(e)))
+    }
+
+    /// Reads a checkpoint from `path`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::from_bytes`]; file-system failures surface as
+    /// [`ArtifactError::Io`].
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path.as_ref())
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| RuntimeError::Artifact(ArtifactError::from(e)))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+fn decode(bytes: &[u8]) -> std::result::Result<TrainingCheckpoint, ArtifactError> {
+    if bytes.len() < MAGIC.len() {
+        return Err(ArtifactError::Truncated { context: "magic" });
+    }
+    if bytes[..MAGIC.len()] != MAGIC {
+        return Err(ArtifactError::BadMagic);
+    }
+    let mut c = artifact::Cursor::new(&bytes[MAGIC.len()..]);
+    let version = c.u32("version")?;
+    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
+        return Err(ArtifactError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    if bytes.len() < MAGIC.len() + 8 + 4 {
+        return Err(ArtifactError::Truncated {
+            context: "checksum",
+        });
+    }
+    // The checksum is verified before any section is trusted, exactly as
+    // the model decoder does.
+    let body_len = bytes.len() - 4;
+    let stored = u32::from_le_bytes(bytes[body_len..].try_into().expect("4 bytes"));
+    let computed = crc32(&bytes[..body_len]);
+    if stored != computed {
+        return Err(ArtifactError::ChecksumMismatch { stored, computed });
+    }
+
+    let mut c = artifact::Cursor::new(&bytes[MAGIC.len() + 4..body_len]);
+    let section_count = c.u32("section count")?;
+    let mut checkpoint = None;
+    for _ in 0..section_count {
+        let tag: [u8; 4] = c.take(4, "section tag")?.try_into().expect("4 bytes");
+        let len = c.u64_usize("section length")?;
+        let payload = c.take(len, "section payload")?;
+        // Unknown tags are future minor extensions: skipped.
+        if tag == TAG_TRNC {
+            checkpoint = Some(decode_trnc(payload)?);
+        }
+    }
+    if !c.is_empty() {
+        return Err(ArtifactError::Malformed {
+            context: "bytes after last section",
+        });
+    }
+    checkpoint.ok_or(ArtifactError::Malformed {
+        context: "missing TRNC section",
+    })
+}
+
+fn decode_trnc(payload: &[u8]) -> std::result::Result<TrainingCheckpoint, ArtifactError> {
+    let mut c = artifact::Cursor::new(payload);
+    let epoch = c.u64("TRNC epoch")?;
+    let samples_seen = c.u64("TRNC samples seen")?;
+    let seed = c.u64("TRNC seed")?;
+    let step_scale = c.f64("TRNC step scale")?;
+    let last_mse = c.f64("TRNC last mse")?;
+    if !(step_scale.is_finite() && step_scale > 0.0) {
+        return Err(ArtifactError::Malformed {
+            context: "TRNC step scale",
+        });
+    }
+    let mut rng_state = [0u64; 4];
+    for s in &mut rng_state {
+        *s = c.u64("TRNC rng state")?;
+    }
+    if rng_state == [0, 0, 0, 0] {
+        // xoshiro256++ can never occupy the all-zero state; a checkpoint
+        // carrying it is corrupt by construction.
+        return Err(ArtifactError::Malformed {
+            context: "TRNC rng state",
+        });
+    }
+    // `get_matrix` verifies the announced dimensions consume exactly the
+    // remaining payload, so corrupt length fields fail typed here.
+    let weights = artifact::get_matrix(&mut c, "TRNC weights")?;
+    Ok(TrainingCheckpoint {
+        weights,
+        epoch,
+        samples_seen,
+        seed,
+        step_scale,
+        last_mse,
+        rng_state,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TrainingCheckpoint {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(41);
+        for _ in 0..13 {
+            rng.next_u64();
+        }
+        TrainingCheckpoint {
+            weights: Matrix::from_fn(5, 3, |i, j| ((i * 3 + j) as f64 * 0.31).sin()),
+            epoch: 7,
+            samples_seen: 7 * 120,
+            seed: 41,
+            step_scale: 0.004_2,
+            last_mse: 0.37,
+            rng_state: rng.state(),
+        }
+    }
+
+    fn checkpoint_err(r: Result<TrainingCheckpoint>) -> ArtifactError {
+        match r {
+            Err(RuntimeError::Artifact(e)) => e,
+            other => panic!("expected an artifact error, got {other:?}"),
+        }
+    }
+
+    fn reseal(bytes: &mut [u8]) {
+        let body = bytes.len() - 4;
+        let crc = crc32(&bytes[..body]).to_le_bytes();
+        bytes[body..].copy_from_slice(&crc);
+    }
+
+    #[test]
+    fn byte_round_trip_is_exact() {
+        let ck = sample();
+        let revived = TrainingCheckpoint::from_bytes(&ck.to_bytes()).unwrap();
+        assert_eq!(revived, ck);
+        // The revived RNG continues the original stream bit-exactly.
+        let mut a = ck.rng().unwrap();
+        let mut b = revived.rng().unwrap();
+        for _ in 0..50 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let ck = sample();
+        let path = std::env::temp_dir().join(format!("vxrt-ckpt-{}.bin", std::process::id()));
+        ck.save(&path).unwrap();
+        let loaded = TrainingCheckpoint::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded, ck);
+    }
+
+    #[test]
+    fn flipped_bit_is_a_checksum_mismatch() {
+        let mut bytes = sample().to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        assert!(matches!(
+            checkpoint_err(TrainingCheckpoint::from_bytes(&bytes)),
+            ArtifactError::ChecksumMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn every_prefix_fails_loudly() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            let err = checkpoint_err(TrainingCheckpoint::from_bytes(&bytes[..cut]));
+            assert!(
+                matches!(
+                    err,
+                    ArtifactError::Truncated { .. }
+                        | ArtifactError::ChecksumMismatch { .. }
+                        | ArtifactError::BadMagic
+                ),
+                "prefix of {cut} bytes gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_zero_rng_state_is_malformed() {
+        let mut ck = sample();
+        ck.rng_state = [0; 4];
+        assert!(ck.rng().is_none());
+        let bytes = ck.to_bytes();
+        assert!(matches!(
+            checkpoint_err(TrainingCheckpoint::from_bytes(&bytes)),
+            ArtifactError::Malformed {
+                context: "TRNC rng state"
+            }
+        ));
+    }
+
+    #[test]
+    fn corrupt_weight_dimensions_are_malformed() {
+        let ck = sample();
+        let mut bytes = ck.to_bytes();
+        // The weights' row count sits 56 bytes into the TRNC payload
+        // (5 u64/f64 fields + 4 rng words); the section payload starts
+        // after magic + version + count + tag + length.
+        let payload_at = MAGIC.len() + 4 + 4 + 4 + 8;
+        let rows_at = payload_at + 9 * 8;
+        bytes[rows_at..rows_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        reseal(&mut bytes);
+        assert!(matches!(
+            checkpoint_err(TrainingCheckpoint::from_bytes(&bytes)),
+            ArtifactError::Malformed { .. } | ArtifactError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn model_artifact_is_not_a_checkpoint() {
+        // A model artifact shares the container but has no TRNC section;
+        // loading it as a checkpoint must fail typed, not panic.
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes());
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            checkpoint_err(TrainingCheckpoint::from_bytes(&out)),
+            ArtifactError::Malformed {
+                context: "missing TRNC section"
+            }
+        ));
+    }
+}

@@ -28,10 +28,12 @@
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod checkpoint;
 pub mod kernels;
 pub mod model;
 
 pub use artifact::ArtifactError;
+pub use checkpoint::TrainingCheckpoint;
 pub use model::{CanarySet, CellFault, CompiledModel, Fidelity, ReadOptions};
 
 /// Canonical imports for the serving side:
@@ -39,6 +41,7 @@ pub use model::{CanarySet, CellFault, CompiledModel, Fidelity, ReadOptions};
 pub mod prelude {
     pub use crate::{
         ArtifactError, CanarySet, CellFault, CompiledModel, Fidelity, ReadOptions, RuntimeError,
+        TrainingCheckpoint,
     };
     pub use vortex_nn::executor::Parallelism;
     pub use vortex_xbar::encoding::{EncodingScheme, EncodingSpec, EncodingTable, WeightEncoding};

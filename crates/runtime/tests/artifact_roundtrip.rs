@@ -68,6 +68,40 @@ fn saved_then_loaded_model_predicts_identically() {
 }
 
 #[test]
+fn torn_write_leaves_previous_artifact_intact() {
+    use vortex_runtime::artifact::atomic_write;
+    let a = compiled(6, 3, 0.0, Fidelity::Ideal, 5);
+    let b = compiled(6, 3, 0.0, Fidelity::Ideal, 6);
+    let path = std::env::temp_dir().join(format!("vxrt-torn-{}.bin", std::process::id()));
+    a.save(&path).unwrap();
+
+    // A crash mid-write of the replacement leaves only a torn temp file
+    // beside the target — exactly the on-disk state atomic_write's
+    // temp → fsync → rename protocol produces if the process dies before
+    // the rename.
+    let tmp = path.with_extension("tmp-vxrt");
+    let replacement = b.to_bytes();
+    std::fs::write(&tmp, &replacement[..replacement.len() / 2]).unwrap();
+
+    // The target never saw a byte of the torn write: it still loads as
+    // the previous model, bit for bit.
+    let loaded = CompiledModel::load(&path).unwrap();
+    for x in probe_inputs(6) {
+        assert_eq!(a.infer(&x).unwrap(), loaded.infer(&x).unwrap());
+    }
+
+    // A subsequent healthy save simply overwrites the torn temp and
+    // promotes the replacement atomically.
+    atomic_write(&path, &replacement).unwrap();
+    let loaded = CompiledModel::load(&path).unwrap();
+    for x in probe_inputs(6) {
+        assert_eq!(b.infer(&x).unwrap(), loaded.infer(&x).unwrap());
+    }
+    assert!(!tmp.exists(), "temp file must not outlive a healthy save");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn load_missing_file_is_a_typed_io_error() {
     let path = std::env::temp_dir().join("vxrt-does-not-exist.bin");
     match artifact_err(CompiledModel::load(&path)) {

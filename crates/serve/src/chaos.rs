@@ -61,6 +61,14 @@ pub struct ChaosConfig {
     /// Number of artifact bits flipped by
     /// [`ChaosPlan::corrupt_artifact`].
     pub bit_flips: usize,
+    /// Number of training mini-epochs whose job is killed mid-flight
+    /// (consulted by the `vortex-train` supervisor).
+    pub train_kills: usize,
+    /// Mini-epoch window `[0, horizon)` training kills are drawn from.
+    pub train_horizon_epochs: u64,
+    /// Number of checkpoint bits flipped by
+    /// [`ChaosPlan::corrupt_checkpoint`].
+    pub checkpoint_bit_flips: usize,
 }
 
 impl ChaosConfig {
@@ -79,6 +87,9 @@ impl ChaosConfig {
             stuck_conductance: 0.0,
             drift_t_s: 0.0,
             bit_flips: 0,
+            train_kills: 0,
+            train_horizon_epochs: 32,
+            checkpoint_bit_flips: 0,
         }
     }
 
@@ -119,6 +130,20 @@ impl ChaosConfig {
         self.bit_flips = n;
         self
     }
+
+    /// This configuration killing `n` training mini-epochs drawn from the
+    /// first `horizon` epochs of a job.
+    pub fn with_train_kills(mut self, n: usize, horizon: u64) -> Self {
+        self.train_kills = n;
+        self.train_horizon_epochs = horizon;
+        self
+    }
+
+    /// This configuration flipping `n` checkpoint bits.
+    pub fn with_checkpoint_bit_flips(mut self, n: usize) -> Self {
+        self.checkpoint_bit_flips = n;
+        self
+    }
 }
 
 /// A frozen fault schedule. See the module docs; build one with
@@ -131,6 +156,8 @@ pub struct ChaosPlan {
     drift_t_s: f64,
     drift_seed: u64,
     bit_flips: Vec<u64>,
+    train_kills: BTreeSet<u64>,
+    checkpoint_flips: Vec<u64>,
 }
 
 impl ChaosPlan {
@@ -168,6 +195,18 @@ impl ChaosPlan {
         }
         let drift_seed = rng.next_u64();
         let bit_flips = (0..config.bit_flips).map(|_| rng.next_u64()).collect();
+        // Training faults are drawn strictly *after* every pre-existing
+        // draw: a configuration without them consumes exactly the same
+        // stream as older builds, so existing seeds keep their plans bit
+        // for bit.
+        let train_horizon = config.train_horizon_epochs.max(1);
+        let mut train_kills = BTreeSet::new();
+        while train_kills.len() < config.train_kills.min(train_horizon as usize) {
+            train_kills.insert(rng.next_u64() % train_horizon);
+        }
+        let checkpoint_flips = (0..config.checkpoint_bit_flips)
+            .map(|_| rng.next_u64())
+            .collect();
         Self {
             panics,
             slow,
@@ -175,6 +214,8 @@ impl ChaosPlan {
             drift_t_s: config.drift_t_s,
             drift_seed,
             bit_flips,
+            train_kills,
+            checkpoint_flips,
         }
     }
 
@@ -221,15 +262,42 @@ impl ChaosPlan {
     /// (positions wrap modulo the stream length). Returns how many bits
     /// flipped; zero for an empty stream or a flip-free plan.
     pub fn corrupt_artifact(&self, bytes: &mut [u8]) -> usize {
+        Self::flip_bits(&self.bit_flips, bytes)
+    }
+
+    /// Whether the training job must be killed when it first reaches
+    /// mini-epoch `epoch`.
+    ///
+    /// The plan only says *where* the kills land; the supervisor is
+    /// responsible for firing each kill once (a kill that re-fired on
+    /// every resume attempt would pin the job at that epoch forever).
+    pub fn should_kill_training(&self, epoch: u64) -> bool {
+        self.train_kills.contains(&epoch)
+    }
+
+    /// The mini-epochs scheduled to kill the training job, in order.
+    pub fn train_kill_epochs(&self) -> Vec<u64> {
+        self.train_kills.iter().copied().collect()
+    }
+
+    /// Flips the planned checkpoint bits of a byte stream in place, with
+    /// the same wrapping semantics as [`Self::corrupt_artifact`]. The
+    /// draws are independent of the artifact flips, so a plan can corrupt
+    /// a checkpoint without also corrupting the served model.
+    pub fn corrupt_checkpoint(&self, bytes: &mut [u8]) -> usize {
+        Self::flip_bits(&self.checkpoint_flips, bytes)
+    }
+
+    fn flip_bits(flips: &[u64], bytes: &mut [u8]) -> usize {
         if bytes.is_empty() {
             return 0;
         }
         let n_bits = bytes.len() as u64 * 8;
-        for &raw in &self.bit_flips {
+        for &raw in flips {
             let bit = raw % n_bits;
             bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
         }
-        self.bit_flips.len()
+        flips.len()
     }
 }
 
@@ -295,6 +363,55 @@ mod tests {
             "expected 1-2 flipped bits, got {set}"
         );
         assert_eq!(plan.corrupt_artifact(&mut []), 0);
+    }
+
+    #[test]
+    fn training_faults_do_not_disturb_existing_draws() {
+        // The training-fault draws are appended after every pre-existing
+        // draw, so turning them on must leave the rest of the plan
+        // untouched — existing seeds keep their disasters.
+        let base = ChaosPlan::generate(&config());
+        let extended = ChaosPlan::generate(
+            &config()
+                .with_train_kills(3, 16)
+                .with_checkpoint_bit_flips(2),
+        );
+        assert_eq!(base.panic_batches(), extended.panic_batches());
+        assert_eq!(base.cell_faults(), extended.cell_faults());
+        assert_eq!(base.drift(), extended.drift());
+        let mut a = vec![0u8; 32];
+        let mut b = vec![0u8; 32];
+        base.corrupt_artifact(&mut a);
+        extended.corrupt_artifact(&mut b);
+        assert_eq!(a, b);
+        assert_eq!(extended.train_kill_epochs().len(), 3);
+        assert!(extended.train_kill_epochs().iter().all(|&e| e < 16));
+    }
+
+    #[test]
+    fn checkpoint_flips_are_independent_of_artifact_flips() {
+        let plan = ChaosPlan::generate(&config().with_checkpoint_bit_flips(2));
+        let mut artifact = vec![0u8; 32];
+        let mut checkpoint = vec![0u8; 32];
+        assert_eq!(plan.corrupt_artifact(&mut artifact), 2);
+        assert_eq!(plan.corrupt_checkpoint(&mut checkpoint), 2);
+        // Same count, different draws: the corrupted streams differ (the
+        // probability of an accidental collision across 256 bit positions
+        // is negligible and the seed is fixed).
+        assert_ne!(artifact, checkpoint);
+        assert_eq!(plan.corrupt_checkpoint(&mut []), 0);
+    }
+
+    #[test]
+    fn train_kills_are_deterministic_and_bounded() {
+        let cfg = ChaosConfig::new(13, 4, 4).with_train_kills(2, 8);
+        let plan = ChaosPlan::generate(&cfg);
+        assert_eq!(plan, ChaosPlan::generate(&cfg));
+        assert_eq!(plan.train_kill_epochs().len(), 2);
+        for e in plan.train_kill_epochs() {
+            assert!(plan.should_kill_training(e));
+        }
+        assert!((8..64).all(|e| !plan.should_kill_training(e)));
     }
 
     #[test]

@@ -8,6 +8,8 @@
 
 use std::time::Duration;
 
+use vortex_linalg::rng::SplitMix64;
+
 use crate::{Result, ServeError};
 
 /// A bounded exponential-backoff retry policy.
@@ -16,6 +18,14 @@ use crate::{Result, ServeError};
 /// resubmitting; after [`RetryPolicy::max_attempts`] total attempts the
 /// final [`ServeError::QueueFull`] is returned. The delay sequence is a
 /// pure function of the policy — deterministic by construction.
+///
+/// With [`RetryPolicy::with_jitter`] the delay of attempt `k` becomes a
+/// seeded *decorrelated* draw over `[base, min(base · 2ᵏ, max)]`: callers
+/// that hit `QueueFull` together (a burst bouncing off a full queue)
+/// carry different request seeds, land on different delays, and stop
+/// stampeding back in lockstep. The draw hashes `(seed, k)` through
+/// SplitMix64, so it stays a pure function of the policy — two retries of
+/// the same request sleep the same schedule, bit for bit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total submission attempts (≥ 1; 1 means no retries).
@@ -24,6 +34,9 @@ pub struct RetryPolicy {
     pub base: Duration,
     /// Upper bound on any single backoff.
     pub max: Duration,
+    /// Request seed for decorrelated jitter; `None` keeps the pure
+    /// doubling schedule.
+    pub jitter_seed: Option<u64>,
 }
 
 impl RetryPolicy {
@@ -51,6 +64,7 @@ impl RetryPolicy {
             max_attempts,
             base,
             max,
+            jitter_seed: None,
         })
     }
 
@@ -60,11 +74,23 @@ impl RetryPolicy {
             max_attempts: 1,
             base: Duration::ZERO,
             max: Duration::ZERO,
+            jitter_seed: None,
         }
+    }
+
+    /// This policy with decorrelated jitter drawn from `seed` (typically
+    /// the request seed, so concurrent retriers desynchronize).
+    pub fn with_jitter(mut self, seed: u64) -> Self {
+        self.jitter_seed = Some(seed);
+        self
     }
 
     /// The backoff slept after failed attempt `attempt` (zero-based), or
     /// `None` when the policy is exhausted and the error should surface.
+    ///
+    /// Without a jitter seed this is the exact doubling schedule
+    /// `min(base · 2ᵏ, max)`; with one, a deterministic draw over
+    /// `[base, min(base · 2ᵏ, max)]` as described on the type.
     pub fn backoff_after(&self, attempt: u32) -> Option<Duration> {
         if attempt + 1 >= self.max_attempts {
             return None;
@@ -73,7 +99,17 @@ impl RetryPolicy {
             .base
             .checked_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
             .unwrap_or(self.max);
-        Some(doubled.min(self.max))
+        let ceiling = doubled.min(self.max);
+        let Some(seed) = self.jitter_seed else {
+            return Some(ceiling);
+        };
+        // Hash (seed, attempt) into [0, 1). SplitMix64 is seeded with the
+        // request seed and stepped once per attempt index so consecutive
+        // attempts of one request are themselves decorrelated.
+        let mut h = SplitMix64::new(seed ^ u64::from(attempt).wrapping_mul(0xA076_1D64_78BD_642F));
+        let frac = (h.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) as f64));
+        let band = ceiling.saturating_sub(self.base);
+        Some(self.base + band.mul_f64(frac))
     }
 }
 
@@ -107,5 +143,58 @@ mod tests {
     fn huge_shift_does_not_overflow() {
         let p = RetryPolicy::new(u32::MAX, Duration::from_secs(1), Duration::from_secs(8)).unwrap();
         assert_eq!(p.backoff_after(40), Some(Duration::from_secs(8)));
+    }
+
+    #[test]
+    fn jitterless_schedule_is_the_legacy_doubling_exactly() {
+        // Pinned: a policy without a jitter seed must sleep the exact
+        // pre-jitter schedule, so existing callers see identical timing.
+        let p = RetryPolicy::new(5, Duration::from_millis(1), Duration::from_millis(3)).unwrap();
+        assert_eq!(p.jitter_seed, None);
+        assert_eq!(p.backoff_after(0), Some(Duration::from_millis(1)));
+        assert_eq!(p.backoff_after(1), Some(Duration::from_millis(2)));
+        assert_eq!(p.backoff_after(2), Some(Duration::from_millis(3)));
+        assert_eq!(p.backoff_after(3), Some(Duration::from_millis(3)));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_stays_in_band() {
+        let p = RetryPolicy::new(8, Duration::from_millis(2), Duration::from_millis(40))
+            .unwrap()
+            .with_jitter(1234);
+        let q = RetryPolicy::new(8, Duration::from_millis(2), Duration::from_millis(40))
+            .unwrap()
+            .with_jitter(1234);
+        for k in 0..7 {
+            let d = p.backoff_after(k).unwrap();
+            // Same seed, same attempt: the very same delay.
+            assert_eq!(d, q.backoff_after(k).unwrap());
+            let ceiling = Duration::from_millis(2)
+                .checked_mul(1 << k)
+                .unwrap()
+                .min(Duration::from_millis(40));
+            assert!(d >= Duration::from_millis(2), "attempt {k} slept {d:?}");
+            assert!(d <= ceiling, "attempt {k} slept {d:?} above {ceiling:?}");
+        }
+        // Exhaustion is unchanged by jitter.
+        assert_eq!(p.backoff_after(7), None);
+    }
+
+    #[test]
+    fn distinct_seeds_desynchronize() {
+        // A stampede of retriers with distinct request seeds must not
+        // share one delay; count collisions on a mid-schedule attempt.
+        let policy = RetryPolicy::new(6, Duration::from_millis(1), Duration::from_secs(1)).unwrap();
+        let delays: Vec<Duration> = (0..32u64)
+            .map(|seed| policy.with_jitter(seed).backoff_after(3).unwrap())
+            .collect();
+        let mut unique = delays.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert!(
+            unique.len() >= 30,
+            "expected ≥30 distinct delays across 32 seeds, got {}",
+            unique.len()
+        );
     }
 }

@@ -209,6 +209,17 @@ fn submit_retry_backs_off_then_exhausts_or_admits() {
         other => panic!("expected fast-fail Timeout, got {other:?}"),
     }
 
+    // Seeded jitter must not weaken the fast-fail: the jittered delay is
+    // still bounded below by the base, which outlives this deadline.
+    match scheduler.submit_with_retry(
+        input(2),
+        Some(Instant::now() + Duration::from_millis(5)),
+        &slow_policy.with_jitter(9),
+    ) {
+        Err(ServeError::Timeout { stage: "submit" }) => {}
+        other => panic!("expected fast-fail Timeout with jitter, got {other:?}"),
+    }
+
     // Resume mid-retry: the backlog drains and a retried submit lands.
     let resumer = {
         let scheduler = Arc::clone(&scheduler);
